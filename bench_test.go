@@ -1,0 +1,385 @@
+package snmatch
+
+// Benchmark harness: one benchmark per paper table (Tables 1-9) plus the
+// ablation benches listed in DESIGN.md §5. Each benchmark iteration runs
+// the table's full (Quick-scale) workload and reports the achieved
+// cumulative accuracy as a custom metric, so `go test -bench` both times
+// the pipelines and regenerates the result shapes.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"snmatch/internal/contour"
+	"snmatch/internal/dataset"
+	"snmatch/internal/eval"
+	"snmatch/internal/experiments"
+	"snmatch/internal/features/match"
+	"snmatch/internal/histogram"
+	"snmatch/internal/moments"
+	"snmatch/internal/nn"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/rng"
+	"snmatch/internal/synth"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+)
+
+func getBenchSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = experiments.NewSuite(experiments.Quick())
+	})
+	return benchSuite
+}
+
+// BenchmarkTable1DatasetGeneration regenerates the three datasets of
+// Table 1 (at Quick scale) per iteration.
+func BenchmarkTable1DatasetGeneration(b *testing.B) {
+	cfg := dataset.Config{Size: 64, Seed: 1, NYUPerClassCap: 30}
+	for i := 0; i < b.N; i++ {
+		s1 := dataset.BuildSNS1(cfg)
+		s2 := dataset.BuildSNS2(cfg)
+		ny := dataset.BuildNYU(cfg)
+		if s1.Len()+s2.Len()+ny.Len() == 0 {
+			b.Fatal("empty datasets")
+		}
+	}
+}
+
+// BenchmarkTable2ExploratoryMatching runs the full 11-configuration
+// exploratory grid of Table 2 per iteration.
+func BenchmarkTable2ExploratoryMatching(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var last experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		last = s.Table2()
+	}
+	b.ReportMetric(last.ByName["Color only Hellinger"][0], "hellinger-nyu-acc")
+	b.ReportMetric(last.ByName["Shape+Color (weighted sum)"][1], "hybrid-sns-acc")
+}
+
+// BenchmarkTable3Descriptors runs the SIFT/SURF/ORB grid of Table 3.
+func BenchmarkTable3Descriptors(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var last experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		last = s.Table3(0.5)
+	}
+	b.ReportMetric(last.ByName["SIFT"], "sift-acc")
+	b.ReportMetric(last.ByName["ORB"], "orb-acc")
+}
+
+// BenchmarkTable4NXCorr trains and evaluates the Normalized-X-Corr
+// network per iteration (Quick scale).
+func BenchmarkTable4NXCorr(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var last experiments.Table4Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		last, err = s.Table4(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(last.SNS1Pairs.Similar.Recall, "similar-recall")
+	b.ReportMetric(last.SNS1Pairs.Dissimilar.F1, "dissimilar-f1")
+}
+
+// BenchmarkTable5ShapeClasswise runs the class-wise shape-only grid.
+func BenchmarkTable5ShapeClasswise(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var res map[string]eval.Result
+	for i := 0; i < b.N; i++ {
+		res = s.Table5()
+	}
+	b.ReportMetric(res["Shape only L3"].Cumulative, "l3-acc")
+}
+
+// BenchmarkTable6ColorClasswise runs the class-wise colour-only grid.
+func BenchmarkTable6ColorClasswise(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var res map[string]eval.Result
+	for i := 0; i < b.N; i++ {
+		res = s.Table6()
+	}
+	b.ReportMetric(res["Color only Hellinger"].Cumulative, "hellinger-acc")
+}
+
+// BenchmarkTable7HybridClasswise runs the NYU-vs-SNS1 hybrid grid.
+func BenchmarkTable7HybridClasswise(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var res map[string]eval.Result
+	for i := 0; i < b.N; i++ {
+		res = s.Table7()
+	}
+	b.ReportMetric(res["Shape+Color (weighted sum)"].Cumulative, "ws-acc")
+}
+
+// BenchmarkTable8HybridSNS runs the SNS2-vs-SNS1 hybrid grid.
+func BenchmarkTable8HybridSNS(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var res map[string]eval.Result
+	for i := 0; i < b.N; i++ {
+		res = s.Table8()
+	}
+	b.ReportMetric(res["Shape+Color (weighted sum)"].Cumulative, "ws-acc")
+}
+
+// BenchmarkTable9DescriptorClasswise reruns the descriptor grid whose
+// class-wise breakdown is Table 9 (same runs as Table 3; the bench
+// reports the collapse of the textureless paper class).
+func BenchmarkTable9DescriptorClasswise(b *testing.B) {
+	s := getBenchSuite(b)
+	b.ResetTimer()
+	var last experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		last = s.Table3(0.5)
+	}
+	b.ReportMetric(last.Classwise["SIFT"].PerClass[synth.Paper].Accuracy, "sift-paper-acc")
+	b.ReportMetric(last.Classwise["SIFT"].PerClass[synth.Chair].Accuracy, "sift-chair-acc")
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationHistogramBins sweeps the joint histogram resolution.
+func BenchmarkAblationHistogramBins(b *testing.B) {
+	s := getBenchSuite(b)
+	for _, bins := range []int{4, 8, 16} {
+		b.Run(itoa(bins), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				correct, total := 0, 0
+				for _, q := range s.SNS2.Samples {
+					hq := histogram.Compute(contour.Preprocess(q.Image).Cropped, bins).Normalize()
+					best, bestD := synth.Chair, 1e18
+					for _, v := range s.SNS1.Samples {
+						hv := histogram.Compute(contour.Preprocess(v.Image).Cropped, bins).Normalize()
+						d := histogram.Compare(hq, hv, histogram.Hellinger)
+						if d < bestD {
+							bestD, best = d, v.Class
+						}
+					}
+					if best == q.Class {
+						correct++
+					}
+					total++
+				}
+				b.ReportMetric(float64(correct)/float64(total), "acc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMomentSource compares Hu moments computed on the
+// contour polygon vs the filled raster.
+func BenchmarkAblationMomentSource(b *testing.B) {
+	s := getBenchSuite(b)
+	run := func(b *testing.B, useContour bool) {
+		for i := 0; i < b.N; i++ {
+			correct := 0
+			for _, q := range s.SNS2.Samples {
+				pre := contour.Preprocess(q.Image)
+				var hu moments.Hu
+				if useContour && pre.Largest != nil {
+					hu = moments.HuFromContour(pre.Largest.Points)
+				} else {
+					hu = moments.HuFromGray(pre.Binary, true)
+				}
+				best, bestD := synth.Chair, 1e18
+				for _, v := range s.GallerySNS1.Views {
+					d := moments.MatchShapes(hu, v.Hu, moments.MatchI3)
+					if d < bestD {
+						bestD, best = d, v.Sample.Class
+					}
+				}
+				if best == q.Class {
+					correct++
+				}
+			}
+			b.ReportMetric(float64(correct)/float64(s.SNS2.Len()), "acc")
+		}
+	}
+	b.Run("contour", func(b *testing.B) { run(b, true) })
+	b.Run("raster", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationHybridWeights sweeps alpha/beta of the hybrid score
+// (the paper's future-work tuning).
+func BenchmarkAblationHybridWeights(b *testing.B) {
+	s := getBenchSuite(b)
+	for _, alpha := range []float64{0.0, 0.3, 0.5, 0.7, 1.0} {
+		b.Run("alpha="+ftoa(alpha), func(b *testing.B) {
+			p := pipeline.Hybrid{
+				ShapeMethod: moments.MatchI3,
+				ColorMetric: histogram.Hellinger,
+				Alpha:       alpha, Beta: 1 - alpha,
+				Strategy: pipeline.WeightedSum,
+			}
+			for i := 0; i < b.N; i++ {
+				pred, truth := pipeline.Run(p, s.SNS2, s.GallerySNS1)
+				b.ReportMetric(eval.Evaluate(truth, pred).Cumulative, "acc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKNNVote sweeps the vote size of the extension
+// pipeline (K = 1 reduces to the paper's hybrid weighted sum).
+func BenchmarkAblationKNNVote(b *testing.B) {
+	s := getBenchSuite(b)
+	for _, k := range []int{1, 3, 5, 9} {
+		b.Run("k="+itoa(k), func(b *testing.B) {
+			p := pipeline.NewKNNVote(k)
+			for i := 0; i < b.N; i++ {
+				pred, truth := pipeline.Run(p, s.SNS2, s.GallerySNS1)
+				b.ReportMetric(eval.Evaluate(truth, pred).Cumulative, "acc")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMatcherANN compares brute-force matching against the
+// KD-tree approximate matcher (the paper's FLANN remark: no gains at
+// this data scale).
+func BenchmarkAblationMatcherANN(b *testing.B) {
+	r := rng.New(77)
+	const n, dim = 400, 64
+	descs := make([][]float32, n)
+	for i := range descs {
+		d := make([]float32, dim)
+		for j := range d {
+			d[j] = float32(r.Float64())
+		}
+		descs[i] = d
+	}
+	queries := make([][]float32, 50)
+	for i := range queries {
+		d := make([]float32, dim)
+		for j := range d {
+			d[j] = float32(r.Float64())
+		}
+		queries[i] = d
+	}
+	b.Run("bruteforce", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				best := float32(1e30)
+				for _, t := range descs {
+					var sum float32
+					for k := range q {
+						d := q[k] - t[k]
+						sum += d * d
+					}
+					if sum < best {
+						best = sum
+					}
+				}
+			}
+		}
+	})
+	b.Run("kdtree", func(b *testing.B) {
+		tree := match.NewKDTree(descs)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				tree.Search(q, 1, 64)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationXCorrWindow sweeps the Normalized-X-Corr search
+// window width, trading inexactness for compute.
+func BenchmarkAblationXCorrWindow(b *testing.B) {
+	r := rng.New(5)
+	mk := func() *nn.Tensor {
+		t := nn.NewTensor(1, 4, 8, 8)
+		for i := range t.Data {
+			t.Data[i] = float32(r.NormRange(0, 1))
+		}
+		return t
+	}
+	a, c := mk(), mk()
+	for _, win := range []int{1, 3, 5} {
+		b.Run("w="+itoa(win), func(b *testing.B) {
+			layer := nn.NewNormXCorr(3, win, win)
+			for i := 0; i < b.N; i++ {
+				out := layer.Forward2(a, c)
+				if out.Size() == 0 {
+					b.Fatal("empty output")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPreprocessing measures the §3.2 cascade's effect:
+// colour matching with and without the crop-to-contour preprocessing.
+func BenchmarkAblationPreprocessing(b *testing.B) {
+	s := getBenchSuite(b)
+	run := func(b *testing.B, preprocess bool) {
+		for i := 0; i < b.N; i++ {
+			correct := 0
+			for _, q := range s.SNS2.Samples {
+				img := q.Image
+				var hq *histogram.Hist
+				if preprocess {
+					hq = histogram.Compute(contour.Preprocess(img).Cropped, pipeline.HistBins).Normalize()
+				} else {
+					hq = histogram.Compute(img, pipeline.HistBins).Normalize()
+				}
+				best, bestD := synth.Chair, 1e18
+				for _, v := range s.SNS1.Samples {
+					var hv *histogram.Hist
+					if preprocess {
+						hv = histogram.Compute(contour.Preprocess(v.Image).Cropped, pipeline.HistBins).Normalize()
+					} else {
+						hv = histogram.Compute(v.Image, pipeline.HistBins).Normalize()
+					}
+					d := histogram.Compare(hq, hv, histogram.Hellinger)
+					if d < bestD {
+						bestD, best = d, v.Class
+					}
+				}
+				if best == q.Class {
+					correct++
+				}
+			}
+			b.ReportMetric(float64(correct)/float64(s.SNS2.Len()), "acc")
+		}
+	}
+	b.Run("with", func(b *testing.B) { run(b, true) })
+	b.Run("without", func(b *testing.B) { run(b, false) })
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(v float64) string {
+	// One decimal place suffices for the sweep labels.
+	whole := int(v)
+	frac := int(v*10) % 10
+	return itoa(whole) + "." + itoa(frac)
+}

@@ -1,0 +1,114 @@
+// Command experiments regenerates every table of the paper (Tables 1-9)
+// from the synthetic datasets and prints them in the paper's layout.
+//
+// Usage:
+//
+//	experiments [-scale quick|medium|full] [-skip-neural] [-out report.txt]
+//
+// quick matches the test-suite budget (seconds); medium uses the full
+// Table 1 cardinalities with a reduced neural budget (minutes); full
+// additionally runs the complete §3.4 training protocol.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"snmatch/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "experiment scale: quick, medium or full")
+	skipNeural := flag.Bool("skip-neural", false, "skip the Table 4 neural experiment")
+	outPath := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.Quick()
+	case "medium":
+		scale = experiments.Full()
+		scale.NYUPerClassCap = 100
+		scale.TrainPairs = 800
+		scale.NXCorrEpochs = 8
+		scale.NXCorrInput = 16
+		scale.ImageSize = 64
+	case "full":
+		scale = experiments.Full()
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(out, "snmatch experiment suite — scale %q\n", *scaleFlag)
+	fmt.Fprintf(out, "building datasets...\n")
+	suite := experiments.NewSuite(scale)
+
+	section := func(title string) {
+		fmt.Fprintf(out, "\n================ %s ================\n", title)
+	}
+
+	section("Table 1: dataset statistics")
+	fmt.Fprint(out, suite.Table1())
+
+	section("Table 2: cumulative accuracy, exploratory trials")
+	t2 := suite.Table2()
+	fmt.Fprint(out, experiments.FormatTable2(t2))
+
+	section("Table 3: descriptor cumulative accuracy (SNS2 v. SNS1, ratio 0.5)")
+	t3 := suite.Table3(0.5)
+	fmt.Fprint(out, experiments.FormatTable3(t3))
+
+	section("Table 5: class-wise shape-only (NYU v. SNS1)")
+	fmt.Fprint(out, experiments.FormatClasswise("", []string{
+		"Baseline", "Shape only L1", "Shape only L2", "Shape only L3",
+	}, suite.Table5()))
+
+	section("Table 6: class-wise colour-only (NYU v. SNS1)")
+	fmt.Fprint(out, experiments.FormatClasswise("", []string{
+		"Color only Correlation", "Color only Chi-square",
+		"Color only Intersection", "Color only Hellinger",
+	}, suite.Table6()))
+
+	section("Table 7: class-wise hybrid (NYU v. SNS1, L3+Hellinger a=0.3 b=0.7)")
+	fmt.Fprint(out, experiments.FormatClasswise("", []string{
+		"Shape+Color (weighted sum)", "Shape+Color (micro-avg)", "Shape+Color (macro-avg)",
+	}, suite.Table7()))
+
+	section("Table 8: class-wise hybrid (SNS2 v. SNS1)")
+	fmt.Fprint(out, experiments.FormatClasswise("", []string{
+		"Shape+Color (weighted sum)", "Shape+Color (micro-avg)", "Shape+Color (macro-avg)",
+	}, suite.Table8()))
+
+	section("Table 9: class-wise descriptors (SNS2 v. SNS1, ratio 0.5)")
+	fmt.Fprint(out, experiments.FormatClasswise("", []string{
+		"SIFT", "SURF", "ORB",
+	}, t3.Classwise))
+
+	if !*skipNeural {
+		section("Table 4: Normalized-X-Corr pair classification")
+		fmt.Fprintln(out, "training...")
+		t4, err := suite.Table4(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprint(out, experiments.FormatTable4(t4))
+	}
+
+	fmt.Fprintf(out, "\ncompleted in %s\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,65 @@
+// Robot patrol: the paper's motivating scenario. A simulated mobile
+// robot sweeps a sequence of rooms; each room image is segmented into
+// object regions (the NYU-style crops the paper assumes as input), every
+// region is classified against the ShapeNet gallery, and the results are
+// accumulated into a small semantic map — the knowledge-acquisition loop
+// of the paper's introduction.
+package main
+
+import (
+	"fmt"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/synth"
+)
+
+func main() {
+	cfg := dataset.Config{Size: 64, Seed: 3}
+	gallery := pipeline.NewGallery(dataset.BuildSNS1(cfg))
+	recogniser := pipeline.DefaultHybrid(pipeline.WeightedSum)
+
+	rooms := [][]synth.Class{
+		{synth.Chair, synth.Table, synth.Lamp, synth.Sofa},
+		{synth.Door, synth.Window, synth.Box},
+		{synth.Bottle, synth.Book, synth.Paper, synth.Chair},
+	}
+
+	type mapEntry struct {
+		room  int
+		class synth.Class
+		x, y  int
+	}
+	var semanticMap []mapEntry
+	correct, total := 0, 0
+
+	for roomID, contents := range rooms {
+		scene := synth.ComposeScene(contents, 400, 300, uint64(100+roomID))
+		fmt.Printf("room %d: %d segmented regions\n", roomID+1, len(scene.Objects))
+		for i, obj := range scene.Objects {
+			crop := scene.CropObject(i)
+			if crop == nil {
+				continue
+			}
+			pred := recogniser.Classify(crop, gallery)
+			cx := (obj.Box.MinX + obj.Box.MaxX) / 2
+			cy := (obj.Box.MinY + obj.Box.MaxY) / 2
+			semanticMap = append(semanticMap, mapEntry{roomID + 1, pred.Class, cx, cy})
+			status := "MISS"
+			if pred.Class == obj.Class {
+				status = "ok"
+				correct++
+			}
+			total++
+			fmt.Printf("  region at (%3d,%3d): truth %-7s -> predicted %-7s [%s]\n",
+				cx, cy, obj.Class, pred.Class, status)
+		}
+	}
+
+	fmt.Println("\nsemantic map:")
+	for _, e := range semanticMap {
+		fmt.Printf("  room %d: %-7s at (%d, %d)\n", e.room, e.class, e.x, e.y)
+	}
+	fmt.Printf("\npatrol recognition accuracy: %d/%d (%.0f%%)\n",
+		correct, total, 100*float64(correct)/float64(total))
+}

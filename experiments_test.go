@@ -1,0 +1,230 @@
+// Package snmatch's root tests exercise the full reproduction: every
+// table of the paper regenerated at reduced scale, with assertions on
+// the qualitative findings the reproduction targets (see DESIGN.md §4).
+package snmatch
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"snmatch/internal/eval"
+	"snmatch/internal/experiments"
+	"snmatch/internal/synth"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Suite
+	table2    experiments.Table2Result
+)
+
+// testSuite lazily builds one shared Quick-scale suite and the Table 2
+// runs that several tests interrogate.
+func testSuite(t *testing.T) (*experiments.Suite, experiments.Table2Result) {
+	t.Helper()
+	suiteOnce.Do(func() {
+		suite = experiments.NewSuite(experiments.Quick())
+		table2 = suite.Table2()
+	})
+	return suite, table2
+}
+
+func TestTable1DatasetStatistics(t *testing.T) {
+	s, _ := testSuite(t)
+	if s.SNS1.Len() != 82 || s.SNS2.Len() != 100 {
+		t.Fatalf("SNS sizes = %d/%d, want 82/100", s.SNS1.Len(), s.SNS2.Len())
+	}
+	nyuCounts := s.NYU.CountByClass()
+	// Imbalance profile: chair most frequent, lamp least.
+	if nyuCounts[synth.Chair] <= nyuCounts[synth.Lamp] {
+		t.Errorf("NYU imbalance lost: chair %d vs lamp %d", nyuCounts[synth.Chair], nyuCounts[synth.Lamp])
+	}
+	if tbl := s.Table1(); len(tbl) == 0 {
+		t.Error("empty Table 1")
+	}
+}
+
+func TestTable2EveryPipelineBeatsBaseline(t *testing.T) {
+	_, t2 := testSuite(t)
+	base := t2.ByName["Baseline"]
+	for name, vals := range t2.ByName {
+		if name == "Baseline" {
+			continue
+		}
+		// Paper finding: all configurations outperform random labels on
+		// cumulative accuracy, on both dataset pairings.
+		if vals[0] <= base[0] {
+			t.Errorf("%s NYU accuracy %v <= baseline %v", name, vals[0], base[0])
+		}
+		if vals[1] <= base[1] {
+			t.Errorf("%s SNS accuracy %v <= baseline %v", name, vals[1], base[1])
+		}
+	}
+}
+
+func TestTable2ColorBeatsShape(t *testing.T) {
+	_, t2 := testSuite(t)
+	// Paper finding: shape-only is the weakest family; the best
+	// colour-only metric beats the best shape-only method.
+	bestShape, bestColor := 0.0, 0.0
+	for name, vals := range t2.ByName {
+		switch {
+		case len(name) > 10 && name[:10] == "Shape only":
+			if vals[0] > bestShape {
+				bestShape = vals[0]
+			}
+		case len(name) > 10 && name[:10] == "Color only":
+			if vals[0] > bestColor {
+				bestColor = vals[0]
+			}
+		}
+	}
+	if bestColor <= bestShape {
+		t.Errorf("best color %v <= best shape %v (paper: color features dominate)", bestColor, bestShape)
+	}
+}
+
+func TestTable2HybridCompetitive(t *testing.T) {
+	_, t2 := testSuite(t)
+	// Paper finding: the hybrid weighted sum matches the best
+	// colour-only score (exactly equal in the paper; we allow a margin).
+	bestColor := 0.0
+	for name, vals := range t2.ByName {
+		if len(name) > 10 && name[:10] == "Color only" && vals[0] > bestColor {
+			bestColor = vals[0]
+		}
+	}
+	ws := t2.ByName["Shape+Color (weighted sum)"]
+	if ws[0] < bestColor*0.75 {
+		t.Errorf("hybrid weighted sum %v far below best color %v", ws[0], bestColor)
+	}
+}
+
+func TestTable2DomainGap(t *testing.T) {
+	_, t2 := testSuite(t)
+	// Paper finding: matching clean ShapeNet views against the ShapeNet
+	// gallery is easier than matching NYU crops (Table 2's second column
+	// exceeds its first for the informative configurations).
+	better := 0
+	informative := 0
+	for name, vals := range t2.ByName {
+		if name == "Baseline" {
+			continue
+		}
+		informative++
+		if vals[1] >= vals[0] {
+			better++
+		}
+	}
+	if better*2 < informative {
+		t.Errorf("domain gap inverted: only %d/%d configurations easier on SNS data", better, informative)
+	}
+}
+
+func TestTable3DescriptorsMidPack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("descriptor matching is slow")
+	}
+	s, t2 := testSuite(t)
+	t3 := s.Table3(0.5)
+	base := t3.ByName["Baseline"]
+	for _, kind := range []string{"SIFT", "SURF", "ORB"} {
+		acc := t3.ByName[kind]
+		if acc <= base {
+			t.Errorf("%s accuracy %v <= baseline %v", kind, acc, base)
+		}
+		if acc < 0 || acc > 1 {
+			t.Errorf("%s accuracy %v out of range", kind, acc)
+		}
+	}
+	// Paper finding: descriptors stay below the hybrid strategies on the
+	// same data (Table 3 vs Table 8: 0.22-0.25 vs 0.32).
+	hybridSNS := t2.ByName["Shape+Color (weighted sum)"][1]
+	for _, kind := range []string{"SIFT", "SURF", "ORB"} {
+		if t3.ByName[kind] > hybridSNS+0.15 {
+			t.Errorf("%s (%v) unexpectedly dominates hybrid (%v)", kind, t3.ByName[kind], hybridSNS)
+		}
+	}
+	// Paper finding: the textureless Paper class collapses for
+	// descriptor matching (0.00 rows in Table 9).
+	for name, res := range t3.Classwise {
+		if acc := res.PerClass[synth.Paper].Accuracy; acc > 0.5 {
+			t.Errorf("%s paper-class accuracy %v, expected near-failure", name, acc)
+		}
+	}
+}
+
+func TestTable4NXCorrOverfits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("neural training is slow")
+	}
+	s, _ := testSuite(t)
+	t4, err := s.Table4(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Structural checks on both pair evaluations.
+	if t4.SNS1Pairs.Similar.Support+t4.SNS1Pairs.Dissimilar.Support != 82*81/2 {
+		t.Errorf("SNS1 pair support = %d+%d, want 3321",
+			t4.SNS1Pairs.Similar.Support, t4.SNS1Pairs.Dissimilar.Support)
+	}
+	wantCross := s.Scale.NYUQueryPick * 10 * 82
+	if t4.CrossPairs.Similar.Support+t4.CrossPairs.Dissimilar.Support != wantCross {
+		t.Errorf("cross pair support sum != %d", wantCross)
+	}
+	// Paper finding: the model fails to separate unseen pairs — its F1
+	// on "dissimilar" collapses relative to a useful classifier and the
+	// "similar" recall is driven by over-predicting similarity. We
+	// assert the defining signature: recall(similar) far exceeds
+	// precision(similar) headroom, i.e. the classifier is not balanced.
+	bal := t4.SNS1Pairs.Dissimilar.F1
+	if bal > 0.95 {
+		t.Errorf("dissimilar F1 = %v: the network generalised, which contradicts the paper", bal)
+	}
+}
+
+func TestTables5Through8Classwise(t *testing.T) {
+	s, _ := testSuite(t)
+	t5 := s.Table5()
+	t6 := s.Table6()
+	t7 := s.Table7()
+	t8 := s.Table8()
+
+	for name, res := range t5 {
+		if res.Total != s.NYU.Len() {
+			t.Errorf("%s total = %d", name, res.Total)
+		}
+	}
+	// Paper finding: recognition is unbalanced — for every configuration
+	// some class does far better than some other.
+	spread := func(label string, rs map[string]eval.Result) {
+		for name, r := range rs {
+			lo, hi := 1.0, 0.0
+			for _, c := range synth.AllClasses {
+				a := r.PerClass[c].Accuracy
+				if a < lo {
+					lo = a
+				}
+				if a > hi {
+					hi = a
+				}
+			}
+			if hi-lo < 0.1 {
+				t.Errorf("%s/%s: class accuracies suspiciously uniform (spread %v)", label, name, hi-lo)
+			}
+		}
+	}
+	spread("table5", t5)
+	spread("table6", t6)
+	spread("table7", t7)
+	spread("table8", t8)
+
+	// Paper finding: the controlled SNS2-vs-SNS1 hybrid (Table 8) is at
+	// least as accurate overall as the NYU hybrid (Table 7).
+	for name := range t7 {
+		if t8[name].Cumulative+0.05 < t7[name].Cumulative {
+			t.Errorf("%s: SNS accuracy %v below NYU accuracy %v", name, t8[name].Cumulative, t7[name].Cumulative)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package contour
+
+import (
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+// dirs8 enumerates the 8-neighbourhood in clockwise screen order (y grows
+// downwards): E, SE, S, SW, W, NW, N, NE.
+var dirs8 = [8][2]int{{1, 0}, {1, 1}, {0, 1}, {-1, 1}, {-1, 0}, {-1, -1}, {0, -1}, {1, -1}}
+
+// dirIndex returns the index in dirs8 of the unit step from a to b.
+func dirIndex(a, b geom.PointI) int {
+	dx, dy := b.X-a.X, b.Y-a.Y
+	for i, d := range dirs8 {
+		if d[0] == dx && d[1] == dy {
+			return i
+		}
+	}
+	panic("contour: non-adjacent points in border trace")
+}
+
+// FindContours extracts all borders of the binary image using the border
+// following algorithm of Suzuki and Abe (1985). Pixels with value > 0 are
+// foreground. Both outer borders and hole borders are returned, in raster
+// order of their starting points; hierarchy is not tracked.
+func FindContours(bin *imaging.Gray) []Contour {
+	w, h := bin.W, bin.H
+	f := make([]int32, w*h)
+	for i, v := range bin.Pix {
+		if v > 0 {
+			f[i] = 1
+		}
+	}
+	at := func(x, y int) int32 {
+		if x < 0 || x >= w || y < 0 || y >= h {
+			return 0
+		}
+		return f[y*w+x]
+	}
+
+	var contours []Contour
+	nbd := int32(1)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := f[y*w+x]
+			var startDir int
+			var hole bool
+			switch {
+			case v == 1 && at(x-1, y) == 0:
+				startDir = 4 // towards the west background pixel
+				hole = false
+			case v >= 1 && at(x+1, y) == 0:
+				startDir = 0 // towards the east background pixel
+				hole = true
+			default:
+				continue
+			}
+			nbd++
+
+			// Step 3.1: clockwise search around (x, y) starting from the
+			// background pixel's direction for the first nonzero neighbour.
+			d1 := -1
+			for k := 0; k < 8; k++ {
+				d := (startDir + k) % 8
+				if at(x+dirs8[d][0], y+dirs8[d][1]) != 0 {
+					d1 = d
+					break
+				}
+			}
+			p0 := geom.PtI(x, y)
+			if d1 < 0 {
+				// Isolated single-pixel component.
+				f[y*w+x] = -nbd
+				contours = append(contours, Contour{Points: []geom.PointI{p0}, Hole: hole})
+				continue
+			}
+			p1 := geom.PtI(x+dirs8[d1][0], y+dirs8[d1][1])
+
+			// Steps 3.2-3.5: follow the border counterclockwise.
+			p2, p3 := p1, p0
+			var pts []geom.PointI
+			for {
+				d23 := dirIndex(p3, p2)
+				eastZero := false
+				var p4 geom.PointI
+				for k := 1; k <= 8; k++ {
+					d := (d23 - k + 16) % 8
+					nx, ny := p3.X+dirs8[d][0], p3.Y+dirs8[d][1]
+					if at(nx, ny) != 0 {
+						p4 = geom.PtI(nx, ny)
+						break
+					}
+					if d == 0 {
+						eastZero = true // east neighbour examined and zero
+					}
+				}
+				// Step 3.4: mark the current pixel.
+				idx := p3.Y*w + p3.X
+				if eastZero {
+					f[idx] = -nbd
+				} else if f[idx] == 1 {
+					f[idx] = nbd
+				}
+				pts = append(pts, p3)
+				// Step 3.5: termination when back at the start configuration.
+				if p4 == p0 && p3 == p1 {
+					break
+				}
+				p2, p3 = p3, p4
+			}
+			contours = append(contours, Contour{Points: pts, Hole: hole})
+		}
+	}
+	return contours
+}
+
+// Largest returns the contour with the greatest enclosed area, preferring
+// outer borders over holes. It returns nil when the slice is empty.
+func Largest(cs []Contour) *Contour {
+	var best *Contour
+	bestArea := -1.0
+	for i := range cs {
+		c := &cs[i]
+		a := c.Area()
+		// Outer borders win ties against holes of equal area.
+		better := a > bestArea ||
+			(a == bestArea && best != nil && best.Hole && !c.Hole)
+		if better {
+			best = c
+			bestArea = a
+		}
+	}
+	return best
+}
+
+// FilterByArea returns the contours whose enclosed area is at least min.
+func FilterByArea(cs []Contour, min float64) []Contour {
+	var out []Contour
+	for _, c := range cs {
+		if c.Area() >= min {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ExternalOnly returns only the outer (non-hole) borders.
+func ExternalOnly(cs []Contour) []Contour {
+	var out []Contour
+	for _, c := range cs {
+		if !c.Hole {
+			out = append(out, c)
+		}
+	}
+	return out
+}

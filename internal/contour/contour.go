@@ -1,0 +1,67 @@
+package contour
+
+import (
+	"math"
+
+	"snmatch/internal/geom"
+)
+
+// Contour is a closed boundary as an ordered list of pixel coordinates.
+type Contour struct {
+	Points []geom.PointI
+	// Hole is true for inner borders (boundaries of holes), false for
+	// outer borders of connected components.
+	Hole bool
+}
+
+// Len returns the number of boundary points.
+func (c *Contour) Len() int { return len(c.Points) }
+
+// BoundingBox returns the minimal axis-aligned rectangle covering the
+// contour.
+func (c *Contour) BoundingBox() geom.Rect { return geom.BoundingBox(c.Points) }
+
+// Area returns the enclosed area computed with the shoelace formula over
+// the boundary polygon (matching OpenCV's contourArea).
+func (c *Contour) Area() float64 {
+	pts := c.Points
+	if len(pts) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pts {
+		j := (i + 1) % len(pts)
+		sum += float64(pts[i].X)*float64(pts[j].Y) - float64(pts[j].X)*float64(pts[i].Y)
+	}
+	return math.Abs(sum) / 2
+}
+
+// Perimeter returns the arc length of the closed boundary.
+func (c *Contour) Perimeter() float64 {
+	pts := c.Points
+	if len(pts) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := range pts {
+		j := (i + 1) % len(pts)
+		dx := float64(pts[j].X - pts[i].X)
+		dy := float64(pts[j].Y - pts[i].Y)
+		total += math.Hypot(dx, dy)
+	}
+	return total
+}
+
+// Centroid returns the mean boundary point.
+func (c *Contour) Centroid() geom.Point {
+	if len(c.Points) == 0 {
+		return geom.Point{}
+	}
+	var sx, sy float64
+	for _, p := range c.Points {
+		sx += float64(p.X)
+		sy += float64(p.Y)
+	}
+	n := float64(len(c.Points))
+	return geom.Pt(sx/n, sy/n)
+}

@@ -1,0 +1,266 @@
+package contour
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+// binaryWithRect returns a w x h binary image with a filled foreground
+// rectangle r.
+func binaryWithRect(w, h int, r geom.Rect) *imaging.Gray {
+	img := imaging.NewImage(w, h)
+	img.FillRect(r, imaging.White)
+	return img.ToGray()
+}
+
+func TestThresholdForwardAndInverse(t *testing.T) {
+	g := imaging.NewGray(4, 1)
+	g.Pix = []uint8{0, 100, 128, 255}
+	fwd := Threshold(g, 127, 255, false)
+	if got := []uint8{fwd.Pix[0], fwd.Pix[1], fwd.Pix[2], fwd.Pix[3]}; got[0] != 0 || got[1] != 0 || got[2] != 255 || got[3] != 255 {
+		t.Errorf("forward threshold = %v", got)
+	}
+	inv := Threshold(g, 127, 255, true)
+	if inv.Pix[0] != 255 || inv.Pix[2] != 0 {
+		t.Errorf("inverse threshold = %v", inv.Pix)
+	}
+}
+
+func TestOtsuSeparatesBimodal(t *testing.T) {
+	g := imaging.NewGray(10, 10)
+	for i := range g.Pix {
+		if i%2 == 0 {
+			g.Pix[i] = 30
+		} else {
+			g.Pix[i] = 220
+		}
+	}
+	th := OtsuThreshold(g)
+	if th < 30 || th >= 220 {
+		t.Errorf("Otsu threshold = %d, want within (30, 220)", th)
+	}
+	bin := Threshold(g, th, 255, false)
+	ones := 0
+	for _, v := range bin.Pix {
+		if v == 255 {
+			ones++
+		}
+	}
+	if ones != 50 {
+		t.Errorf("foreground count = %d, want 50", ones)
+	}
+}
+
+func TestMeanIntensity(t *testing.T) {
+	g := imaging.NewGray(2, 1)
+	g.Pix = []uint8{0, 200}
+	if got := MeanIntensity(g); got != 100 {
+		t.Errorf("MeanIntensity = %v", got)
+	}
+}
+
+func TestFindContoursSingleRect(t *testing.T) {
+	bin := binaryWithRect(20, 20, geom.R(5, 6, 15, 12))
+	cs := FindContours(bin)
+	ext := ExternalOnly(cs)
+	if len(ext) != 1 {
+		t.Fatalf("external contours = %d, want 1", len(ext))
+	}
+	c := ext[0]
+	box := c.BoundingBox()
+	if box != geom.R(5, 6, 15, 12) {
+		t.Errorf("bounding box = %+v", box)
+	}
+	// Shoelace over the boundary underestimates the filled area by half
+	// the perimeter; for a 10x6 rect boundary polygon area is 9*5=45.
+	if got := c.Area(); math.Abs(got-45) > 1e-9 {
+		t.Errorf("area = %v, want 45", got)
+	}
+	if got := c.Perimeter(); math.Abs(got-28) > 1e-9 {
+		t.Errorf("perimeter = %v, want 28", got)
+	}
+}
+
+func TestFindContoursMultipleComponents(t *testing.T) {
+	img := imaging.NewImage(30, 20)
+	img.FillRect(geom.R(2, 2, 8, 8), imaging.White)
+	img.FillRect(geom.R(12, 4, 26, 16), imaging.White)
+	cs := ExternalOnly(FindContours(img.ToGray()))
+	if len(cs) != 2 {
+		t.Fatalf("components = %d, want 2", len(cs))
+	}
+	l := Largest(cs)
+	if l.BoundingBox() != geom.R(12, 4, 26, 16) {
+		t.Errorf("largest = %+v", l.BoundingBox())
+	}
+}
+
+func TestFindContoursHole(t *testing.T) {
+	img := imaging.NewImage(20, 20)
+	img.FillRect(geom.R(3, 3, 17, 17), imaging.White)
+	img.FillRect(geom.R(7, 7, 13, 13), imaging.Black) // punch a hole
+	cs := FindContours(img.ToGray())
+	var outer, holes int
+	for _, c := range cs {
+		if c.Hole {
+			holes++
+		} else {
+			outer++
+		}
+	}
+	if outer != 1 || holes != 1 {
+		t.Fatalf("outer=%d holes=%d, want 1/1", outer, holes)
+	}
+}
+
+func TestFindContoursIsolatedPixel(t *testing.T) {
+	img := imaging.NewImage(5, 5)
+	img.Set(2, 2, imaging.White)
+	cs := FindContours(img.ToGray())
+	if len(cs) != 1 || cs[0].Len() != 1 {
+		t.Fatalf("contours = %+v", cs)
+	}
+	if cs[0].Points[0] != geom.PtI(2, 2) {
+		t.Errorf("point = %v", cs[0].Points[0])
+	}
+	if cs[0].Area() != 0 {
+		t.Errorf("single pixel area = %v", cs[0].Area())
+	}
+}
+
+func TestFindContoursEmptyAndFull(t *testing.T) {
+	empty := imaging.NewGray(8, 8)
+	if cs := FindContours(empty); len(cs) != 0 {
+		t.Errorf("empty image contours = %d", len(cs))
+	}
+	full := imaging.NewGray(8, 8)
+	for i := range full.Pix {
+		full.Pix[i] = 255
+	}
+	cs := FindContours(full)
+	if len(cs) != 1 {
+		t.Fatalf("full image contours = %d", len(cs))
+	}
+	if cs[0].BoundingBox() != geom.R(0, 0, 8, 8) {
+		t.Errorf("full bbox = %+v", cs[0].BoundingBox())
+	}
+}
+
+func TestContourTouchingBorder(t *testing.T) {
+	bin := binaryWithRect(10, 10, geom.R(0, 0, 10, 5))
+	cs := ExternalOnly(FindContours(bin))
+	if len(cs) != 1 {
+		t.Fatalf("contours = %d", len(cs))
+	}
+	if cs[0].BoundingBox() != geom.R(0, 0, 10, 5) {
+		t.Errorf("bbox = %+v", cs[0].BoundingBox())
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	bin := binaryWithRect(20, 20, geom.R(4, 4, 12, 12))
+	c := Largest(FindContours(bin))
+	got := c.Centroid()
+	if math.Abs(got.X-7.5) > 0.2 || math.Abs(got.Y-7.5) > 0.2 {
+		t.Errorf("centroid = %v, want ~(7.5, 7.5)", got)
+	}
+}
+
+func TestFilterByArea(t *testing.T) {
+	img := imaging.NewImage(30, 20)
+	img.FillRect(geom.R(1, 1, 3, 3), imaging.White)    // tiny
+	img.FillRect(geom.R(10, 2, 26, 18), imaging.White) // big
+	cs := ExternalOnly(FindContours(img.ToGray()))
+	big := FilterByArea(cs, 50)
+	if len(big) != 1 {
+		t.Fatalf("filtered = %d, want 1", len(big))
+	}
+}
+
+func TestLargestNilOnEmpty(t *testing.T) {
+	if Largest(nil) != nil {
+		t.Error("Largest(nil) != nil")
+	}
+}
+
+func TestPreprocessWhiteBackground(t *testing.T) {
+	// ShapeNet-style: dark object on white background.
+	img := imaging.NewImageFilled(40, 40, imaging.White)
+	img.FillRect(geom.R(10, 14, 30, 26), imaging.C(60, 40, 30))
+	res := Preprocess(img)
+	if !res.Inverted {
+		t.Error("white background should take the inverse branch")
+	}
+	if res.Box != geom.R(10, 14, 30, 26) {
+		t.Errorf("crop box = %+v", res.Box)
+	}
+	if res.Cropped.W != 20 || res.Cropped.H != 12 {
+		t.Errorf("cropped size = %dx%d", res.Cropped.W, res.Cropped.H)
+	}
+}
+
+func TestPreprocessBlackBackground(t *testing.T) {
+	// NYU-style: bright object on black mask.
+	img := imaging.NewImage(40, 40)
+	img.FillRect(geom.R(6, 6, 20, 32), imaging.C(200, 180, 170))
+	res := Preprocess(img)
+	if res.Inverted {
+		t.Error("black background should take the forward branch")
+	}
+	if res.Box != geom.R(6, 6, 20, 32) {
+		t.Errorf("crop box = %+v", res.Box)
+	}
+}
+
+func TestPreprocessUniformImageFallsBack(t *testing.T) {
+	img := imaging.NewImageFilled(16, 16, imaging.C(90, 90, 90))
+	res := Preprocess(img)
+	if res.Cropped.W != 16 || res.Cropped.H != 16 {
+		t.Errorf("uniform image should return full frame, got %dx%d", res.Cropped.W, res.Cropped.H)
+	}
+}
+
+func TestPreprocessPicksLargestObject(t *testing.T) {
+	img := imaging.NewImage(60, 40)
+	img.FillRect(geom.R(2, 2, 8, 8), imaging.C(250, 250, 250))
+	img.FillRect(geom.R(20, 5, 55, 35), imaging.C(230, 230, 230))
+	res := Preprocess(img)
+	if res.Box != geom.R(20, 5, 55, 35) {
+		t.Errorf("crop box = %+v, want the larger object", res.Box)
+	}
+}
+
+func TestContourMask(t *testing.T) {
+	bin := binaryWithRect(20, 20, geom.R(5, 5, 15, 15))
+	c := Largest(FindContours(bin))
+	mask := c.Mask(20, 20)
+	if mask.At(10, 10) == 0 {
+		t.Error("mask interior empty")
+	}
+	if mask.At(2, 2) != 0 {
+		t.Error("mask exterior filled")
+	}
+	if mask.At(5, 5) == 0 {
+		t.Error("mask boundary not set")
+	}
+}
+
+func TestContourAgainstPolygonAreaProperty(t *testing.T) {
+	// For axis-aligned rectangles of many sizes, the traced boundary's
+	// shoelace area must equal (w-1)*(h-1).
+	for _, sz := range [][2]int{{2, 2}, {3, 7}, {10, 4}, {1, 6}, {12, 12}} {
+		w, h := sz[0], sz[1]
+		bin := binaryWithRect(w+8, h+8, geom.R(3, 3, 3+w, 3+h))
+		c := Largest(FindContours(bin))
+		if c == nil {
+			t.Fatalf("no contour for %dx%d", w, h)
+		}
+		want := float64((w - 1) * (h - 1))
+		if got := c.Area(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%dx%d rect area = %v, want %v", w, h, got, want)
+		}
+	}
+}

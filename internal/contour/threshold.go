@@ -1,0 +1,73 @@
+// Package contour implements binary thresholding and contour extraction:
+// global and Otsu thresholds, Suzuki–Abe border following, contour
+// geometry, and the paper's preprocessing cascade (grayscale -> threshold
+// -> contours -> crop to the largest contour).
+package contour
+
+import "snmatch/internal/imaging"
+
+// Threshold applies a global binary threshold: pixels strictly greater
+// than thresh become maxval, all others 0. With inverse set, the outputs
+// are swapped (OpenCV's THRESH_BINARY_INV).
+func Threshold(g *imaging.Gray, thresh, maxval uint8, inverse bool) *imaging.Gray {
+	out := imaging.NewGray(g.W, g.H)
+	lo, hi := uint8(0), maxval
+	if inverse {
+		lo, hi = maxval, 0
+	}
+	for i, v := range g.Pix {
+		if v > thresh {
+			out.Pix[i] = hi
+		} else {
+			out.Pix[i] = lo
+		}
+	}
+	return out
+}
+
+// OtsuThreshold returns the threshold that maximises the between-class
+// variance of the gray histogram (Otsu's method). The returned value is
+// suitable for passing to Threshold.
+func OtsuThreshold(g *imaging.Gray) uint8 {
+	var hist [256]int
+	for _, v := range g.Pix {
+		hist[v]++
+	}
+	total := len(g.Pix)
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * float64(c)
+	}
+	var sumB, wB float64
+	bestVar, bestT := -1.0, 0
+	for t := 0; t < 256; t++ {
+		wB += float64(hist[t])
+		if wB == 0 {
+			continue
+		}
+		wF := float64(total) - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(t) * float64(hist[t])
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		between := wB * wF * (mB - mF) * (mB - mF)
+		if between > bestVar {
+			bestVar = between
+			bestT = t
+		}
+	}
+	return uint8(bestT)
+}
+
+// MeanIntensity returns the average gray level, used to decide whether an
+// input sits on a dark (NYU black mask) or bright (ShapeNet white)
+// background before choosing the threshold polarity.
+func MeanIntensity(g *imaging.Gray) float64 {
+	var sum uint64
+	for _, v := range g.Pix {
+		sum += uint64(v)
+	}
+	return float64(sum) / float64(len(g.Pix))
+}

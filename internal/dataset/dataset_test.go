@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/synth"
+)
+
+var smallCfg = Config{Size: 48, Seed: 9}
+
+func TestSNS1Cardinalities(t *testing.T) {
+	s := BuildSNS1(smallCfg)
+	if s.Len() != 82 {
+		t.Fatalf("SNS1 size = %d, want 82 (Table 1)", s.Len())
+	}
+	counts := s.CountByClass()
+	want := [synth.NumClasses]int{14, 12, 8, 8, 8, 8, 6, 4, 8, 6}
+	if counts != want {
+		t.Errorf("SNS1 class counts = %v, want %v", counts, want)
+	}
+	// Exactly two models per class.
+	models := map[synth.Class]map[int]bool{}
+	for _, sm := range s.Samples {
+		if models[sm.Class] == nil {
+			models[sm.Class] = map[int]bool{}
+		}
+		models[sm.Class][sm.Model] = true
+	}
+	for cls, m := range models {
+		if len(m) != 2 {
+			t.Errorf("%v has %d models, want 2", cls, len(m))
+		}
+	}
+}
+
+func TestSNS2Cardinalities(t *testing.T) {
+	s := BuildSNS2(smallCfg)
+	if s.Len() != 100 {
+		t.Fatalf("SNS2 size = %d, want 100 (Table 1)", s.Len())
+	}
+	for _, c := range s.CountByClass() {
+		if c != 10 {
+			t.Errorf("SNS2 class count = %d, want 10", c)
+		}
+	}
+	// SNS2 models are disjoint from SNS1's (0, 1).
+	for _, sm := range s.Samples {
+		if sm.Model < 2 || sm.Model > 6 {
+			t.Errorf("SNS2 model id %d outside 2..6", sm.Model)
+		}
+	}
+}
+
+func TestNYUCappedProfile(t *testing.T) {
+	s := BuildNYU(Config{Size: 48, Seed: 9, NYUPerClassCap: 50})
+	counts := s.CountByClass()
+	if counts[synth.Chair] != 50 {
+		t.Errorf("capped chair count = %d, want 50", counts[synth.Chair])
+	}
+	// Imbalance profile preserved: lamp ~ 478/1000 * 50.
+	if counts[synth.Lamp] < 20 || counts[synth.Lamp] > 26 {
+		t.Errorf("capped lamp count = %d, want ~24", counts[synth.Lamp])
+	}
+	// Monotone non-increasing in Table 1 order.
+	for i := 1; i < synth.NumClasses; i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("imbalance profile broken at %d: %v", i, counts)
+		}
+	}
+}
+
+func TestNYUFullCardinalityArithmetic(t *testing.T) {
+	// Do not render the full set; check the published counts sum to the
+	// paper's 6,934 total.
+	total := 0
+	for _, n := range NYUCounts {
+		total += n
+	}
+	if total != 6934 {
+		t.Errorf("NYU total = %d, want 6934 (Table 1)", total)
+	}
+	s1 := 0
+	for _, n := range SNS1Counts {
+		s1 += n
+	}
+	if s1 != 82 {
+		t.Errorf("SNS1 total = %d, want 82", s1)
+	}
+}
+
+func TestBuildNYUSubset(t *testing.T) {
+	s := BuildNYUSubset(smallCfg, 3)
+	if s.Len() != 30 {
+		t.Fatalf("subset size = %d", s.Len())
+	}
+	for _, c := range s.CountByClass() {
+		if c != 3 {
+			t.Errorf("subset class count = %d", c)
+		}
+	}
+}
+
+func TestDeterministicBuilds(t *testing.T) {
+	a := BuildSNS1(smallCfg)
+	b := BuildSNS1(smallCfg)
+	for i := range a.Samples {
+		for j := range a.Samples[i].Image.Pix {
+			if a.Samples[i].Image.Pix[j] != b.Samples[i].Image.Pix[j] {
+				t.Fatal("SNS1 not deterministic")
+			}
+		}
+	}
+}
+
+func TestAllPairsCount(t *testing.T) {
+	s := BuildSNS1(smallCfg)
+	pairs := AllPairs(s)
+	if len(pairs) != 82*81/2 {
+		t.Fatalf("SNS1 pairs = %d, want 3321 (paper §3.4)", len(pairs))
+	}
+	// Positive count: sum over classes of C(n, 2).
+	wantPos := 0
+	for _, n := range SNS1Counts {
+		wantPos += n * (n - 1) / 2
+	}
+	gotPos := 0
+	for _, p := range pairs {
+		if p.Similar {
+			gotPos++
+		}
+	}
+	if gotPos != wantPos {
+		t.Errorf("positive pairs = %d, want %d", gotPos, wantPos)
+	}
+}
+
+func TestCrossPairsCount(t *testing.T) {
+	q := BuildNYUSubset(smallCfg, 10) // 100 queries as in the paper
+	g := BuildSNS1(smallCfg)
+	pairs := CrossPairs(q, g)
+	if len(pairs) != 8200 {
+		t.Fatalf("cross pairs = %d, want 8200 (paper §3.4)", len(pairs))
+	}
+	// Each query has exactly SNS1Counts[class] positives.
+	pos := 0
+	for _, p := range pairs {
+		if p.Similar {
+			pos++
+		}
+	}
+	want := 0
+	for _, n := range SNS1Counts {
+		want += 10 * n
+	}
+	if pos != want {
+		t.Errorf("cross positives = %d, want %d", pos, want)
+	}
+}
+
+func TestTrainPairsBalanceAndValidity(t *testing.T) {
+	s := BuildSNS2(smallCfg)
+	pairs := TrainPairs(s, 945, 0.52, 4)
+	if len(pairs) != 945 {
+		t.Fatalf("train pairs = %d", len(pairs))
+	}
+	frac := PositiveFraction(pairs)
+	if math.Abs(frac-0.52) > 0.02 {
+		t.Errorf("positive fraction = %v, want ~0.52", frac)
+	}
+	for _, p := range pairs {
+		sameClass := s.Samples[p.A].Class == s.Samples[p.B].Class
+		if p.Similar != sameClass {
+			t.Fatal("pair label inconsistent with classes")
+		}
+		if p.Similar && p.A == p.B {
+			t.Fatal("degenerate identical pair")
+		}
+	}
+	// Deterministic.
+	again := TrainPairs(s, 945, 0.52, 4)
+	for i := range pairs {
+		if pairs[i] != again[i] {
+			t.Fatal("TrainPairs not deterministic")
+		}
+	}
+}
+
+func TestPositiveFractionEmpty(t *testing.T) {
+	if PositiveFraction(nil) != 0 {
+		t.Error("empty fraction should be 0")
+	}
+}

@@ -1,0 +1,219 @@
+// Package eval computes the paper's evaluation measures: cumulative
+// (cross-class) accuracy, class-wise accuracy / precision / recall / F1
+// (Tables 2, 5-9), and the binary pair metrics of Table 4.
+//
+// Metric convention note: in the paper's class-wise tables, "Accuracy"
+// for a class equals its recall (correct instances of the class divided
+// by its support), and "Precision" is the number of true positives of
+// the class divided by the TOTAL number of evaluated samples — not the
+// conventional TP/(TP+FP). This is verifiable from the published
+// numbers (e.g. Table 8: chair accuracy 0.90 with 10 chairs out of 100
+// samples gives precision 0.09 = 9/100, and the F1 values follow from
+// the harmonic mean of those two columns). This package reproduces that
+// definition and additionally reports the conventional precision.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"snmatch/internal/synth"
+)
+
+// ClassMetrics are the per-class rows of the paper's tables.
+type ClassMetrics struct {
+	Accuracy      float64 // = recall, the paper's "Accuracy" row
+	Precision     float64 // paper definition: TP / total samples
+	Recall        float64
+	F1            float64 // harmonic mean of paper precision and recall
+	ConvPrecision float64 // conventional TP / (TP + FP)
+	Support       int
+}
+
+// Result aggregates a multi-class evaluation.
+type Result struct {
+	Confusion  [synth.NumClasses][synth.NumClasses]int // [truth][predicted]
+	PerClass   [synth.NumClasses]ClassMetrics
+	Cumulative float64 // cross-class accuracy: total correct / total
+	Total      int
+}
+
+// Evaluate compares predictions against ground truth.
+func Evaluate(truth, pred []synth.Class) Result {
+	if len(truth) != len(pred) {
+		panic("eval: length mismatch")
+	}
+	var r Result
+	r.Total = len(truth)
+	correct := 0
+	for i := range truth {
+		r.Confusion[truth[i]][pred[i]]++
+		if truth[i] == pred[i] {
+			correct++
+		}
+	}
+	if r.Total > 0 {
+		r.Cumulative = float64(correct) / float64(r.Total)
+	}
+	for c := 0; c < synth.NumClasses; c++ {
+		tp := r.Confusion[c][c]
+		support := 0
+		for k := 0; k < synth.NumClasses; k++ {
+			support += r.Confusion[c][k]
+		}
+		predicted := 0
+		for k := 0; k < synth.NumClasses; k++ {
+			predicted += r.Confusion[k][c]
+		}
+		m := ClassMetrics{Support: support}
+		if support > 0 {
+			m.Recall = float64(tp) / float64(support)
+			m.Accuracy = m.Recall
+		}
+		if r.Total > 0 {
+			m.Precision = float64(tp) / float64(r.Total)
+		}
+		if predicted > 0 {
+			m.ConvPrecision = float64(tp) / float64(predicted)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		r.PerClass[c] = m
+	}
+	return r
+}
+
+// PairMetrics are one column of Table 4.
+type PairMetrics struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// PairResult is the binary similar/dissimilar evaluation of Table 4.
+type PairResult struct {
+	Similar    PairMetrics
+	Dissimilar PairMetrics
+	Accuracy   float64
+}
+
+// EvaluatePairs computes Table 4's per-class precision/recall/F1 for the
+// binary pair-similarity task (conventional definitions; the paper uses
+// scikit-learn style reports here).
+func EvaluatePairs(truth, pred []bool) PairResult {
+	if len(truth) != len(pred) {
+		panic("eval: length mismatch")
+	}
+	var res PairResult
+	var tp, fp, tn, fn int
+	for i := range truth {
+		switch {
+		case truth[i] && pred[i]:
+			tp++
+		case !truth[i] && pred[i]:
+			fp++
+		case truth[i] && !pred[i]:
+			fn++
+		default:
+			tn++
+		}
+	}
+	total := len(truth)
+	if total > 0 {
+		res.Accuracy = float64(tp+tn) / float64(total)
+	}
+	fill := func(tp, fp, fn, support int) PairMetrics {
+		m := PairMetrics{Support: support}
+		if tp+fp > 0 {
+			m.Precision = float64(tp) / float64(tp+fp)
+		}
+		if support > 0 {
+			m.Recall = float64(tp) / float64(support)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		return m
+	}
+	res.Similar = fill(tp, fp, fn, tp+fn)
+	res.Dissimilar = fill(tn, fn, fp, tn+fp)
+	return res
+}
+
+// ClasswiseTable renders per-class rows in the layout of Tables 5-9.
+func (r Result) ClasswiseTable(approach string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-10s", approach, "Measure")
+	for _, c := range synth.AllClasses {
+		fmt.Fprintf(&b, " %8s", c)
+	}
+	b.WriteByte('\n')
+	rows := []struct {
+		name string
+		get  func(ClassMetrics) float64
+	}{
+		{"Accuracy", func(m ClassMetrics) float64 { return m.Accuracy }},
+		{"Precision", func(m ClassMetrics) float64 { return m.Precision }},
+		{"Recall", func(m ClassMetrics) float64 { return m.Recall }},
+		{"F1", func(m ClassMetrics) float64 { return m.F1 }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-24s %-10s", "", row.name)
+		for _, c := range synth.AllClasses {
+			fmt.Fprintf(&b, " %8.5f", row.get(r.PerClass[c]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// PairTable renders a Table 4 style block.
+func (p PairResult) PairTable(dataset string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-10s %10s %10s\n", dataset, "Measure", "Similar", "Dissimilar")
+	rows := []struct {
+		name   string
+		s, d   float64
+		isSupp bool
+	}{
+		{"Precision", p.Similar.Precision, p.Dissimilar.Precision, false},
+		{"Recall", p.Similar.Recall, p.Dissimilar.Recall, false},
+		{"F1-score", p.Similar.F1, p.Dissimilar.F1, false},
+		{"Support", float64(p.Similar.Support), float64(p.Dissimilar.Support), true},
+	}
+	for _, row := range rows {
+		if row.isSupp {
+			fmt.Fprintf(&b, "%-26s %-10s %10d %10d\n", "", row.name, int(row.s), int(row.d))
+		} else {
+			fmt.Fprintf(&b, "%-26s %-10s %10.2f %10.2f\n", "", row.name, row.s, row.d)
+		}
+	}
+	return b.String()
+}
+
+// CumulativeRow is one line of a Table 2/3 style summary.
+type CumulativeRow struct {
+	Approach string
+	Values   []float64
+}
+
+// CumulativeTable renders a Table 2/3 style summary with the given
+// column headers.
+func CumulativeTable(headers []string, rows []CumulativeRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s", "Approach")
+	for _, h := range headers {
+		fmt.Fprintf(&b, " %14s", h)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-36s", row.Approach)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, " %14.5f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

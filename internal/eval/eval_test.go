@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"snmatch/internal/synth"
+)
+
+func TestEvaluatePerfect(t *testing.T) {
+	truth := []synth.Class{synth.Chair, synth.Bottle, synth.Sofa}
+	r := Evaluate(truth, truth)
+	if r.Cumulative != 1 {
+		t.Errorf("cumulative = %v", r.Cumulative)
+	}
+	if r.PerClass[synth.Chair].Accuracy != 1 || r.PerClass[synth.Chair].Recall != 1 {
+		t.Error("perfect per-class accuracy wrong")
+	}
+	if r.PerClass[synth.Chair].Support != 1 {
+		t.Error("support wrong")
+	}
+}
+
+func TestEvaluatePaperPrecisionConvention(t *testing.T) {
+	// Reproduce the Table 8 arithmetic: 100 samples, 10 chairs, 9
+	// correctly recognised -> accuracy 0.90, precision 0.09.
+	var truth, pred []synth.Class
+	for _, cls := range synth.AllClasses {
+		for i := 0; i < 10; i++ {
+			truth = append(truth, cls)
+			if cls == synth.Chair && i < 9 {
+				pred = append(pred, synth.Chair)
+			} else if cls == synth.Chair {
+				pred = append(pred, synth.Table)
+			} else {
+				// Everything else misclassified as chair.
+				pred = append(pred, synth.Chair)
+			}
+		}
+	}
+	r := Evaluate(truth, pred)
+	chair := r.PerClass[synth.Chair]
+	if math.Abs(chair.Accuracy-0.9) > 1e-9 {
+		t.Errorf("chair accuracy = %v", chair.Accuracy)
+	}
+	if math.Abs(chair.Precision-0.09) > 1e-9 {
+		t.Errorf("chair paper-precision = %v, want 0.09", chair.Precision)
+	}
+	wantF1 := 2 * 0.09 * 0.9 / (0.09 + 0.9)
+	if math.Abs(chair.F1-wantF1) > 1e-9 {
+		t.Errorf("chair F1 = %v, want %v", chair.F1, wantF1)
+	}
+	// Conventional precision differs: chair predicted 9 + 90 times.
+	if math.Abs(chair.ConvPrecision-9.0/99) > 1e-9 {
+		t.Errorf("conventional precision = %v", chair.ConvPrecision)
+	}
+}
+
+func TestEvaluateConfusionMatrix(t *testing.T) {
+	truth := []synth.Class{synth.Chair, synth.Chair, synth.Bottle}
+	pred := []synth.Class{synth.Bottle, synth.Chair, synth.Bottle}
+	r := Evaluate(truth, pred)
+	if r.Confusion[synth.Chair][synth.Bottle] != 1 {
+		t.Error("confusion cell wrong")
+	}
+	if r.Confusion[synth.Chair][synth.Chair] != 1 {
+		t.Error("diagonal wrong")
+	}
+	if math.Abs(r.Cumulative-2.0/3) > 1e-9 {
+		t.Errorf("cumulative = %v", r.Cumulative)
+	}
+}
+
+func TestEvaluateMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Evaluate([]synth.Class{synth.Chair}, nil)
+}
+
+func TestEvaluatePairsTable4Collapse(t *testing.T) {
+	// Model predicts "similar" for everything: recall 1 on similar,
+	// precision = positive rate, zeros on dissimilar — the paper's
+	// Table 4 failure signature.
+	var truth, pred []bool
+	for i := 0; i < 100; i++ {
+		truth = append(truth, i < 9) // 9% similar, like the SNS1 pair set
+		pred = append(pred, true)
+	}
+	r := EvaluatePairs(truth, pred)
+	if math.Abs(r.Similar.Recall-1) > 1e-9 {
+		t.Errorf("similar recall = %v", r.Similar.Recall)
+	}
+	if math.Abs(r.Similar.Precision-0.09) > 1e-9 {
+		t.Errorf("similar precision = %v", r.Similar.Precision)
+	}
+	if r.Dissimilar.Recall != 0 || r.Dissimilar.F1 != 0 {
+		t.Error("dissimilar metrics should be 0")
+	}
+	if r.Similar.Support != 9 || r.Dissimilar.Support != 91 {
+		t.Errorf("supports = %d/%d", r.Similar.Support, r.Dissimilar.Support)
+	}
+}
+
+func TestEvaluatePairsPerfect(t *testing.T) {
+	truth := []bool{true, false, true, false}
+	r := EvaluatePairs(truth, truth)
+	if r.Accuracy != 1 || r.Similar.F1 != 1 || r.Dissimilar.F1 != 1 {
+		t.Errorf("perfect pair metrics wrong: %+v", r)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	truth := []synth.Class{synth.Chair, synth.Bottle}
+	r := Evaluate(truth, truth)
+	tbl := r.ClasswiseTable("Baseline")
+	for _, want := range []string{"Baseline", "Accuracy", "Precision", "Recall", "F1", "Chair", "Lamp"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("classwise table missing %q:\n%s", want, tbl)
+		}
+	}
+	p := EvaluatePairs([]bool{true, false}, []bool{true, true})
+	ptbl := p.PairTable("SNS1 pairs")
+	for _, want := range []string{"SNS1 pairs", "Similar", "Dissimilar", "Support"} {
+		if !strings.Contains(ptbl, want) {
+			t.Errorf("pair table missing %q:\n%s", want, ptbl)
+		}
+	}
+	ct := CumulativeTable([]string{"NYU v. SNS1"}, []CumulativeRow{{Approach: "Shape only L1", Values: []float64{0.14}}})
+	if !strings.Contains(ct, "Shape only L1") || !strings.Contains(ct, "0.14000") {
+		t.Errorf("cumulative table wrong:\n%s", ct)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"snmatch/internal/synth"
+)
+
+// tinyScale keeps these structural tests fast; the root-level tests
+// exercise the Quick scale and the qualitative findings.
+func tinyScale() Scale {
+	return Scale{
+		ImageSize:      48,
+		NYUPerClassCap: 6,
+		NYUQueryPick:   2,
+		TrainPairs:     48,
+		NXCorrInput:    16,
+		NXCorrEpochs:   1,
+		Seed:           3,
+	}
+}
+
+func TestSuiteConstruction(t *testing.T) {
+	s := NewSuite(tinyScale())
+	if s.SNS1.Len() != 82 || s.SNS2.Len() != 100 {
+		t.Fatalf("SNS sizes %d/%d", s.SNS1.Len(), s.SNS2.Len())
+	}
+	if s.GallerySNS1.Len() != 82 {
+		t.Fatalf("gallery size %d", s.GallerySNS1.Len())
+	}
+	if s.NYU.Len() == 0 {
+		t.Fatal("empty NYU set")
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	s := NewSuite(tinyScale())
+	tbl := s.Table1()
+	for _, want := range []string{"Object", "Chair", "Lamp", "Total", "82", "100"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	s := NewSuite(tinyScale())
+	t2 := s.Table2()
+	if len(t2.Rows) != 11 {
+		t.Fatalf("Table 2 rows = %d, want 11", len(t2.Rows))
+	}
+	for name, vals := range t2.ByName {
+		for i, v := range vals {
+			if v < 0 || v > 1 {
+				t.Errorf("%s[%d] = %v out of range", name, i, v)
+			}
+		}
+	}
+	out := FormatTable2(t2)
+	for _, want := range []string{"NYU v. SNS1", "SNS2 v. SNS1", "Baseline", "Shape only L3", "Color only Hellinger"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable4TinyRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("neural training")
+	}
+	s := NewSuite(tinyScale())
+	t4, err := s.Table4(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t4.TrainEpochs != 1 {
+		t.Errorf("epochs = %d", t4.TrainEpochs)
+	}
+	if t4.SNS1Pairs.Similar.Support+t4.SNS1Pairs.Dissimilar.Support != 3321 {
+		t.Error("SNS1 pair support wrong")
+	}
+	out := FormatTable4(t4)
+	if !strings.Contains(out, "ShapeNetSet1 pairs") || !strings.Contains(out, "NYU+ShapeNetSet1 pairs") {
+		t.Errorf("formatted Table 4 incomplete:\n%s", out)
+	}
+}
+
+func TestClasswiseTablesComplete(t *testing.T) {
+	s := NewSuite(tinyScale())
+	if got := len(s.Table5()); got != 4 {
+		t.Errorf("Table 5 configurations = %d, want 4", got)
+	}
+	if got := len(s.Table6()); got != 4 {
+		t.Errorf("Table 6 configurations = %d, want 4", got)
+	}
+	if got := len(s.Table7()); got != 3 {
+		t.Errorf("Table 7 configurations = %d, want 3", got)
+	}
+	t8 := s.Table8()
+	if got := len(t8); got != 3 {
+		t.Errorf("Table 8 configurations = %d, want 3", got)
+	}
+	out := FormatClasswise("Table 8", []string{
+		"Shape+Color (weighted sum)", "Shape+Color (micro-avg)", "Shape+Color (macro-avg)",
+	}, t8)
+	if !strings.Contains(out, "weighted sum") || !strings.Contains(out, synth.Chair.String()) {
+		t.Errorf("classwise formatting incomplete:\n%s", out)
+	}
+	// Missing names are skipped, not rendered.
+	short := FormatClasswise("x", []string{"nope"}, t8)
+	if strings.Contains(short, "nope") {
+		t.Error("unknown approach rendered")
+	}
+}
+
+func TestScalesDistinct(t *testing.T) {
+	q, f := Quick(), Full()
+	if q.TrainPairs >= f.TrainPairs {
+		t.Error("Quick should train on fewer pairs than Full")
+	}
+	if f.NYUPerClassCap != 0 {
+		t.Error("Full must use the complete Table 1 cardinalities")
+	}
+	if q.NYUPerClassCap == 0 {
+		t.Error("Quick must cap the NYU set")
+	}
+}

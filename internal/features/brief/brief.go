@@ -1,0 +1,108 @@
+// Package brief implements BRIEF binary descriptors (Calonder et al.
+// 2010): pairwise intensity comparisons on a smoothed patch, packed into
+// a bit string. A steered variant rotating the sampling pattern by the
+// keypoint orientation is provided for ORB's rBRIEF.
+package brief
+
+import (
+	"math"
+
+	"snmatch/internal/features"
+	"snmatch/internal/imaging"
+	"snmatch/internal/rng"
+)
+
+// PatchSize is the side of the square sampling patch.
+const PatchSize = 31
+
+// Pattern is a set of point pairs to compare. Coordinates are offsets
+// from the patch centre.
+type Pattern struct {
+	Ax, Ay, Bx, By []float32
+}
+
+// Bits returns the descriptor length in bits.
+func (p *Pattern) Bits() int { return len(p.Ax) }
+
+// NewPattern samples nBits point pairs from an isotropic Gaussian with
+// sigma = PatchSize/5, clipped to the patch, using the deterministic seed.
+// This follows the G-II strategy of the BRIEF paper; a fixed seed yields
+// the same pattern on every run, standing in for ORB's learned pattern.
+func NewPattern(nBits int, seed uint64) *Pattern {
+	r := rng.New(seed)
+	p := &Pattern{
+		Ax: make([]float32, nBits), Ay: make([]float32, nBits),
+		Bx: make([]float32, nBits), By: make([]float32, nBits),
+	}
+	const sigma = float64(PatchSize) / 5
+	const half = float64(PatchSize)/2 - 1
+	draw := func() float32 {
+		for {
+			v := r.NormRange(0, sigma)
+			if v >= -half && v <= half {
+				return float32(v)
+			}
+		}
+	}
+	for i := 0; i < nBits; i++ {
+		p.Ax[i], p.Ay[i] = draw(), draw()
+		p.Bx[i], p.By[i] = draw(), draw()
+	}
+	return p
+}
+
+// Describe computes plain BRIEF descriptors for the keypoints. The image
+// should already be smoothed (the standard pipeline applies a Gaussian
+// with sigma ~2 first); keypoints too close to the border are dropped,
+// and the filtered keypoint list is returned alongside the descriptors.
+func Describe(g *imaging.Gray, kps []features.Keypoint, p *Pattern) ([]features.Keypoint, [][]byte) {
+	return describe(g, kps, p, false)
+}
+
+// DescribeSteered computes rotation-aware descriptors by rotating the
+// sampling pattern by each keypoint's Angle (rBRIEF).
+func DescribeSteered(g *imaging.Gray, kps []features.Keypoint, p *Pattern) ([]features.Keypoint, [][]byte) {
+	return describe(g, kps, p, true)
+}
+
+func describe(g *imaging.Gray, kps []features.Keypoint, p *Pattern, steered bool) ([]features.Keypoint, [][]byte) {
+	nBytes := (p.Bits() + 7) / 8
+	border := PatchSize/2 + 1
+	var outKps []features.Keypoint
+	var outDesc [][]byte
+	for _, kp := range kps {
+		x, y := int(kp.X+0.5), int(kp.Y+0.5)
+		if x < border || y < border || x >= g.W-border || y >= g.H-border {
+			continue
+		}
+		var sin, cos float32 = 0, 1
+		if steered && kp.Angle >= 0 {
+			s, c := math.Sincos(float64(kp.Angle))
+			sin, cos = float32(s), float32(c)
+		}
+		desc := make([]byte, nBytes)
+		for i := 0; i < p.Bits(); i++ {
+			ax := cos*p.Ax[i] - sin*p.Ay[i]
+			ay := sin*p.Ax[i] + cos*p.Ay[i]
+			bx := cos*p.Bx[i] - sin*p.By[i]
+			by := sin*p.Bx[i] + cos*p.By[i]
+			va := g.AtClamped(x+int(ax+roundBias(ax)), y+int(ay+roundBias(ay)))
+			vb := g.AtClamped(x+int(bx+roundBias(bx)), y+int(by+roundBias(by)))
+			if va < vb {
+				desc[i/8] |= 1 << (i % 8)
+			}
+		}
+		outKps = append(outKps, kp)
+		outDesc = append(outDesc, desc)
+	}
+	return outKps, outDesc
+}
+
+// roundBias returns +0.5 for non-negative values and -0.5 otherwise so
+// int conversion rounds to nearest.
+func roundBias(v float32) float32 {
+	if v >= 0 {
+		return 0.5
+	}
+	return -0.5
+}

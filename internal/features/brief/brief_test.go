@@ -1,0 +1,155 @@
+package brief
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/features"
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+func texturedImage() *imaging.Gray {
+	img := imaging.NewImage(96, 96)
+	// Blocks of varying intensity create informative comparisons.
+	for by := 0; by < 6; by++ {
+		for bx := 0; bx < 6; bx++ {
+			v := uint8((bx*47 + by*89 + 31) % 256)
+			img.FillRect(geom.R(bx*16, by*16, bx*16+16, by*16+16), imaging.C(v, v, v))
+		}
+	}
+	return img.ToGray()
+}
+
+func centerKp() []features.Keypoint {
+	return []features.Keypoint{{X: 48, Y: 48, Angle: -1}}
+}
+
+func TestPatternDeterministic(t *testing.T) {
+	a := NewPattern(256, 7)
+	b := NewPattern(256, 7)
+	for i := range a.Ax {
+		if a.Ax[i] != b.Ax[i] || a.By[i] != b.By[i] {
+			t.Fatal("patterns differ for equal seeds")
+		}
+	}
+	c := NewPattern(256, 8)
+	same := 0
+	for i := range a.Ax {
+		if a.Ax[i] == c.Ax[i] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds share %d coordinates", same)
+	}
+}
+
+func TestPatternWithinPatch(t *testing.T) {
+	p := NewPattern(512, 3)
+	half := float32(PatchSize) / 2
+	for i := range p.Ax {
+		for _, v := range []float32{p.Ax[i], p.Ay[i], p.Bx[i], p.By[i]} {
+			if v < -half || v > half {
+				t.Fatalf("pattern point %v outside patch", v)
+			}
+		}
+	}
+	if p.Bits() != 512 {
+		t.Errorf("Bits = %d", p.Bits())
+	}
+}
+
+func TestDescribeLengthAndDeterminism(t *testing.T) {
+	g := texturedImage()
+	p := NewPattern(256, 1)
+	kps, descs := Describe(g, centerKp(), p)
+	if len(kps) != 1 || len(descs) != 1 {
+		t.Fatalf("kps=%d descs=%d", len(kps), len(descs))
+	}
+	if len(descs[0]) != 32 {
+		t.Errorf("descriptor bytes = %d, want 32", len(descs[0]))
+	}
+	_, descs2 := Describe(g, centerKp(), p)
+	if features.Hamming(descs[0], descs2[0]) != 0 {
+		t.Error("descriptor not deterministic")
+	}
+}
+
+func TestDescribeDropsBorderKeypoints(t *testing.T) {
+	g := texturedImage()
+	p := NewPattern(128, 1)
+	kps := []features.Keypoint{{X: 2, Y: 2}, {X: 48, Y: 48}, {X: 95, Y: 95}}
+	kept, descs := Describe(g, kps, p)
+	if len(kept) != 1 || len(descs) != 1 {
+		t.Fatalf("kept = %d, want only the centre keypoint", len(kept))
+	}
+	if kept[0].X != 48 {
+		t.Errorf("wrong keypoint kept: %+v", kept[0])
+	}
+}
+
+func TestDescriptorRobustToMildNoise(t *testing.T) {
+	g := texturedImage()
+	p := NewPattern(256, 1)
+	_, d1 := Describe(g, centerKp(), p)
+	// Perturb a few pixels slightly.
+	g2 := g.Clone()
+	for i := 0; i < len(g2.Pix); i += 97 {
+		v := int(g2.Pix[i]) + 3
+		if v > 255 {
+			v = 255
+		}
+		g2.Pix[i] = uint8(v)
+	}
+	_, d2 := Describe(g2, centerKp(), p)
+	if d := features.Hamming(d1[0], d2[0]); d > 40 {
+		t.Errorf("Hamming under mild noise = %d", d)
+	}
+}
+
+func TestDescriptorDiscriminates(t *testing.T) {
+	g := texturedImage()
+	inv := g.Clone()
+	for i, v := range inv.Pix {
+		inv.Pix[i] = 255 - v
+	}
+	p := NewPattern(256, 1)
+	_, d1 := Describe(g, centerKp(), p)
+	_, d2 := Describe(inv, centerKp(), p)
+	// Inverting the image flips (almost) every informative comparison.
+	if d := features.Hamming(d1[0], d2[0]); d < 100 {
+		t.Errorf("inverted image Hamming = %d, want large", d)
+	}
+}
+
+func TestSteeredRotationConsistency(t *testing.T) {
+	// Describing a rotated image with the rotated angle should be closer
+	// to the original than describing it with angle 0.
+	img := imaging.NewImage(129, 129)
+	for by := 0; by < 8; by++ {
+		for bx := 0; bx < 8; bx++ {
+			v := uint8((bx*37 + by*101 + 13) % 256)
+			img.FillRect(geom.R(bx*16, by*16, bx*16+16, by*16+16), imaging.C(v, v, v))
+		}
+	}
+	theta := math.Pi / 6
+	rot := img.RotateAbout(theta, imaging.Black)
+	g, gr := img.ToGray(), rot.ToGray()
+
+	p := NewPattern(256, 2)
+	kp0 := []features.Keypoint{{X: 64, Y: 64, Angle: 0}}
+	// The image content rotated by theta appears at orientation theta.
+	kpRot := []features.Keypoint{{X: 64, Y: 64, Angle: float32(theta)}}
+	kpZero := []features.Keypoint{{X: 64, Y: 64, Angle: 0}}
+
+	_, base := DescribeSteered(g, kp0, p)
+	_, steered := DescribeSteered(gr, kpRot, p)
+	_, unsteered := DescribeSteered(gr, kpZero, p)
+
+	dSteer := features.Hamming(base[0], steered[0])
+	dPlain := features.Hamming(base[0], unsteered[0])
+	if dSteer >= dPlain {
+		t.Errorf("steering did not help: steered=%d plain=%d", dSteer, dPlain)
+	}
+}

@@ -1,0 +1,149 @@
+// Package fast implements the FAST-9 corner detector of Rosten and
+// Drummond (2006): a segment test over a Bresenham circle of 16 pixels,
+// with an optional 3x3 non-maximum suppression on the corner score.
+package fast
+
+import (
+	"snmatch/internal/features"
+	"snmatch/internal/imaging"
+)
+
+// circle16 is the Bresenham circle of radius 3 in clockwise order.
+var circle16 = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1},
+	{3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1},
+	{-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// arcLength is the number of contiguous circle pixels required for the
+// segment test (FAST-9).
+const arcLength = 9
+
+// Detect finds FAST-9 corners with the given intensity threshold. With
+// nonmax set, a 3x3 non-maximum suppression over the corner score is
+// applied. Returned keypoints carry the score in Response.
+func Detect(g *imaging.Gray, threshold int, nonmax bool) []features.Keypoint {
+	if threshold < 1 {
+		threshold = 1
+	}
+	w, h := g.W, g.H
+	scores := make([]int32, w*h)
+	var raw []features.Keypoint
+
+	for y := 3; y < h-3; y++ {
+		for x := 3; x < w-3; x++ {
+			if s := cornerScore(g, x, y, threshold); s > 0 {
+				scores[y*w+x] = int32(s)
+				raw = append(raw, features.Keypoint{
+					X: float32(x), Y: float32(y),
+					Size: 7, Angle: -1, Response: float32(s),
+				})
+			}
+		}
+	}
+	if !nonmax {
+		return raw
+	}
+	var out []features.Keypoint
+	for _, kp := range raw {
+		x, y := int(kp.X), int(kp.Y)
+		s := scores[y*w+x]
+		maximal := true
+	neighbours:
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				ns := scores[(y+dy)*w+x+dx]
+				if ns > s || (ns == s && (dy < 0 || (dy == 0 && dx < 0))) {
+					maximal = false
+					break neighbours
+				}
+			}
+		}
+		if maximal {
+			out = append(out, kp)
+		}
+	}
+	return out
+}
+
+// cornerScore returns 0 when (x, y) fails the segment test, otherwise a
+// positive score equal to the sum of absolute differences over the
+// brightest/darkest contiguous arc.
+func cornerScore(g *imaging.Gray, x, y, threshold int) int {
+	c := int(g.Pix[y*g.W+x])
+	hi := c + threshold
+	lo := c - threshold
+
+	var vals [16]int
+	for i, d := range circle16 {
+		vals[i] = int(g.Pix[(y+d[1])*g.W+x+d[0]])
+	}
+
+	// Quick rejection using the four compass points: a contiguous arc of
+	// 9 pixels must contain at least two of them.
+	quick := 0
+	for _, i := range [4]int{0, 4, 8, 12} {
+		if vals[i] > hi || vals[i] < lo {
+			quick++
+		}
+	}
+	if quick < 2 {
+		return 0
+	}
+
+	best := 0
+	for _, bright := range [2]bool{true, false} {
+		pass := func(v int) bool {
+			if bright {
+				return v > hi
+			}
+			return v < lo
+		}
+		// Full circle: every pixel passes, score is the total difference.
+		all := true
+		total := 0
+		for _, v := range vals {
+			if !pass(v) {
+				all = false
+				break
+			}
+			total += abs(v - c)
+		}
+		if all {
+			if total > best {
+				best = total
+			}
+			continue
+		}
+		// Otherwise scan the doubled circle; every run is bounded by a
+		// failing pixel so no wrap-around double counting can occur.
+		run, sum, bestSum := 0, 0, 0
+		for i := 0; i < 32; i++ {
+			v := vals[i%16]
+			if pass(v) {
+				run++
+				sum += abs(v - c)
+				if run >= arcLength && sum > bestSum {
+					bestSum = sum
+				}
+			} else {
+				run, sum = 0, 0
+			}
+		}
+		if bestSum > best {
+			best = bestSum
+		}
+	}
+	return best
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+package fast
+
+import (
+	"testing"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+// squareImage returns a dark image with a bright square whose corners
+// are strong FAST features.
+func squareImage() *imaging.Gray {
+	img := imaging.NewImageFilled(64, 64, imaging.C(20, 20, 20))
+	img.FillRect(geom.R(20, 20, 44, 44), imaging.C(220, 220, 220))
+	return img.ToGray()
+}
+
+func TestDetectFindsSquareCorners(t *testing.T) {
+	kps := Detect(squareImage(), 30, true)
+	if len(kps) == 0 {
+		t.Fatal("no corners found")
+	}
+	corners := [][2]float32{{20, 20}, {43, 20}, {20, 43}, {43, 43}}
+	for _, c := range corners {
+		found := false
+		for _, kp := range kps {
+			dx, dy := kp.X-c[0], kp.Y-c[1]
+			if dx*dx+dy*dy <= 9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("corner near (%v, %v) not detected", c[0], c[1])
+		}
+	}
+}
+
+func TestDetectUniformImageHasNoCorners(t *testing.T) {
+	g := imaging.NewImageFilled(32, 32, imaging.C(128, 128, 128)).ToGray()
+	if kps := Detect(g, 20, true); len(kps) != 0 {
+		t.Errorf("uniform image corners = %d", len(kps))
+	}
+}
+
+func TestDetectEdgeIsNotCorner(t *testing.T) {
+	// A straight vertical step edge should produce no FAST-9 responses
+	// along its middle (the contiguous arc never reaches 9 on a straight
+	// edge away from endpoints).
+	img := imaging.NewImage(64, 64)
+	img.FillRect(geom.R(32, 0, 64, 64), imaging.White)
+	kps := Detect(img.ToGray(), 30, true)
+	for _, kp := range kps {
+		if kp.Y > 10 && kp.Y < 54 {
+			t.Errorf("corner on straight edge at (%v, %v)", kp.X, kp.Y)
+		}
+	}
+}
+
+func TestNonmaxReducesCount(t *testing.T) {
+	g := squareImage()
+	all := Detect(g, 30, false)
+	nms := Detect(g, 30, true)
+	if len(nms) == 0 || len(nms) > len(all) {
+		t.Errorf("nms=%d all=%d", len(nms), len(all))
+	}
+}
+
+func TestThresholdMonotone(t *testing.T) {
+	g := squareImage()
+	lo := Detect(g, 10, true)
+	hi := Detect(g, 100, true)
+	if len(hi) > len(lo) {
+		t.Errorf("higher threshold found more corners: %d > %d", len(hi), len(lo))
+	}
+}
+
+func TestDarkCornerDetected(t *testing.T) {
+	// Dark square on bright background: dark-arc branch.
+	img := imaging.NewImageFilled(64, 64, imaging.C(220, 220, 220))
+	img.FillRect(geom.R(24, 24, 40, 40), imaging.C(15, 15, 15))
+	kps := Detect(img.ToGray(), 30, true)
+	if len(kps) == 0 {
+		t.Fatal("no dark corners found")
+	}
+}
+
+func TestResponsePositive(t *testing.T) {
+	for _, kp := range Detect(squareImage(), 30, false) {
+		if kp.Response <= 0 {
+			t.Fatalf("non-positive response %v", kp.Response)
+		}
+		if kp.Angle != -1 {
+			t.Fatalf("FAST should not assign orientation, got %v", kp.Angle)
+		}
+	}
+}
+
+func TestBorderExcluded(t *testing.T) {
+	// Bright pixel right at the border cannot host the circle.
+	img := imaging.NewImage(16, 16)
+	img.Set(1, 1, imaging.White)
+	if kps := Detect(img.ToGray(), 20, true); len(kps) != 0 {
+		t.Errorf("border corner detected: %v", kps)
+	}
+}

@@ -1,0 +1,56 @@
+// Package features defines the shared keypoint and descriptor types used
+// by the detector/descriptor implementations (FAST, BRIEF, ORB, SIFT,
+// SURF) and by the matchers.
+package features
+
+import "math"
+
+// Keypoint is an interest point in image coordinates of the original
+// (level-0) image.
+type Keypoint struct {
+	X, Y     float32
+	Size     float32 // diameter of the meaningful neighbourhood
+	Angle    float32 // orientation in radians in [0, 2pi), or -1 if undefined
+	Response float32 // detector response used for ranking
+	Octave   int     // pyramid level the point was detected on
+}
+
+// Set is a collection of keypoints with their descriptors. Exactly one of
+// Float and Binary is non-nil for non-empty sets.
+type Set struct {
+	Keypoints []Keypoint
+	Float     [][]float32
+	Binary    [][]byte
+}
+
+// Len returns the number of descriptors in the set.
+func (s *Set) Len() int { return len(s.Keypoints) }
+
+// IsBinary reports whether the set stores binary descriptors.
+func (s *Set) IsBinary() bool { return s.Binary != nil }
+
+// L2 returns the Euclidean distance between two float descriptors.
+func L2(a, b []float32) float32 {
+	var sum float32
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return float32(math.Sqrt(float64(sum)))
+}
+
+// Hamming returns the number of differing bits between two binary
+// descriptors of equal length.
+func Hamming(a, b []byte) int {
+	n := 0
+	for i := range a {
+		n += popcount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+func popcount8(x byte) int {
+	// Nibble lookup keeps this free of math/bits for clarity.
+	const table = "\x00\x01\x01\x02\x01\x02\x02\x03\x01\x02\x02\x03\x02\x03\x03\x04"
+	return int(table[x&0xf]) + int(table[x>>4])
+}

@@ -1,0 +1,185 @@
+package match
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// KDTree is a k-d tree over float descriptors supporting bounded
+// best-bin-first search, standing in for FLANN's approximate matcher in
+// the ablation experiments.
+type KDTree struct {
+	dim   int
+	data  [][]float32
+	nodes []kdNode
+	root  int
+}
+
+type kdNode struct {
+	axis        int
+	split       float32
+	point       int // descriptor index at this node
+	left, right int // -1 when absent
+}
+
+// NewKDTree builds a tree over the given descriptors. It returns nil for
+// an empty input.
+func NewKDTree(desc [][]float32) *KDTree {
+	if len(desc) == 0 {
+		return nil
+	}
+	t := &KDTree{dim: len(desc[0]), data: desc}
+	idx := make([]int, len(desc))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx, 0)
+	return t
+}
+
+func (t *KDTree) build(idx []int, depth int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := t.bestAxis(idx)
+	sort.Slice(idx, func(i, j int) bool {
+		return t.data[idx[i]][axis] < t.data[idx[j]][axis]
+	})
+	mid := len(idx) / 2
+	node := kdNode{
+		axis:  axis,
+		split: t.data[idx[mid]][axis],
+		point: idx[mid],
+	}
+	id := len(t.nodes)
+	t.nodes = append(t.nodes, node)
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[id].left = left
+	t.nodes[id].right = right
+	return id
+}
+
+// bestAxis picks the dimension with the largest value spread, following
+// the classic kd-tree heuristic.
+func (t *KDTree) bestAxis(idx []int) int {
+	best, bestSpread := 0, float32(-1)
+	for d := 0; d < t.dim; d++ {
+		lo, hi := t.data[idx[0]][d], t.data[idx[0]][d]
+		for _, i := range idx[1:] {
+			v := t.data[i][d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo > bestSpread {
+			bestSpread = hi - lo
+			best = d
+		}
+	}
+	return best
+}
+
+// branch is a deferred subtree with a lower bound on its distance.
+type branch struct {
+	node  int
+	bound float32
+}
+
+type branchHeap []branch
+
+func (h branchHeap) Len() int            { return len(h) }
+func (h branchHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h branchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *branchHeap) Push(x interface{}) { *h = append(*h, x.(branch)) }
+func (h *branchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Search returns the k nearest descriptors to q using best-bin-first
+// traversal examining at most maxChecks leaves (0 means exact search).
+// Results are sorted by increasing distance.
+func (t *KDTree) Search(q []float32, k, maxChecks int) []Match {
+	if t == nil || k < 1 {
+		return nil
+	}
+	type result struct {
+		idx  int
+		dist float32
+	}
+	var results []result
+	worst := func() float32 {
+		if len(results) < k {
+			return float32(1e30)
+		}
+		return results[len(results)-1].dist
+	}
+	insert := func(idx int, d float32) {
+		pos := sort.Search(len(results), func(i int) bool { return results[i].dist > d })
+		results = append(results, result{})
+		copy(results[pos+1:], results[pos:])
+		results[pos] = result{idx, d}
+		if len(results) > k {
+			results = results[:k]
+		}
+	}
+	dist := func(i int) float32 {
+		var sum float32
+		p := t.data[i]
+		for d := 0; d < t.dim; d++ {
+			diff := p[d] - q[d]
+			sum += diff * diff
+		}
+		return sum
+	}
+
+	pending := &branchHeap{{node: t.root, bound: 0}}
+	checks := 0
+	for pending.Len() > 0 {
+		b := heap.Pop(pending).(branch)
+		if b.node < 0 || b.bound >= worst() {
+			continue
+		}
+		// Descend to a leaf, pushing the far side of every split.
+		node := b.node
+		for node >= 0 {
+			n := t.nodes[node]
+			if d := dist(n.point); d < worst() {
+				insert(n.point, d)
+			}
+			checks++
+			diff := q[n.axis] - n.split
+			near, far := n.left, n.right
+			if diff > 0 {
+				near, far = n.right, n.left
+			}
+			if far >= 0 {
+				heap.Push(pending, branch{node: far, bound: diff * diff})
+			}
+			node = near
+		}
+		if maxChecks > 0 && checks >= maxChecks {
+			break
+		}
+	}
+	out := make([]Match, len(results))
+	for i, r := range results {
+		out[i] = Match{TrainIdx: r.idx, Distance: sqrt32(r.dist)}
+	}
+	return out
+}
+
+func sqrt32(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(v)))
+}

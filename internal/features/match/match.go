@@ -1,0 +1,107 @@
+// Package match implements descriptor matching: brute-force kNN with L2
+// or Hamming distance, Lowe's ratio test, cross-checking, and a KD-tree
+// approximate matcher standing in for FLANN in the ablation benches.
+package match
+
+import (
+	"sort"
+
+	"snmatch/internal/features"
+)
+
+// Match pairs a query descriptor with a train descriptor.
+type Match struct {
+	QueryIdx int
+	TrainIdx int
+	Distance float32
+}
+
+// KNN returns, for every query descriptor, its k nearest train
+// descriptors by brute force, sorted by increasing distance. Binary sets
+// use Hamming distance, float sets L2. Both sets must have the same
+// descriptor representation.
+func KNN(query, train *features.Set, k int) [][]Match {
+	if query.IsBinary() != train.IsBinary() && query.Len() > 0 && train.Len() > 0 {
+		panic("match: mixed descriptor representations")
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]Match, query.Len())
+	for qi := 0; qi < query.Len(); qi++ {
+		cands := make([]Match, 0, train.Len())
+		for ti := 0; ti < train.Len(); ti++ {
+			var d float32
+			if query.IsBinary() {
+				d = float32(features.Hamming(query.Binary[qi], train.Binary[ti]))
+			} else {
+				d = features.L2(query.Float[qi], train.Float[ti])
+			}
+			cands = append(cands, Match{QueryIdx: qi, TrainIdx: ti, Distance: d})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Distance != cands[j].Distance {
+				return cands[i].Distance < cands[j].Distance
+			}
+			return cands[i].TrainIdx < cands[j].TrainIdx
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		out[qi] = cands
+	}
+	return out
+}
+
+// Best returns the single nearest neighbour for every query descriptor.
+func Best(query, train *features.Set) []Match {
+	knn := KNN(query, train, 1)
+	out := make([]Match, 0, len(knn))
+	for _, ms := range knn {
+		if len(ms) > 0 {
+			out = append(out, ms[0])
+		}
+	}
+	return out
+}
+
+// RatioTest applies Lowe's ratio test to 2-NN results: a match is kept
+// when its distance is below ratio times the distance of the second
+// nearest neighbour. Queries with fewer than two neighbours are dropped.
+func RatioTest(knn [][]Match, ratio float64) []Match {
+	var out []Match
+	for _, ms := range knn {
+		if len(ms) < 2 {
+			continue
+		}
+		if float64(ms[0].Distance) < ratio*float64(ms[1].Distance) {
+			out = append(out, ms[0])
+		}
+	}
+	return out
+}
+
+// CrossCheck keeps matches (q, t) from ab for which ba maps t back to q,
+// emulating OpenCV's BFMatcher crossCheck mode.
+func CrossCheck(ab, ba []Match) []Match {
+	back := make(map[int]int, len(ba))
+	for _, m := range ba {
+		back[m.QueryIdx] = m.TrainIdx
+	}
+	var out []Match
+	for _, m := range ab {
+		if q, ok := back[m.TrainIdx]; ok && q == m.QueryIdx {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// GoodMatchCount is the similarity score the descriptor pipeline uses for
+// a gallery view: the number of ratio-test survivors.
+func GoodMatchCount(query, train *features.Set, ratio float64) int {
+	if query.Len() == 0 || train.Len() < 2 {
+		return 0
+	}
+	return len(RatioTest(KNN(query, train, 2), ratio))
+}

@@ -1,0 +1,202 @@
+package match
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/features"
+	"snmatch/internal/rng"
+)
+
+func floatSet(desc ...[]float32) *features.Set {
+	s := &features.Set{Float: desc}
+	for range desc {
+		s.Keypoints = append(s.Keypoints, features.Keypoint{})
+	}
+	return s
+}
+
+func binarySet(desc ...[]byte) *features.Set {
+	s := &features.Set{Binary: desc}
+	for range desc {
+		s.Keypoints = append(s.Keypoints, features.Keypoint{})
+	}
+	return s
+}
+
+func TestKNNFloatOrdering(t *testing.T) {
+	q := floatSet([]float32{0, 0})
+	tr := floatSet([]float32{3, 0}, []float32{1, 0}, []float32{2, 0})
+	knn := KNN(q, tr, 3)
+	if len(knn) != 1 || len(knn[0]) != 3 {
+		t.Fatalf("knn shape wrong: %v", knn)
+	}
+	if knn[0][0].TrainIdx != 1 || knn[0][1].TrainIdx != 2 || knn[0][2].TrainIdx != 0 {
+		t.Errorf("order = %v", knn[0])
+	}
+	if knn[0][0].Distance != 1 {
+		t.Errorf("distance = %v", knn[0][0].Distance)
+	}
+}
+
+func TestKNNBinary(t *testing.T) {
+	q := binarySet([]byte{0x00})
+	tr := binarySet([]byte{0xff}, []byte{0x01}, []byte{0x0f})
+	knn := KNN(q, tr, 2)
+	if knn[0][0].TrainIdx != 1 || knn[0][0].Distance != 1 {
+		t.Errorf("nearest = %+v", knn[0][0])
+	}
+	if knn[0][1].TrainIdx != 2 || knn[0][1].Distance != 4 {
+		t.Errorf("second = %+v", knn[0][1])
+	}
+}
+
+func TestKNNMixedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mixed representations did not panic")
+		}
+	}()
+	KNN(floatSet([]float32{1}), binarySet([]byte{1}), 1)
+}
+
+func TestKNNKClamp(t *testing.T) {
+	q := floatSet([]float32{0})
+	tr := floatSet([]float32{1}, []float32{2})
+	knn := KNN(q, tr, 0) // k < 1 behaves as k = 1
+	if len(knn[0]) != 1 {
+		t.Errorf("k clamp failed: %v", knn[0])
+	}
+	knn = KNN(q, tr, 10) // k beyond train size returns all
+	if len(knn[0]) != 2 {
+		t.Errorf("k overflow: %v", knn[0])
+	}
+}
+
+func TestBest(t *testing.T) {
+	q := floatSet([]float32{0}, []float32{10})
+	tr := floatSet([]float32{1}, []float32{9})
+	best := Best(q, tr)
+	if len(best) != 2 || best[0].TrainIdx != 0 || best[1].TrainIdx != 1 {
+		t.Errorf("best = %v", best)
+	}
+}
+
+func TestRatioTest(t *testing.T) {
+	knn := [][]Match{
+		{{QueryIdx: 0, TrainIdx: 0, Distance: 1}, {QueryIdx: 0, TrainIdx: 1, Distance: 10}}, // passes
+		{{QueryIdx: 1, TrainIdx: 2, Distance: 5}, {QueryIdx: 1, TrainIdx: 3, Distance: 6}},  // fails at 0.75
+		{{QueryIdx: 2, TrainIdx: 4, Distance: 1}},                                           // too few neighbours
+	}
+	got := RatioTest(knn, 0.75)
+	if len(got) != 1 || got[0].QueryIdx != 0 {
+		t.Errorf("ratio test = %v", got)
+	}
+	// Stricter threshold removes everything.
+	if got := RatioTest(knn, 0.05); len(got) != 0 {
+		t.Errorf("strict ratio test = %v", got)
+	}
+}
+
+func TestCrossCheck(t *testing.T) {
+	ab := []Match{{QueryIdx: 0, TrainIdx: 1}, {QueryIdx: 1, TrainIdx: 0}}
+	ba := []Match{{QueryIdx: 1, TrainIdx: 0}, {QueryIdx: 0, TrainIdx: 5}}
+	got := CrossCheck(ab, ba)
+	if len(got) != 1 || got[0].QueryIdx != 0 || got[0].TrainIdx != 1 {
+		t.Errorf("cross check = %v", got)
+	}
+}
+
+func TestGoodMatchCountSelfMatch(t *testing.T) {
+	r := rng.New(5)
+	var descs [][]float32
+	for i := 0; i < 20; i++ {
+		d := make([]float32, 16)
+		for j := range d {
+			d[j] = float32(r.Float64())
+		}
+		descs = append(descs, d)
+	}
+	a := floatSet(descs...)
+	if got := GoodMatchCount(a, a, 0.75); got == 0 {
+		t.Error("self match found no good matches")
+	}
+	empty := floatSet()
+	if got := GoodMatchCount(empty, a, 0.75); got != 0 {
+		t.Errorf("empty query matches = %d", got)
+	}
+	single := floatSet(descs[0])
+	if got := GoodMatchCount(a, single, 0.75); got != 0 {
+		t.Errorf("single train matches = %d", got)
+	}
+}
+
+func TestKDTreeExactAgreesWithBruteForce(t *testing.T) {
+	r := rng.New(11)
+	var descs [][]float32
+	for i := 0; i < 100; i++ {
+		d := make([]float32, 8)
+		for j := range d {
+			d[j] = float32(r.Float64() * 10)
+		}
+		descs = append(descs, d)
+	}
+	tree := NewKDTree(descs)
+	train := floatSet(descs...)
+	for trial := 0; trial < 20; trial++ {
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = float32(r.Float64() * 10)
+		}
+		bf := KNN(floatSet(q), train, 3)[0]
+		kd := tree.Search(q, 3, 0)
+		if len(kd) != 3 {
+			t.Fatalf("kd results = %d", len(kd))
+		}
+		for i := range kd {
+			if math.Abs(float64(kd[i].Distance-bf[i].Distance)) > 1e-4 {
+				t.Errorf("trial %d rank %d: kd %v vs bf %v", trial, i, kd[i].Distance, bf[i].Distance)
+			}
+		}
+	}
+}
+
+func TestKDTreeBoundedChecksStillReasonable(t *testing.T) {
+	r := rng.New(13)
+	var descs [][]float32
+	for i := 0; i < 500; i++ {
+		d := make([]float32, 8)
+		for j := range d {
+			d[j] = float32(r.Float64())
+		}
+		descs = append(descs, d)
+	}
+	tree := NewKDTree(descs)
+	train := floatSet(descs...)
+	agree := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		q := make([]float32, 8)
+		for j := range q {
+			q[j] = float32(r.Float64())
+		}
+		bf := KNN(floatSet(q), train, 1)[0][0]
+		kd := tree.Search(q, 1, 50) // bounded: approximate
+		if len(kd) == 1 && kd[0].TrainIdx == bf.TrainIdx {
+			agree++
+		}
+	}
+	if agree < trials/2 {
+		t.Errorf("approximate search agreed only %d/%d times", agree, trials)
+	}
+}
+
+func TestKDTreeNilAndEmpty(t *testing.T) {
+	if NewKDTree(nil) != nil {
+		t.Error("empty tree should be nil")
+	}
+	var tree *KDTree
+	if got := tree.Search([]float32{1}, 3, 0); got != nil {
+		t.Errorf("nil tree search = %v", got)
+	}
+}

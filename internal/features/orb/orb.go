@@ -1,0 +1,185 @@
+// Package orb implements ORB (Rublee et al. 2011): oFAST keypoints —
+// FAST corners over an image pyramid, ranked by Harris response and
+// oriented by the intensity centroid — described with steered BRIEF
+// (rBRIEF). Descriptors are 256-bit strings matched with Hamming
+// distance.
+package orb
+
+import (
+	"math"
+	"sort"
+
+	"snmatch/internal/features"
+	"snmatch/internal/features/brief"
+	"snmatch/internal/features/fast"
+	"snmatch/internal/imaging"
+)
+
+// Params configures the detector. Zero values select the defaults noted
+// on each field.
+type Params struct {
+	NFeatures     int     // max keypoints retained (default 500)
+	ScaleFactor   float64 // pyramid decimation ratio (default 1.2)
+	NLevels       int     // pyramid levels (default 8)
+	FASTThreshold int     // FAST intensity threshold (default 20)
+	PatchRadius   int     // intensity-centroid patch radius (default 15)
+	Seed          uint64  // BRIEF pattern seed (default 0x0rb)
+}
+
+func (p Params) withDefaults() Params {
+	if p.NFeatures <= 0 {
+		p.NFeatures = 500
+	}
+	if p.ScaleFactor <= 1 {
+		p.ScaleFactor = 1.2
+	}
+	if p.NLevels <= 0 {
+		p.NLevels = 8
+	}
+	if p.FASTThreshold <= 0 {
+		p.FASTThreshold = 20
+	}
+	if p.PatchRadius <= 0 {
+		p.PatchRadius = 15
+	}
+	if p.Seed == 0 {
+		p.Seed = 0x0127b
+	}
+	return p
+}
+
+// Extract detects and describes ORB features on the grayscale image.
+func Extract(g *imaging.Gray, params Params) *features.Set {
+	p := params.withDefaults()
+	pattern := brief.NewPattern(256, p.Seed)
+	return extract(g, p, pattern)
+}
+
+// levelPoint is a detected corner at a pyramid level before description.
+type levelPoint struct {
+	kp     features.Keypoint // coordinates at the level
+	level  int
+	scale  float64
+	harris float32
+}
+
+func extract(g *imaging.Gray, p Params, pattern *brief.Pattern) *features.Set {
+	// Build the pyramid.
+	levels := make([]*imaging.Gray, 0, p.NLevels)
+	scales := make([]float64, 0, p.NLevels)
+	cur := g
+	scale := 1.0
+	for i := 0; i < p.NLevels; i++ {
+		if cur.W < 2*brief.PatchSize || cur.H < 2*brief.PatchSize {
+			break
+		}
+		levels = append(levels, cur)
+		scales = append(scales, scale)
+		scale *= p.ScaleFactor
+		nw := int(float64(g.W)/scale + 0.5)
+		nh := int(float64(g.H)/scale + 0.5)
+		if nw < 8 || nh < 8 {
+			break
+		}
+		cur = g.ResizeBilinear(nw, nh)
+	}
+	if len(levels) == 0 {
+		levels = append(levels, g)
+		scales = append(scales, 1)
+	}
+
+	// Detect per level with Harris ranking.
+	var pts []levelPoint
+	for li, lvl := range levels {
+		f := lvl.ToFloat()
+		gx, gy := f.Sobel()
+		kps := fast.Detect(lvl, p.FASTThreshold, true)
+		for _, kp := range kps {
+			h := harrisResponse(gx, gy, int(kp.X), int(kp.Y))
+			pts = append(pts, levelPoint{kp: kp, level: li, scale: scales[li], harris: h})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].harris != pts[j].harris {
+			return pts[i].harris > pts[j].harris
+		}
+		if pts[i].level != pts[j].level {
+			return pts[i].level < pts[j].level
+		}
+		if pts[i].kp.Y != pts[j].kp.Y {
+			return pts[i].kp.Y < pts[j].kp.Y
+		}
+		return pts[i].kp.X < pts[j].kp.X
+	})
+	if len(pts) > p.NFeatures {
+		pts = pts[:p.NFeatures]
+	}
+
+	// Orientation by intensity centroid, then steered BRIEF per level.
+	out := &features.Set{Binary: [][]byte{}}
+	for li, lvl := range levels {
+		smoothed := lvl.GaussianBlur(2)
+		s := scales[li]
+		var lvlKps []features.Keypoint
+		for _, pt := range pts {
+			if pt.level != li {
+				continue
+			}
+			kp := pt.kp
+			kp.Angle = intensityCentroidAngle(lvl, int(kp.X), int(kp.Y), p.PatchRadius)
+			kp.Response = pt.harris
+			kp.Octave = li
+			lvlKps = append(lvlKps, kp)
+		}
+		kept, descs := brief.DescribeSteered(smoothed, lvlKps, pattern)
+		// Map keypoints back to base-image coordinates.
+		for i, kp := range kept {
+			kp.X = float32(float64(kp.X) * s)
+			kp.Y = float32(float64(kp.Y) * s)
+			kp.Size = float32(31 * s)
+			out.Keypoints = append(out.Keypoints, kp)
+			out.Binary = append(out.Binary, descs[i])
+		}
+	}
+	return out
+}
+
+// harrisResponse computes det(M) - k tr(M)^2 over a 7x7 window of Sobel
+// gradients, the ranking measure ORB substitutes for the FAST score.
+func harrisResponse(gx, gy *imaging.FloatGray, x, y int) float32 {
+	const k = 0.04
+	var sxx, syy, sxy float64
+	for dy := -3; dy <= 3; dy++ {
+		for dx := -3; dx <= 3; dx++ {
+			ix := float64(gx.AtClamped(x+dx, y+dy))
+			iy := float64(gy.AtClamped(x+dx, y+dy))
+			sxx += ix * ix
+			syy += iy * iy
+			sxy += ix * iy
+		}
+	}
+	det := sxx*syy - sxy*sxy
+	tr := sxx + syy
+	return float32(det - k*tr*tr)
+}
+
+// intensityCentroidAngle returns the orientation of the patch centroid
+// relative to the corner (Rosin's moment orientation), in [0, 2pi).
+func intensityCentroidAngle(g *imaging.Gray, x, y, radius int) float32 {
+	var m10, m01 float64
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			if dx*dx+dy*dy > radius*radius {
+				continue
+			}
+			v := float64(g.AtClamped(x+dx, y+dy))
+			m10 += float64(dx) * v
+			m01 += float64(dy) * v
+		}
+	}
+	a := math.Atan2(m01, m10)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return float32(a)
+}

@@ -1,0 +1,557 @@
+// Package sift implements the SIFT detector and descriptor of Lowe
+// (2004): a Gaussian scale space, difference-of-Gaussian extrema with
+// subpixel refinement, contrast and edge rejection, gradient orientation
+// assignment, and the 4x4x8 = 128-dimensional descriptor with trilinear
+// binning, normalisation and the 0.2 clamp.
+package sift
+
+import (
+	"math"
+
+	"snmatch/internal/features"
+	"snmatch/internal/imaging"
+)
+
+// Params configures extraction. Zero values select the defaults noted on
+// each field.
+type Params struct {
+	NOctaveLayers     int     // scales per octave (default 3)
+	ContrastThreshold float64 // DoG contrast rejection (default 0.04)
+	EdgeThreshold     float64 // principal curvature ratio limit (default 10)
+	Sigma             float64 // base blur (default 1.6)
+	NoDoubleImage     bool    // skip the initial 2x upsampling
+	MaxFeatures       int     // keep the strongest N (0 = all)
+}
+
+func (p Params) withDefaults() Params {
+	if p.NOctaveLayers <= 0 {
+		p.NOctaveLayers = 3
+	}
+	if p.ContrastThreshold <= 0 {
+		p.ContrastThreshold = 0.04
+	}
+	if p.EdgeThreshold <= 0 {
+		p.EdgeThreshold = 10
+	}
+	if p.Sigma <= 0 {
+		p.Sigma = 1.6
+	}
+	return p
+}
+
+const (
+	descWidth      = 4 // d: spatial bins per side
+	descBins       = 8 // n: orientation bins per spatial bin
+	orientBins     = 36
+	orientSigmaFac = 1.5
+	orientRadius   = 3 * orientSigmaFac
+	peakRatio      = 0.8
+	descSclFactor  = 3.0
+	descMagThresh  = 0.2
+	maxInterpSteps = 5
+	imgBorder      = 5
+)
+
+// Extract detects SIFT keypoints and computes their descriptors.
+func Extract(g *imaging.Gray, params Params) *features.Set {
+	p := params.withDefaults()
+
+	base := initialImage(g, !p.NoDoubleImage, p.Sigma)
+	minDim := base.W
+	if base.H < minDim {
+		minDim = base.H
+	}
+	nOctaves := int(math.Round(math.Log2(float64(minDim)))) - 2
+	if nOctaves < 1 {
+		nOctaves = 1
+	}
+
+	gauss := buildGaussianPyramid(base, nOctaves, p.NOctaveLayers, p.Sigma)
+	dog := buildDoGPyramid(gauss)
+
+	kps := findScaleSpaceExtrema(gauss, dog, p)
+	if p.MaxFeatures > 0 && len(kps) > p.MaxFeatures {
+		sortByResponse(kps)
+		kps = kps[:p.MaxFeatures]
+	}
+
+	set := &features.Set{}
+	firstOctaveScale := float32(1.0)
+	if !p.NoDoubleImage {
+		firstOctaveScale = 0.5
+	}
+	for _, k := range kps {
+		desc := computeDescriptor(gauss, k, p.NOctaveLayers)
+		kp := features.Keypoint{
+			X:        k.x * float32(math.Pow(2, float64(k.octave))) * firstOctaveScale,
+			Y:        k.y * float32(math.Pow(2, float64(k.octave))) * firstOctaveScale,
+			Size:     k.size * firstOctaveScale,
+			Angle:    k.angle,
+			Response: k.response,
+			Octave:   k.octave,
+		}
+		set.Keypoints = append(set.Keypoints, kp)
+		set.Float = append(set.Float, desc)
+	}
+	return set
+}
+
+// internalKp is a keypoint in octave coordinates before remapping.
+type internalKp struct {
+	x, y     float32 // coordinates at the octave's sampling
+	octave   int
+	layer    int
+	sclOctv  float32 // scale relative to the octave
+	size     float32 // absolute size at octave 0 sampling
+	angle    float32
+	response float32
+}
+
+func sortByResponse(kps []internalKp) {
+	// Insertion sort keeps this dependency-free; keypoint counts are small.
+	for i := 1; i < len(kps); i++ {
+		k := kps[i]
+		j := i - 1
+		for j >= 0 && kps[j].response < k.response {
+			kps[j+1] = kps[j]
+			j--
+		}
+		kps[j+1] = k
+	}
+}
+
+// initialImage converts to float in [0, 1], optionally doubles the size,
+// and applies the base blur assuming the camera already blurred the input
+// with sigma 0.5.
+func initialImage(g *imaging.Gray, double bool, sigma float64) *imaging.FloatGray {
+	f := imaging.NewFloatGray(g.W, g.H)
+	for i, v := range g.Pix {
+		f.Pix[i] = float32(v) / 255
+	}
+	const cameraSigma = 0.5
+	if double {
+		f = f.ResizeBilinear(g.W*2, g.H*2)
+		diff := math.Sqrt(math.Max(sigma*sigma-4*cameraSigma*cameraSigma, 0.01))
+		return f.GaussianBlur(diff)
+	}
+	diff := math.Sqrt(math.Max(sigma*sigma-cameraSigma*cameraSigma, 0.01))
+	return f.GaussianBlur(diff)
+}
+
+func buildGaussianPyramid(base *imaging.FloatGray, nOctaves, nLayers int, sigma float64) [][]*imaging.FloatGray {
+	perOct := nLayers + 3
+	// Incremental sigmas between consecutive layers.
+	sig := make([]float64, perOct)
+	sig[0] = sigma
+	k := math.Pow(2, 1/float64(nLayers))
+	for i := 1; i < perOct; i++ {
+		sigPrev := sigma * math.Pow(k, float64(i-1))
+		sigTotal := sigPrev * k
+		sig[i] = math.Sqrt(sigTotal*sigTotal - sigPrev*sigPrev)
+	}
+	pyr := make([][]*imaging.FloatGray, nOctaves)
+	for o := 0; o < nOctaves; o++ {
+		pyr[o] = make([]*imaging.FloatGray, perOct)
+		if o == 0 {
+			pyr[o][0] = base
+		} else {
+			// Start from the layer with twice the base sigma of the
+			// previous octave, downsampled by two.
+			pyr[o][0] = pyr[o-1][nLayers].Downsample2()
+		}
+		for i := 1; i < perOct; i++ {
+			pyr[o][i] = pyr[o][i-1].GaussianBlur(sig[i])
+		}
+	}
+	return pyr
+}
+
+func buildDoGPyramid(gauss [][]*imaging.FloatGray) [][]*imaging.FloatGray {
+	dog := make([][]*imaging.FloatGray, len(gauss))
+	for o := range gauss {
+		dog[o] = make([]*imaging.FloatGray, len(gauss[o])-1)
+		for i := 0; i+1 < len(gauss[o]); i++ {
+			dog[o][i] = gauss[o][i+1].Subtract(gauss[o][i])
+		}
+	}
+	return dog
+}
+
+func findScaleSpaceExtrema(gauss, dog [][]*imaging.FloatGray, p Params) []internalKp {
+	nLayers := p.NOctaveLayers
+	threshold := float32(0.5 * p.ContrastThreshold / float64(nLayers))
+	var kps []internalKp
+	for o := range dog {
+		for layer := 1; layer <= nLayers; layer++ {
+			prev, cur, next := dog[o][layer-1], dog[o][layer], dog[o][layer+1]
+			w, h := cur.W, cur.H
+			for y := imgBorder; y < h-imgBorder; y++ {
+				for x := imgBorder; x < w-imgBorder; x++ {
+					v := cur.At(x, y)
+					if absf(v) <= threshold {
+						continue
+					}
+					if !isExtremum(prev, cur, next, x, y, v) {
+						continue
+					}
+					kp, ok := adjustLocalExtremum(dog[o], o, layer, x, y, p)
+					if !ok {
+						continue
+					}
+					// Orientation assignment may split the keypoint.
+					oriented := assignOrientations(gauss[o], kp, nLayers)
+					kps = append(kps, oriented...)
+				}
+			}
+		}
+	}
+	return kps
+}
+
+func isExtremum(prev, cur, next *imaging.FloatGray, x, y int, v float32) bool {
+	if v > 0 {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if prev.At(x+dx, y+dy) > v || next.At(x+dx, y+dy) > v {
+					return false
+				}
+				if (dx != 0 || dy != 0) && cur.At(x+dx, y+dy) > v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if prev.At(x+dx, y+dy) < v || next.At(x+dx, y+dy) < v {
+				return false
+			}
+			if (dx != 0 || dy != 0) && cur.At(x+dx, y+dy) < v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// adjustLocalExtremum refines the extremum location with up to five
+// Newton iterations over (x, y, scale) and applies the contrast and edge
+// rejection tests.
+func adjustLocalExtremum(dogOct []*imaging.FloatGray, octave, layer, x, y int, p Params) (internalKp, bool) {
+	nLayers := p.NOctaveLayers
+	var xi, xr, xc float64
+	var contr float64
+	i := 0
+	for ; i < maxInterpSteps; i++ {
+		prev, cur, next := dogOct[layer-1], dogOct[layer], dogOct[layer+1]
+		// Gradient.
+		dx := 0.5 * float64(cur.At(x+1, y)-cur.At(x-1, y))
+		dy := 0.5 * float64(cur.At(x, y+1)-cur.At(x, y-1))
+		ds := 0.5 * float64(next.At(x, y)-prev.At(x, y))
+		// Hessian.
+		v2 := 2 * float64(cur.At(x, y))
+		dxx := float64(cur.At(x+1, y)+cur.At(x-1, y)) - v2
+		dyy := float64(cur.At(x, y+1)+cur.At(x, y-1)) - v2
+		dss := float64(next.At(x, y)+prev.At(x, y)) - v2
+		dxy := 0.25 * float64(cur.At(x+1, y+1)-cur.At(x-1, y+1)-cur.At(x+1, y-1)+cur.At(x-1, y-1))
+		dxs := 0.25 * float64(next.At(x+1, y)-next.At(x-1, y)-prev.At(x+1, y)+prev.At(x-1, y))
+		dys := 0.25 * float64(next.At(x, y+1)-next.At(x, y-1)-prev.At(x, y+1)+prev.At(x, y-1))
+
+		sx, sy, ss, ok := solve3(dxx, dxy, dxs, dxy, dyy, dys, dxs, dys, dss, -dx, -dy, -ds)
+		if !ok {
+			return internalKp{}, false
+		}
+		xc, xr, xi = sx, sy, ss
+		if math.Abs(xc) < 0.5 && math.Abs(xr) < 0.5 && math.Abs(xi) < 0.5 {
+			contr = float64(cur.At(x, y)) + 0.5*(dx*xc+dy*xr+ds*xi)
+			break
+		}
+		x += int(math.Round(xc))
+		y += int(math.Round(xr))
+		layer += int(math.Round(xi))
+		if layer < 1 || layer > nLayers ||
+			x < imgBorder || x >= cur.W-imgBorder ||
+			y < imgBorder || y >= cur.H-imgBorder {
+			return internalKp{}, false
+		}
+	}
+	if i >= maxInterpSteps {
+		return internalKp{}, false
+	}
+	if math.Abs(contr)*float64(nLayers) < p.ContrastThreshold {
+		return internalKp{}, false
+	}
+	// Edge rejection on the 2x2 spatial Hessian.
+	cur := dogOct[layer]
+	v2 := 2 * float64(cur.At(x, y))
+	dxx := float64(cur.At(x+1, y)+cur.At(x-1, y)) - v2
+	dyy := float64(cur.At(x, y+1)+cur.At(x, y-1)) - v2
+	dxy := 0.25 * float64(cur.At(x+1, y+1)-cur.At(x-1, y+1)-cur.At(x+1, y-1)+cur.At(x-1, y-1))
+	tr := dxx + dyy
+	det := dxx*dyy - dxy*dxy
+	e := p.EdgeThreshold
+	if det <= 0 || tr*tr*e >= (e+1)*(e+1)*det {
+		return internalKp{}, false
+	}
+
+	sclOctv := float32(p.Sigma * math.Pow(2, (float64(layer)+xi)/float64(nLayers)))
+	return internalKp{
+		x:        float32(float64(x) + xc),
+		y:        float32(float64(y) + xr),
+		octave:   octave,
+		layer:    layer,
+		sclOctv:  sclOctv,
+		size:     sclOctv * float32(math.Pow(2, float64(octave))) * 2,
+		response: float32(math.Abs(contr)),
+	}, true
+}
+
+// solve3 solves a 3x3 linear system by Gaussian elimination with partial
+// pivoting. Returns ok=false for singular systems.
+func solve3(a11, a12, a13, a21, a22, a23, a31, a32, a33, b1, b2, b3 float64) (x1, x2, x3 float64, ok bool) {
+	m := [3][4]float64{
+		{a11, a12, a13, b1},
+		{a21, a22, a23, b2},
+		{a31, a32, a33, b3},
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return 0, 0, 0, false
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	return m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2], true
+}
+
+// assignOrientations builds the 36-bin gradient histogram around the
+// keypoint and emits one keypoint per dominant peak (>= 80% of max).
+func assignOrientations(gaussOct []*imaging.FloatGray, kp internalKp, nLayers int) []internalKp {
+	img := gaussOct[kp.layer]
+	radius := int(math.Round(float64(orientRadius) * float64(kp.sclOctv)))
+	if radius < 1 {
+		radius = 1
+	}
+	sigma := orientSigmaFac * float64(kp.sclOctv)
+	expDenom := 2 * sigma * sigma
+	x0, y0 := int(math.Round(float64(kp.x))), int(math.Round(float64(kp.y)))
+
+	var hist [orientBins]float64
+	for dy := -radius; dy <= radius; dy++ {
+		y := y0 + dy
+		if y <= 0 || y >= img.H-1 {
+			continue
+		}
+		for dx := -radius; dx <= radius; dx++ {
+			x := x0 + dx
+			if x <= 0 || x >= img.W-1 {
+				continue
+			}
+			gx := float64(img.At(x+1, y) - img.At(x-1, y))
+			gy := float64(img.At(x, y+1) - img.At(x, y-1))
+			mag := math.Hypot(gx, gy)
+			ori := math.Atan2(gy, gx)
+			wgt := math.Exp(-(float64(dx*dx) + float64(dy*dy)) / expDenom)
+			bin := int(math.Round(float64(orientBins) * (ori + math.Pi) / (2 * math.Pi)))
+			bin = ((bin % orientBins) + orientBins) % orientBins
+			hist[bin] += wgt * mag
+		}
+	}
+	// Circular smoothing with the [1 4 6 4 1]/16 kernel.
+	var smooth [orientBins]float64
+	for i := 0; i < orientBins; i++ {
+		smooth[i] = (hist[(i-2+orientBins)%orientBins]+hist[(i+2)%orientBins])*(1.0/16) +
+			(hist[(i-1+orientBins)%orientBins]+hist[(i+1)%orientBins])*(4.0/16) +
+			hist[i]*(6.0/16)
+	}
+	maxV := 0.0
+	for _, v := range smooth {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		kp.angle = 0
+		return []internalKp{kp}
+	}
+	thresholdV := peakRatio * maxV
+	var out []internalKp
+	for i := 0; i < orientBins; i++ {
+		l := (i - 1 + orientBins) % orientBins
+		r := (i + 1) % orientBins
+		if smooth[i] <= smooth[l] || smooth[i] <= smooth[r] || smooth[i] < thresholdV {
+			continue
+		}
+		// Parabolic interpolation of the peak bin.
+		bin := float64(i) + 0.5*(smooth[l]-smooth[r])/(smooth[l]-2*smooth[i]+smooth[r])
+		bin = math.Mod(bin+float64(orientBins), float64(orientBins))
+		angle := bin*(2*math.Pi/float64(orientBins)) - math.Pi
+		if angle < 0 {
+			angle += 2 * math.Pi
+		}
+		k2 := kp
+		k2.angle = float32(angle)
+		out = append(out, k2)
+	}
+	if len(out) == 0 {
+		kp.angle = 0
+		out = append(out, kp)
+	}
+	return out
+}
+
+// computeDescriptor produces the 128-d descriptor for the keypoint from
+// its octave's Gaussian image.
+func computeDescriptor(gauss [][]*imaging.FloatGray, kp internalKp, nLayers int) []float32 {
+	img := gauss[kp.octave][kp.layer]
+	d, n := descWidth, descBins
+	histWidth := descSclFactor * float64(kp.sclOctv)
+	radius := int(math.Round(histWidth * math.Sqrt2 * (float64(d) + 1) * 0.5))
+	// Clip the radius to the image diagonal.
+	if maxR := int(math.Hypot(float64(img.W), float64(img.H))); radius > maxR {
+		radius = maxR
+	}
+	cosA := math.Cos(float64(kp.angle))
+	sinA := math.Sin(float64(kp.angle))
+	binsPerRad := float64(n) / (2 * math.Pi)
+	expDenom := float64(d) * float64(d) * 0.5
+	x0, y0 := int(math.Round(float64(kp.x))), int(math.Round(float64(kp.y)))
+
+	// Histogram with guard bins for trilinear interpolation.
+	hist := make([]float64, (d+2)*(d+2)*(n+2))
+	idx := func(r, c, o int) int { return (r*(d+2)+c)*(n+2) + o }
+
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			// Rotated coordinates normalised to histogram cells.
+			rotX := (cosA*float64(dx) + sinA*float64(dy)) / histWidth
+			rotY := (-sinA*float64(dx) + cosA*float64(dy)) / histWidth
+			rBin := rotY + float64(d)/2 - 0.5
+			cBin := rotX + float64(d)/2 - 0.5
+			if rBin <= -1 || rBin >= float64(d) || cBin <= -1 || cBin >= float64(d) {
+				continue
+			}
+			x, y := x0+dx, y0+dy
+			if x <= 0 || x >= img.W-1 || y <= 0 || y >= img.H-1 {
+				continue
+			}
+			gx := float64(img.At(x+1, y) - img.At(x-1, y))
+			gy := float64(img.At(x, y+1) - img.At(x, y-1))
+			mag := math.Hypot(gx, gy)
+			ori := math.Atan2(gy, gx) - float64(kp.angle)
+			for ori < 0 {
+				ori += 2 * math.Pi
+			}
+			for ori >= 2*math.Pi {
+				ori -= 2 * math.Pi
+			}
+			oBin := ori * binsPerRad
+			wgt := math.Exp(-(rotX*rotX + rotY*rotY) / expDenom)
+			v := mag * wgt
+
+			r0 := int(math.Floor(rBin))
+			c0 := int(math.Floor(cBin))
+			o0 := int(math.Floor(oBin))
+			rb := rBin - float64(r0)
+			cb := cBin - float64(c0)
+			ob := oBin - float64(o0)
+
+			// Trilinear distribution into 8 cells.
+			for ri := 0; ri < 2; ri++ {
+				rw := 1 - rb
+				if ri == 1 {
+					rw = rb
+				}
+				rr := r0 + ri + 1
+				if rr < 0 || rr >= d+2 {
+					continue
+				}
+				for ci := 0; ci < 2; ci++ {
+					cw := 1 - cb
+					if ci == 1 {
+						cw = cb
+					}
+					cc := c0 + ci + 1
+					if cc < 0 || cc >= d+2 {
+						continue
+					}
+					for oi := 0; oi < 2; oi++ {
+						ow := 1 - ob
+						if oi == 1 {
+							ow = ob
+						}
+						oo := (o0 + oi) % n
+						if oo < 0 {
+							oo += n
+						}
+						hist[idx(rr, cc, oo)] += v * rw * cw * ow
+					}
+				}
+			}
+		}
+	}
+
+	// Collapse the guard bins into the d*d*n vector.
+	desc := make([]float32, d*d*n)
+	k := 0
+	for r := 1; r <= d; r++ {
+		for c := 1; c <= d; c++ {
+			for o := 0; o < n; o++ {
+				desc[k] = float32(hist[idx(r, c, o)])
+				k++
+			}
+		}
+	}
+	normalizeDescriptor(desc)
+	return desc
+}
+
+// normalizeDescriptor applies Lowe's normalise -> clamp at 0.2 ->
+// renormalise scheme in place.
+func normalizeDescriptor(desc []float32) {
+	var norm float64
+	for _, v := range desc {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		return
+	}
+	for i := range desc {
+		desc[i] = float32(math.Min(float64(desc[i])/norm, descMagThresh))
+	}
+	norm = 0
+	for _, v := range desc {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		return
+	}
+	for i := range desc {
+		desc[i] = float32(float64(desc[i]) / norm)
+	}
+}
+
+func absf(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

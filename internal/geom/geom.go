@@ -1,0 +1,294 @@
+// Package geom provides the small amount of 2-D geometry shared by the
+// imaging, contour and synthetic-rendering packages: points, integer
+// rectangles, affine transforms and polygon helpers.
+package geom
+
+import "math"
+
+// Point is a point (or vector) in the continuous image plane.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is a convenience constructor for Point.
+func Pt(x, y float64) Point { return Point{x, y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by s.
+func (p Point) Scale(s float64) Point { return Point{p.X * s, p.Y * s} }
+
+// Dot returns the dot product of p and q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Rotate returns p rotated by theta radians about the origin
+// (counter-clockwise in conventional y-up coordinates; image code that
+// treats y as growing downwards sees a clockwise rotation).
+func (p Point) Rotate(theta float64) Point {
+	s, c := math.Sincos(theta)
+	return Point{c*p.X - s*p.Y, s*p.X + c*p.Y}
+}
+
+// PointI is a point on the integer pixel grid.
+type PointI struct {
+	X, Y int
+}
+
+// PtI is a convenience constructor for PointI.
+func PtI(x, y int) PointI { return PointI{x, y} }
+
+// ToFloat converts the pixel coordinate to a continuous Point.
+func (p PointI) ToFloat() Point { return Point{float64(p.X), float64(p.Y)} }
+
+// Rect is an axis-aligned integer rectangle. Like image.Rectangle it is
+// half open: it contains points with MinX <= x < MaxX and MinY <= y < MaxY.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY int
+}
+
+// R constructs a Rect from its two corners, normalising the order.
+func R(x0, y0, x1, y1 int) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{x0, y0, x1, y1}
+}
+
+// W returns the width of r (zero for an empty rectangle).
+func (r Rect) W() int {
+	if r.MaxX < r.MinX {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// H returns the height of r (zero for an empty rectangle).
+func (r Rect) H() int {
+	if r.MaxY < r.MinY {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// Area returns the number of grid cells covered by r.
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Empty reports whether r contains no cells.
+func (r Rect) Empty() bool { return r.MaxX <= r.MinX || r.MaxY <= r.MinY }
+
+// Contains reports whether the pixel (x, y) lies inside r.
+func (r Rect) Contains(x, y int) bool {
+	return x >= r.MinX && x < r.MaxX && y >= r.MinY && y < r.MaxY
+}
+
+// Intersect returns the largest rectangle contained in both r and s.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: max(r.MinX, s.MinX),
+		MinY: max(r.MinY, s.MinY),
+		MaxX: min(r.MaxX, s.MaxX),
+		MaxY: min(r.MaxY, s.MaxY),
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the smallest rectangle containing both r and s. An empty
+// rectangle acts as the identity.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		MinX: min(r.MinX, s.MinX),
+		MinY: min(r.MinY, s.MinY),
+		MaxX: max(r.MaxX, s.MaxX),
+		MaxY: max(r.MaxY, s.MaxY),
+	}
+}
+
+// Inset shrinks r by d on every side (grows it for negative d).
+func (r Rect) Inset(d int) Rect {
+	out := Rect{r.MinX + d, r.MinY + d, r.MaxX - d, r.MaxY - d}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// ClampTo clips r to the bounds of a w x h image.
+func (r Rect) ClampTo(w, h int) Rect {
+	return r.Intersect(Rect{0, 0, w, h})
+}
+
+// BoundingBox returns the minimal rectangle covering all points (each point
+// occupies its own 1x1 cell). It returns an empty Rect for no points.
+func BoundingBox(pts []PointI) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{pts[0].X, pts[0].Y, pts[0].X + 1, pts[0].Y + 1}
+	for _, p := range pts[1:] {
+		if p.X < r.MinX {
+			r.MinX = p.X
+		}
+		if p.Y < r.MinY {
+			r.MinY = p.Y
+		}
+		if p.X+1 > r.MaxX {
+			r.MaxX = p.X + 1
+		}
+		if p.Y+1 > r.MaxY {
+			r.MaxY = p.Y + 1
+		}
+	}
+	return r
+}
+
+// Affine is a 2-D affine transform:
+//
+//	x' = A*x + B*y + C
+//	y' = D*x + E*y + F
+type Affine struct {
+	A, B, C float64
+	D, E, F float64
+}
+
+// Identity returns the identity transform.
+func Identity() Affine { return Affine{A: 1, E: 1} }
+
+// Translation returns a transform that translates by (tx, ty).
+func Translation(tx, ty float64) Affine { return Affine{A: 1, C: tx, E: 1, F: ty} }
+
+// Scaling returns a transform that scales by (sx, sy) about the origin.
+func Scaling(sx, sy float64) Affine { return Affine{A: sx, E: sy} }
+
+// Rotation returns a transform that rotates by theta radians about the
+// origin.
+func Rotation(theta float64) Affine {
+	s, c := math.Sincos(theta)
+	return Affine{A: c, B: -s, D: s, E: c}
+}
+
+// RotationAbout returns a rotation by theta radians about (cx, cy).
+func RotationAbout(theta, cx, cy float64) Affine {
+	return Translation(cx, cy).Mul(Rotation(theta)).Mul(Translation(-cx, -cy))
+}
+
+// Mul composes transforms: (t.Mul(u)).Apply(p) == t.Apply(u.Apply(p)).
+func (t Affine) Mul(u Affine) Affine {
+	return Affine{
+		A: t.A*u.A + t.B*u.D,
+		B: t.A*u.B + t.B*u.E,
+		C: t.A*u.C + t.B*u.F + t.C,
+		D: t.D*u.A + t.E*u.D,
+		E: t.D*u.B + t.E*u.E,
+		F: t.D*u.C + t.E*u.F + t.F,
+	}
+}
+
+// Apply transforms the point p.
+func (t Affine) Apply(p Point) Point {
+	return Point{
+		X: t.A*p.X + t.B*p.Y + t.C,
+		Y: t.D*p.X + t.E*p.Y + t.F,
+	}
+}
+
+// ApplyAll transforms every point in pts, returning a new slice.
+func (t Affine) ApplyAll(pts []Point) []Point {
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = t.Apply(p)
+	}
+	return out
+}
+
+// Invert returns the inverse transform. ok is false when t is singular.
+func (t Affine) Invert() (inv Affine, ok bool) {
+	det := t.A*t.E - t.B*t.D
+	if math.Abs(det) < 1e-12 {
+		return Affine{}, false
+	}
+	id := 1 / det
+	inv = Affine{
+		A: t.E * id,
+		B: -t.B * id,
+		D: -t.D * id,
+		E: t.A * id,
+	}
+	inv.C = -(inv.A*t.C + inv.B*t.F)
+	inv.F = -(inv.D*t.C + inv.E*t.F)
+	return inv, true
+}
+
+// PolygonArea returns the signed area of the polygon (shoelace formula).
+// Counter-clockwise polygons (in y-up coordinates) have positive area.
+func PolygonArea(pts []Point) float64 {
+	if len(pts) < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := range pts {
+		j := (i + 1) % len(pts)
+		sum += pts[i].X*pts[j].Y - pts[j].X*pts[i].Y
+	}
+	return sum / 2
+}
+
+// PolygonCentroid returns the centroid of the polygon. For degenerate
+// polygons it falls back to the mean of the vertices.
+func PolygonCentroid(pts []Point) Point {
+	a := PolygonArea(pts)
+	if math.Abs(a) < 1e-12 {
+		var c Point
+		if len(pts) == 0 {
+			return c
+		}
+		for _, p := range pts {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(pts)))
+	}
+	var cx, cy float64
+	for i := range pts {
+		j := (i + 1) % len(pts)
+		cross := pts[i].X*pts[j].Y - pts[j].X*pts[i].Y
+		cx += (pts[i].X + pts[j].X) * cross
+		cy += (pts[i].Y + pts[j].Y) * cross
+	}
+	k := 1 / (6 * a)
+	return Point{cx * k, cy * k}
+}
+
+// PointInPolygon reports whether p is strictly inside the polygon using the
+// even-odd (ray casting) rule.
+func PointInPolygon(p Point, poly []Point) bool {
+	inside := false
+	n := len(poly)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := poly[i], poly[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xCross := (pj.X-pi.X)*(p.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}

@@ -1,0 +1,213 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, -4)
+	if got := p.Add(q); got != Pt(4, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(-2, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.Dot(q); got != 3-8 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Pt(3, 4).Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestPointRotate(t *testing.T) {
+	got := Pt(1, 0).Rotate(math.Pi / 2)
+	if !almostEq(got.X, 0, 1e-12) || !almostEq(got.Y, 1, 1e-12) {
+		t.Errorf("Rotate(pi/2) = %v", got)
+	}
+	// Rotation preserves norm.
+	f := func(x, y, theta float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(theta) ||
+			math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsInf(theta, 0) {
+			return true
+		}
+		x, y = math.Mod(x, 1e6), math.Mod(y, 1e6)
+		theta = math.Mod(theta, 2*math.Pi)
+		p := Pt(x, y)
+		r := p.Rotate(theta)
+		return almostEq(p.Norm(), r.Norm(), 1e-6*(1+p.Norm()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := R(5, 7, 2, 3) // corners given out of order
+	if r != (Rect{2, 3, 5, 7}) {
+		t.Fatalf("R normalisation = %+v", r)
+	}
+	if r.W() != 3 || r.H() != 4 || r.Area() != 12 {
+		t.Errorf("W/H/Area = %d/%d/%d", r.W(), r.H(), r.Area())
+	}
+	if r.Empty() {
+		t.Error("non-empty rect reported empty")
+	}
+	if !r.Contains(2, 3) || r.Contains(5, 3) || r.Contains(2, 7) {
+		t.Error("Contains half-open rule violated")
+	}
+}
+
+func TestRectIntersectUnion(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	if got := a.Intersect(b); got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %+v", got)
+	}
+	if got := a.Union(b); got != R(0, 0, 15, 15) {
+		t.Errorf("Union = %+v", got)
+	}
+	c := R(20, 20, 30, 30)
+	if got := a.Intersect(c); !got.Empty() {
+		t.Errorf("disjoint Intersect = %+v, want empty", got)
+	}
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("empty Union identity = %+v", got)
+	}
+}
+
+func TestRectInsetClamp(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if got := r.Inset(2); got != R(2, 2, 8, 8) {
+		t.Errorf("Inset = %+v", got)
+	}
+	if got := r.Inset(6); !got.Empty() {
+		t.Errorf("over-Inset = %+v, want empty", got)
+	}
+	if got := R(-5, -5, 20, 20).ClampTo(10, 8); got != R(0, 0, 10, 8) {
+		t.Errorf("ClampTo = %+v", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	if got := BoundingBox(nil); !got.Empty() {
+		t.Errorf("BoundingBox(nil) = %+v", got)
+	}
+	pts := []PointI{{3, 4}, {1, 9}, {5, 2}}
+	if got := BoundingBox(pts); got != (Rect{1, 2, 6, 10}) {
+		t.Errorf("BoundingBox = %+v", got)
+	}
+	for _, p := range pts {
+		if !BoundingBox(pts).Contains(p.X, p.Y) {
+			t.Errorf("bbox does not contain %v", p)
+		}
+	}
+}
+
+func TestAffineIdentityAndCompose(t *testing.T) {
+	p := Pt(3, -2)
+	if got := Identity().Apply(p); got != p {
+		t.Errorf("Identity = %v", got)
+	}
+	tr := Translation(5, 7)
+	sc := Scaling(2, 3)
+	// Compose semantics: t.Mul(u) applies u first.
+	got := tr.Mul(sc).Apply(p)
+	want := Pt(3*2+5, -2*3+7)
+	if !almostEq(got.X, want.X, 1e-12) || !almostEq(got.Y, want.Y, 1e-12) {
+		t.Errorf("compose = %v, want %v", got, want)
+	}
+}
+
+func TestAffineRotationAbout(t *testing.T) {
+	rot := RotationAbout(math.Pi, 5, 5)
+	got := rot.Apply(Pt(6, 5))
+	if !almostEq(got.X, 4, 1e-12) || !almostEq(got.Y, 5, 1e-12) {
+		t.Errorf("RotationAbout = %v", got)
+	}
+	// The centre is fixed.
+	c := rot.Apply(Pt(5, 5))
+	if !almostEq(c.X, 5, 1e-12) || !almostEq(c.Y, 5, 1e-12) {
+		t.Errorf("centre moved: %v", c)
+	}
+}
+
+func TestAffineInvert(t *testing.T) {
+	tf := Translation(3, -1).Mul(Rotation(0.7)).Mul(Scaling(2, 0.5))
+	inv, ok := tf.Invert()
+	if !ok {
+		t.Fatal("invertible transform reported singular")
+	}
+	p := Pt(1.5, -2.25)
+	q := inv.Apply(tf.Apply(p))
+	if !almostEq(q.X, p.X, 1e-9) || !almostEq(q.Y, p.Y, 1e-9) {
+		t.Errorf("round trip = %v, want %v", q, p)
+	}
+	if _, ok := Scaling(0, 1).Invert(); ok {
+		t.Error("singular transform reported invertible")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	square := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	if got := PolygonArea(square); got != 16 {
+		t.Errorf("ccw square area = %v", got)
+	}
+	// Reversed orientation flips the sign.
+	rev := []Point{{0, 4}, {4, 4}, {4, 0}, {0, 0}}
+	if got := PolygonArea(rev); got != -16 {
+		t.Errorf("cw square area = %v", got)
+	}
+	if got := PolygonArea(square[:2]); got != 0 {
+		t.Errorf("degenerate area = %v", got)
+	}
+}
+
+func TestPolygonCentroid(t *testing.T) {
+	square := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	c := PolygonCentroid(square)
+	if !almostEq(c.X, 2, 1e-12) || !almostEq(c.Y, 2, 1e-12) {
+		t.Errorf("centroid = %v", c)
+	}
+	// Degenerate: falls back to vertex mean.
+	line := []Point{{0, 0}, {2, 0}}
+	c = PolygonCentroid(line)
+	if !almostEq(c.X, 1, 1e-12) || !almostEq(c.Y, 0, 1e-12) {
+		t.Errorf("degenerate centroid = %v", c)
+	}
+}
+
+func TestPointInPolygon(t *testing.T) {
+	poly := []Point{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	if !PointInPolygon(Pt(5, 5), poly) {
+		t.Error("centre not inside")
+	}
+	if PointInPolygon(Pt(15, 5), poly) {
+		t.Error("outside point reported inside")
+	}
+	concave := []Point{{0, 0}, {10, 0}, {10, 10}, {5, 5}, {0, 10}}
+	if PointInPolygon(Pt(5, 8), concave) {
+		t.Error("notch point reported inside concave polygon")
+	}
+	if !PointInPolygon(Pt(2, 2), concave) {
+		t.Error("interior point of concave polygon reported outside")
+	}
+}
+
+func TestAffineApplyAll(t *testing.T) {
+	pts := []Point{{1, 0}, {0, 1}}
+	out := Scaling(2, 2).ApplyAll(pts)
+	if out[0] != Pt(2, 0) || out[1] != Pt(0, 2) {
+		t.Errorf("ApplyAll = %v", out)
+	}
+	if pts[0] != Pt(1, 0) {
+		t.Error("ApplyAll mutated its input")
+	}
+}

@@ -1,0 +1,187 @@
+package imaging
+
+import (
+	"math"
+	"sort"
+
+	"snmatch/internal/geom"
+)
+
+// FillRect fills the half-open rectangle r with c, clipped to the image.
+func (m *Image) FillRect(r geom.Rect, c RGB) {
+	r = r.ClampTo(m.W, m.H)
+	for y := r.MinY; y < r.MaxY; y++ {
+		i := (y*m.W + r.MinX) * 3
+		for x := r.MinX; x < r.MaxX; x++ {
+			m.Pix[i], m.Pix[i+1], m.Pix[i+2] = c.R, c.G, c.B
+			i += 3
+		}
+	}
+}
+
+// StrokeRect draws the rectangle outline with the given stroke thickness
+// growing inwards.
+func (m *Image) StrokeRect(r geom.Rect, thickness int, c RGB) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	m.FillRect(geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MinY + thickness}, c)
+	m.FillRect(geom.Rect{MinX: r.MinX, MinY: r.MaxY - thickness, MaxX: r.MaxX, MaxY: r.MaxY}, c)
+	m.FillRect(geom.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MinX + thickness, MaxY: r.MaxY}, c)
+	m.FillRect(geom.Rect{MinX: r.MaxX - thickness, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}, c)
+}
+
+// FillPolygon fills the polygon using even-odd scanline rasterisation.
+// Vertices are in continuous coordinates; pixel centres at (x+0.5, y+0.5)
+// determine coverage.
+func (m *Image) FillPolygon(poly []geom.Point, c RGB) {
+	if len(poly) < 3 {
+		return
+	}
+	minY, maxY := poly[0].Y, poly[0].Y
+	for _, p := range poly[1:] {
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	y0 := int(math.Floor(minY))
+	y1 := int(math.Ceil(maxY))
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > m.H {
+		y1 = m.H
+	}
+	xs := make([]float64, 0, 8)
+	for y := y0; y < y1; y++ {
+		cy := float64(y) + 0.5
+		xs = xs[:0]
+		for i := range poly {
+			a, b := poly[i], poly[(i+1)%len(poly)]
+			if (a.Y > cy) == (b.Y > cy) {
+				continue
+			}
+			t := (cy - a.Y) / (b.Y - a.Y)
+			xs = append(xs, a.X+t*(b.X-a.X))
+		}
+		sort.Float64s(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			xa := int(math.Ceil(xs[i] - 0.5))
+			xb := int(math.Floor(xs[i+1] - 0.5))
+			if xa < 0 {
+				xa = 0
+			}
+			if xb >= m.W {
+				xb = m.W - 1
+			}
+			for x := xa; x <= xb; x++ {
+				m.Set(x, y, c)
+			}
+		}
+	}
+}
+
+// StrokePolygon draws the polygon outline with the given thickness.
+func (m *Image) StrokePolygon(poly []geom.Point, thickness float64, c RGB) {
+	for i := range poly {
+		a, b := poly[i], poly[(i+1)%len(poly)]
+		m.Line(a, b, thickness, c)
+	}
+}
+
+// Line draws a straight segment of the given thickness between a and b.
+func (m *Image) Line(a, b geom.Point, thickness float64, c RGB) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	d := b.Sub(a)
+	length := d.Norm()
+	if length < 1e-9 {
+		m.FillEllipse(a, thickness/2, thickness/2, c)
+		return
+	}
+	// Render the thick line as a rectangle polygon.
+	n := geom.Pt(-d.Y/length, d.X/length).Scale(thickness / 2)
+	m.FillPolygon([]geom.Point{a.Add(n), b.Add(n), b.Sub(n), a.Sub(n)}, c)
+}
+
+// FillEllipse fills the axis-aligned ellipse centred at centre with radii
+// (rx, ry).
+func (m *Image) FillEllipse(centre geom.Point, rx, ry float64, c RGB) {
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	y0 := int(math.Floor(centre.Y - ry))
+	y1 := int(math.Ceil(centre.Y + ry))
+	if y0 < 0 {
+		y0 = 0
+	}
+	if y1 > m.H {
+		y1 = m.H
+	}
+	for y := y0; y < y1; y++ {
+		cy := float64(y) + 0.5
+		dy := (cy - centre.Y) / ry
+		if dy*dy > 1 {
+			continue
+		}
+		half := rx * math.Sqrt(1-dy*dy)
+		xa := int(math.Ceil(centre.X - half - 0.5))
+		xb := int(math.Floor(centre.X + half - 0.5))
+		if xa < 0 {
+			xa = 0
+		}
+		if xb >= m.W {
+			xb = m.W - 1
+		}
+		for x := xa; x <= xb; x++ {
+			m.Set(x, y, c)
+		}
+	}
+}
+
+// FillCircle fills a circle of the given radius.
+func (m *Image) FillCircle(centre geom.Point, r float64, c RGB) {
+	m.FillEllipse(centre, r, r, c)
+}
+
+// StrokeEllipse draws an ellipse outline by filling the ellipse ring
+// between the outer and inner radii.
+func (m *Image) StrokeEllipse(centre geom.Point, rx, ry, thickness float64, c RGB) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	steps := int(2*math.Pi*math.Max(rx, ry)) + 8
+	prev := geom.Pt(centre.X+rx, centre.Y)
+	for i := 1; i <= steps; i++ {
+		t := 2 * math.Pi * float64(i) / float64(steps)
+		p := geom.Pt(centre.X+rx*math.Cos(t), centre.Y+ry*math.Sin(t))
+		m.Line(prev, p, thickness, c)
+		prev = p
+	}
+}
+
+// DrawImage copies src onto m with its top-left corner at (dx, dy),
+// skipping pixels equal to the transparent key colour when hasKey is true.
+func (m *Image) DrawImage(src *Image, dx, dy int, key RGB, hasKey bool) {
+	for y := 0; y < src.H; y++ {
+		ty := y + dy
+		if ty < 0 || ty >= m.H {
+			continue
+		}
+		for x := 0; x < src.W; x++ {
+			tx := x + dx
+			if tx < 0 || tx >= m.W {
+				continue
+			}
+			c := src.At(x, y)
+			if hasKey && c == key {
+				continue
+			}
+			m.Set(tx, ty, c)
+		}
+	}
+}
+
+// Rect is a convenience constructor mirroring geom.R for callers that
+// already import imaging.
+func Rect(x0, y0, x1, y1 int) geom.Rect { return geom.R(x0, y0, x1, y1) }

@@ -1,0 +1,322 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/geom"
+)
+
+func TestGaussianKernelNormalised(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1, 1.6, 3} {
+		k := GaussianKernel(sigma, 0)
+		if len(k)%2 == 0 {
+			t.Fatalf("kernel length even: %d", len(k))
+		}
+		sum := float32(0)
+		for _, v := range k {
+			sum += v
+		}
+		if math.Abs(float64(sum)-1) > 1e-5 {
+			t.Errorf("sigma %v kernel sum = %v", sigma, sum)
+		}
+		// Symmetry.
+		for i := 0; i < len(k)/2; i++ {
+			if k[i] != k[len(k)-1-i] {
+				t.Errorf("kernel asymmetric at %d", i)
+			}
+		}
+		// Peak at centre.
+		if k[len(k)/2] < k[0] {
+			t.Error("kernel peak not at centre")
+		}
+	}
+	if k := GaussianKernel(0, 0); len(k) != 1 || k[0] != 1 {
+		t.Errorf("degenerate kernel = %v", k)
+	}
+}
+
+func TestGaussianBlurPreservesUniform(t *testing.T) {
+	f := NewFloatGray(9, 9)
+	for i := range f.Pix {
+		f.Pix[i] = 100
+	}
+	out := f.GaussianBlur(1.5)
+	for i, v := range out.Pix {
+		if math.Abs(float64(v)-100) > 1e-3 {
+			t.Fatalf("uniform blur changed pixel %d: %v", i, v)
+		}
+	}
+}
+
+func TestGaussianBlurSpreadsImpulse(t *testing.T) {
+	f := NewFloatGray(11, 11)
+	f.Set(5, 5, 1000)
+	out := f.GaussianBlur(1.0)
+	if out.At(5, 5) >= 1000 {
+		t.Error("centre not attenuated")
+	}
+	if out.At(5, 4) <= 0 || out.At(4, 5) <= 0 {
+		t.Error("impulse did not spread")
+	}
+	// Energy conserved away from the border.
+	var sum float32
+	for _, v := range out.Pix {
+		sum += v
+	}
+	if math.Abs(float64(sum)-1000) > 1 {
+		t.Errorf("energy = %v, want ~1000", sum)
+	}
+	// Isotropy.
+	if math.Abs(float64(out.At(5, 4)-out.At(4, 5))) > 1e-3 {
+		t.Error("blur not isotropic")
+	}
+}
+
+func TestImageGaussianBlurChannels(t *testing.T) {
+	m := NewImageFilled(9, 9, RGB{200, 0, 50})
+	out := m.GaussianBlur(2)
+	if out.At(4, 4) != (RGB{200, 0, 50}) {
+		t.Errorf("uniform RGB blur changed: %v", out.At(4, 4))
+	}
+	if got := m.GaussianBlur(0); got.At(1, 1) != m.At(1, 1) {
+		t.Error("sigma 0 should copy")
+	}
+}
+
+func TestSobelGradients(t *testing.T) {
+	// Vertical step edge: left dark, right bright.
+	f := NewFloatGray(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 4; x < 8; x++ {
+			f.Set(x, y, 100)
+		}
+	}
+	gx, gy := f.Sobel()
+	if gx.At(4, 4) <= 0 {
+		t.Errorf("gx at edge = %v, want > 0", gx.At(4, 4))
+	}
+	if math.Abs(float64(gy.At(4, 4))) > 1e-3 {
+		t.Errorf("gy at vertical edge = %v, want 0", gy.At(4, 4))
+	}
+	// Horizontal edge transposes the roles.
+	f2 := NewFloatGray(8, 8)
+	for y := 4; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			f2.Set(x, y, 100)
+		}
+	}
+	gx2, gy2 := f2.Sobel()
+	if gy2.At(4, 4) <= 0 {
+		t.Errorf("gy at edge = %v", gy2.At(4, 4))
+	}
+	if math.Abs(float64(gx2.At(4, 4))) > 1e-3 {
+		t.Errorf("gx at horizontal edge = %v", gx2.At(4, 4))
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := NewFloatGray(3, 3)
+	b := NewFloatGray(3, 3)
+	a.Set(1, 1, 10)
+	b.Set(1, 1, 4)
+	d := a.Subtract(b)
+	if d.At(1, 1) != 6 {
+		t.Errorf("Subtract = %v", d.At(1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch did not panic")
+		}
+	}()
+	a.Subtract(NewFloatGray(2, 2))
+}
+
+func TestIntegralBoxSum(t *testing.T) {
+	g := NewGray(4, 4)
+	for i := range g.Pix {
+		g.Pix[i] = 1
+	}
+	it := NewIntegral(g)
+	if got := it.BoxSum(0, 0, 4, 4); got != 16 {
+		t.Errorf("full sum = %v", got)
+	}
+	if got := it.BoxSum(1, 1, 3, 3); got != 4 {
+		t.Errorf("inner sum = %v", got)
+	}
+	// Clipping.
+	if got := it.BoxSum(-5, -5, 10, 10); got != 16 {
+		t.Errorf("clipped sum = %v", got)
+	}
+	if got := it.BoxSum(2, 2, 2, 2); got != 0 {
+		t.Errorf("empty box sum = %v", got)
+	}
+}
+
+func TestIntegralMatchesBruteForce(t *testing.T) {
+	g := NewGray(13, 9)
+	for i := range g.Pix {
+		g.Pix[i] = uint8((i*37 + 11) % 251)
+	}
+	it := NewIntegral(g)
+	brute := func(x0, y0, x1, y1 int) (s, sq float64) {
+		for y := y0; y < y1; y++ {
+			for x := x0; x < x1; x++ {
+				v := float64(g.At(x, y))
+				s += v
+				sq += v * v
+			}
+		}
+		return
+	}
+	cases := [][4]int{{0, 0, 13, 9}, {3, 2, 7, 8}, {0, 0, 1, 1}, {12, 8, 13, 9}, {5, 5, 5, 9}}
+	for _, c := range cases {
+		ws, wq := brute(c[0], c[1], c[2], c[3])
+		if got := it.BoxSum(c[0], c[1], c[2], c[3]); got != ws {
+			t.Errorf("BoxSum%v = %v, want %v", c, got, ws)
+		}
+		if got := it.BoxSqSum(c[0], c[1], c[2], c[3]); got != wq {
+			t.Errorf("BoxSqSum%v = %v, want %v", c, got, wq)
+		}
+	}
+	if got := it.BoxMean(0, 0, 13, 9); math.Abs(got-it.BoxSum(0, 0, 13, 9)/117) > 1e-9 {
+		t.Errorf("BoxMean = %v", got)
+	}
+	if got := it.BoxMean(4, 4, 4, 4); got != 0 {
+		t.Errorf("empty BoxMean = %v", got)
+	}
+}
+
+func TestFillRectAndStroke(t *testing.T) {
+	m := NewImage(10, 10)
+	m.FillRect(geom.R(2, 2, 5, 5), White)
+	if m.At(2, 2) != White || m.At(4, 4) != White {
+		t.Error("FillRect interior missing")
+	}
+	if m.At(5, 5) == White {
+		t.Error("FillRect overfilled (half-open violated)")
+	}
+	m2 := NewImage(10, 10)
+	m2.StrokeRect(geom.R(1, 1, 9, 9), 2, White)
+	if m2.At(1, 1) != White || m2.At(8, 8) != White {
+		t.Error("StrokeRect corners missing")
+	}
+	if m2.At(5, 5) == White {
+		t.Error("StrokeRect filled interior")
+	}
+}
+
+func TestFillPolygonTriangle(t *testing.T) {
+	m := NewImage(20, 20)
+	tri := []geom.Point{geom.Pt(2, 2), geom.Pt(18, 2), geom.Pt(10, 18)}
+	m.FillPolygon(tri, White)
+	if m.At(10, 5) != White {
+		t.Error("triangle interior not filled")
+	}
+	if m.At(2, 18) == White || m.At(18, 18) == White {
+		t.Error("triangle exterior filled")
+	}
+	// Filled area should approximate the analytic area.
+	count := 0
+	for i := 0; i < len(m.Pix); i += 3 {
+		if m.Pix[i] == 255 {
+			count++
+		}
+	}
+	want := 0.5 * 16 * 16
+	if math.Abs(float64(count)-want) > want*0.15 {
+		t.Errorf("filled pixels = %d, want ~%v", count, want)
+	}
+}
+
+func TestFillPolygonDegenerate(t *testing.T) {
+	m := NewImage(5, 5)
+	m.FillPolygon([]geom.Point{geom.Pt(1, 1), geom.Pt(2, 2)}, White) // no-op
+	for i := 0; i < len(m.Pix); i += 3 {
+		if m.Pix[i] != 0 {
+			t.Fatal("degenerate polygon painted pixels")
+		}
+	}
+}
+
+func TestFillEllipseAndCircle(t *testing.T) {
+	m := NewImage(21, 21)
+	m.FillCircle(geom.Pt(10.5, 10.5), 8, White)
+	if m.At(10, 10) != White {
+		t.Error("circle centre not filled")
+	}
+	if m.At(0, 0) == White {
+		t.Error("circle corner filled")
+	}
+	count := 0
+	for i := 0; i < len(m.Pix); i += 3 {
+		if m.Pix[i] == 255 {
+			count++
+		}
+	}
+	want := math.Pi * 64
+	if math.Abs(float64(count)-want) > want*0.1 {
+		t.Errorf("circle area = %d, want ~%v", count, want)
+	}
+}
+
+func TestLineDraws(t *testing.T) {
+	m := NewImage(20, 20)
+	m.Line(geom.Pt(2, 10), geom.Pt(18, 10), 3, White)
+	if m.At(10, 10) != White {
+		t.Error("horizontal line centre missing")
+	}
+	if m.At(10, 5) == White {
+		t.Error("line too thick")
+	}
+	// Zero-length line degenerates to a dot.
+	m2 := NewImage(10, 10)
+	m2.Line(geom.Pt(5, 5), geom.Pt(5, 5), 4, White)
+	if m2.At(5, 5) != White {
+		t.Error("dot missing")
+	}
+}
+
+func TestStrokePolygonAndEllipse(t *testing.T) {
+	m := NewImage(30, 30)
+	square := []geom.Point{geom.Pt(5, 5), geom.Pt(25, 5), geom.Pt(25, 25), geom.Pt(5, 25)}
+	m.StrokePolygon(square, 2, White)
+	if m.At(15, 5) != White {
+		t.Error("polygon stroke top edge missing")
+	}
+	if m.At(15, 15) == White {
+		t.Error("polygon stroke filled interior")
+	}
+	m2 := NewImage(30, 30)
+	m2.StrokeEllipse(geom.Pt(15, 15), 10, 6, 2, White)
+	if m2.At(25, 15) != White && m2.At(24, 15) != White {
+		t.Error("ellipse stroke right extreme missing")
+	}
+	if m2.At(15, 15) == White {
+		t.Error("ellipse stroke filled centre")
+	}
+}
+
+func TestDrawImageWithKey(t *testing.T) {
+	dst := NewImageFilled(10, 10, RGB{50, 50, 50})
+	src := NewImageFilled(4, 4, White)
+	src.Set(0, 0, Black)
+	dst.DrawImage(src, 3, 3, Black, true)
+	if dst.At(3, 3) != (RGB{50, 50, 50}) {
+		t.Error("key colour was drawn")
+	}
+	if dst.At(4, 4) != White {
+		t.Error("content not drawn")
+	}
+	// Without key, everything is copied.
+	dst2 := NewImageFilled(10, 10, RGB{50, 50, 50})
+	dst2.DrawImage(src, 3, 3, Black, false)
+	if dst2.At(3, 3) != Black {
+		t.Error("keyless draw skipped pixel")
+	}
+	// Clipping draws the visible part only, without panicking.
+	dst.DrawImage(src, 8, 8, Black, false)
+	if dst.At(9, 9) != White {
+		t.Error("clipped draw missing")
+	}
+}

@@ -1,0 +1,83 @@
+package imaging
+
+// Integral is a summed-area table. Sum holds the inclusive prefix sums of
+// pixel values and SqSum the prefix sums of squared values, both with an
+// extra zero row and column so lookups need no bounds branches.
+type Integral struct {
+	W, H  int // dimensions of the source image
+	Sum   []float64
+	SqSum []float64
+}
+
+// NewIntegral builds the summed-area table of g.
+func NewIntegral(g *Gray) *Integral {
+	it := &Integral{
+		W:     g.W,
+		H:     g.H,
+		Sum:   make([]float64, (g.W+1)*(g.H+1)),
+		SqSum: make([]float64, (g.W+1)*(g.H+1)),
+	}
+	stride := g.W + 1
+	for y := 1; y <= g.H; y++ {
+		var rowSum, rowSq float64
+		for x := 1; x <= g.W; x++ {
+			v := float64(g.Pix[(y-1)*g.W+x-1])
+			rowSum += v
+			rowSq += v * v
+			it.Sum[y*stride+x] = it.Sum[(y-1)*stride+x] + rowSum
+			it.SqSum[y*stride+x] = it.SqSum[(y-1)*stride+x] + rowSq
+		}
+	}
+	return it
+}
+
+// clampBox clips the half-open box [x0,x1) x [y0,y1) to the source bounds.
+func (it *Integral) clampBox(x0, y0, x1, y1 int) (int, int, int, int) {
+	clamp := func(v, hi int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	x0, x1 = clamp(x0, it.W), clamp(x1, it.W)
+	y0, y1 = clamp(y0, it.H), clamp(y1, it.H)
+	if x1 < x0 {
+		x1 = x0
+	}
+	if y1 < y0 {
+		y1 = y0
+	}
+	return x0, y0, x1, y1
+}
+
+// BoxSum returns the sum of pixel values in the half-open rectangle
+// [x0,x1) x [y0,y1), clipped to the image.
+func (it *Integral) BoxSum(x0, y0, x1, y1 int) float64 {
+	x0, y0, x1, y1 = it.clampBox(x0, y0, x1, y1)
+	s := it.Sum
+	stride := it.W + 1
+	return s[y1*stride+x1] - s[y0*stride+x1] - s[y1*stride+x0] + s[y0*stride+x0]
+}
+
+// BoxSqSum returns the sum of squared pixel values in the half-open
+// rectangle [x0,x1) x [y0,y1), clipped to the image.
+func (it *Integral) BoxSqSum(x0, y0, x1, y1 int) float64 {
+	x0, y0, x1, y1 = it.clampBox(x0, y0, x1, y1)
+	s := it.SqSum
+	stride := it.W + 1
+	return s[y1*stride+x1] - s[y0*stride+x1] - s[y1*stride+x0] + s[y0*stride+x0]
+}
+
+// BoxMean returns the mean pixel value over the clipped rectangle, or 0
+// for an empty intersection.
+func (it *Integral) BoxMean(x0, y0, x1, y1 int) float64 {
+	cx0, cy0, cx1, cy1 := it.clampBox(x0, y0, x1, y1)
+	n := (cx1 - cx0) * (cy1 - cy0)
+	if n == 0 {
+		return 0
+	}
+	return it.BoxSum(x0, y0, x1, y1) / float64(n)
+}

@@ -1,0 +1,34 @@
+package imaging
+
+import (
+	"fmt"
+	"image/png"
+	"os"
+)
+
+// SavePNG writes m to path as a PNG file.
+func (m *Image) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("imaging: save png: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, m.ToStdImage()); err != nil {
+		return fmt.Errorf("imaging: encode png: %w", err)
+	}
+	return f.Close()
+}
+
+// LoadPNG reads a PNG file into an Image.
+func LoadPNG(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: load png: %w", err)
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("imaging: decode png: %w", err)
+	}
+	return FromStdImage(img), nil
+}

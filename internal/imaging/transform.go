@@ -1,0 +1,126 @@
+package imaging
+
+import "snmatch/internal/geom"
+
+// FlipH returns m mirrored about the vertical axis.
+func (m *Image) FlipH() *Image {
+	out := NewImage(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Set(m.W-1-x, y, m.At(x, y))
+		}
+	}
+	return out
+}
+
+// FlipV returns m mirrored about the horizontal axis.
+func (m *Image) FlipV() *Image {
+	out := NewImage(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		src := y * m.W * 3
+		dst := (m.H - 1 - y) * m.W * 3
+		copy(out.Pix[dst:dst+m.W*3], m.Pix[src:src+m.W*3])
+	}
+	return out
+}
+
+// Rotate90 returns m rotated 90 degrees clockwise.
+func (m *Image) Rotate90() *Image {
+	out := NewImage(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Set(m.H-1-y, x, m.At(x, y))
+		}
+	}
+	return out
+}
+
+// Rotate180 returns m rotated 180 degrees.
+func (m *Image) Rotate180() *Image {
+	out := NewImage(m.W, m.H)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Set(m.W-1-x, m.H-1-y, m.At(x, y))
+		}
+	}
+	return out
+}
+
+// Rotate270 returns m rotated 90 degrees counter-clockwise.
+func (m *Image) Rotate270() *Image {
+	out := NewImage(m.H, m.W)
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			out.Set(y, m.W-1-x, m.At(x, y))
+		}
+	}
+	return out
+}
+
+// WarpAffine resamples m through the inverse of tf into a w x h canvas
+// filled with bg: for each destination pixel p the source location is
+// inv(tf)(p), sampled bilinearly. Source locations outside m map to bg.
+func (m *Image) WarpAffine(tf geom.Affine, w, h int, bg RGB) *Image {
+	checkSize(w, h)
+	inv, ok := tf.Invert()
+	if !ok {
+		return NewImageFilled(w, h, bg)
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			src := inv.Apply(geom.Pt(float64(x), float64(y)))
+			out.Set(x, y, m.sampleBilinear(src.X, src.Y, bg))
+		}
+	}
+	return out
+}
+
+// sampleBilinear samples m at the continuous location (fx, fy), blending
+// with bg for the portion of the sample footprint outside the image.
+func (m *Image) sampleBilinear(fx, fy float64, bg RGB) RGB {
+	x0, y0 := floorInt(fx), floorInt(fy)
+	wx, wy := fx-float64(x0), fy-float64(y0)
+	get := func(x, y int) RGB {
+		if m.In(x, y) {
+			return m.At(x, y)
+		}
+		return bg
+	}
+	if x0 < -1 || y0 < -1 || x0 > m.W || y0 > m.H {
+		return bg
+	}
+	top := get(x0, y0).Mix(get(x0+1, y0), wx)
+	bot := get(x0, y0+1).Mix(get(x0+1, y0+1), wx)
+	return top.Mix(bot, wy)
+}
+
+// RotateAbout returns m rotated by theta radians about its centre on a
+// same-sized canvas filled with bg.
+func (m *Image) RotateAbout(theta float64, bg RGB) *Image {
+	cx, cy := float64(m.W-1)/2, float64(m.H-1)/2
+	return m.WarpAffine(geom.RotationAbout(theta, cx, cy), m.W, m.H, bg)
+}
+
+// PadTo returns m centred on a w x h canvas filled with bg. If m is larger
+// than the canvas in a dimension it is cropped centrally.
+func (m *Image) PadTo(w, h int, bg RGB) *Image {
+	checkSize(w, h)
+	out := NewImageFilled(w, h, bg)
+	dx := (w - m.W) / 2
+	dy := (h - m.H) / 2
+	for y := 0; y < m.H; y++ {
+		ty := y + dy
+		if ty < 0 || ty >= h {
+			continue
+		}
+		for x := 0; x < m.W; x++ {
+			tx := x + dx
+			if tx < 0 || tx >= w {
+				continue
+			}
+			out.Set(tx, ty, m.At(x, y))
+		}
+	}
+	return out
+}

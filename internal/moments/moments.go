@@ -1,0 +1,266 @@
+// Package moments computes image and contour moments, the seven Hu
+// invariants (Hu 1962), and the OpenCV-compatible matchShapes distances
+// used by the paper's shape-only matching pipeline (its "L1/L2/L3"
+// variants correspond to OpenCV's CONTOURS_MATCH_I1/I2/I3).
+package moments
+
+import (
+	"math"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+// Moments holds spatial moments up to order 3 together with the derived
+// central (Mu) and normalised central (Nu) moments.
+type Moments struct {
+	M00, M10, M01          float64
+	M20, M11, M02          float64
+	M30, M21, M12, M03     float64
+	Mu20, Mu11, Mu02       float64
+	Mu30, Mu21, Mu12, Mu03 float64
+	Nu20, Nu11, Nu02       float64
+	Nu30, Nu21, Nu12, Nu03 float64
+}
+
+// Centroid returns the centre of mass, or (0, 0) for an empty shape.
+func (m *Moments) Centroid() geom.Point {
+	if m.M00 == 0 {
+		return geom.Point{}
+	}
+	return geom.Pt(m.M10/m.M00, m.M01/m.M00)
+}
+
+// deriveCentral fills the central and normalised central moments from the
+// spatial ones.
+func (m *Moments) deriveCentral() {
+	if m.M00 == 0 {
+		return
+	}
+	cx := m.M10 / m.M00
+	cy := m.M01 / m.M00
+	m.Mu20 = m.M20 - cx*m.M10
+	m.Mu11 = m.M11 - cx*m.M01
+	m.Mu02 = m.M02 - cy*m.M01
+	m.Mu30 = m.M30 - 3*cx*m.M20 + 2*cx*cx*m.M10
+	m.Mu21 = m.M21 - 2*cx*m.M11 - cy*m.M20 + 2*cx*cx*m.M01
+	m.Mu12 = m.M12 - 2*cy*m.M11 - cx*m.M02 + 2*cy*cy*m.M10
+	m.Mu03 = m.M03 - 3*cy*m.M02 + 2*cy*cy*m.M01
+
+	inv := 1 / m.M00
+	s2 := inv * inv // m00^-2 for order-2 terms: mu/m00^((p+q)/2+1) with p+q=2
+	s3 := s2 * math.Sqrt(inv)
+	m.Nu20 = m.Mu20 * s2
+	m.Nu11 = m.Mu11 * s2
+	m.Nu02 = m.Mu02 * s2
+	m.Nu30 = m.Mu30 * s3
+	m.Nu21 = m.Mu21 * s3
+	m.Nu12 = m.Mu12 * s3
+	m.Nu03 = m.Mu03 * s3
+}
+
+// FromRaster computes moments of a grayscale raster. With binary set,
+// every nonzero pixel contributes weight 1; otherwise the pixel intensity
+// is the weight (matching OpenCV's cv::moments binaryImage flag).
+func FromRaster(g *imaging.Gray, binary bool) Moments {
+	var m Moments
+	for y := 0; y < g.H; y++ {
+		fy := float64(y)
+		var r00, r10, r20, r30 float64
+		for x := 0; x < g.W; x++ {
+			v := float64(g.Pix[y*g.W+x])
+			if v == 0 {
+				continue
+			}
+			if binary {
+				v = 1
+			}
+			fx := float64(x)
+			r00 += v
+			r10 += v * fx
+			r20 += v * fx * fx
+			r30 += v * fx * fx * fx
+		}
+		m.M00 += r00
+		m.M10 += r10
+		m.M01 += r00 * fy
+		m.M20 += r20
+		m.M11 += r10 * fy
+		m.M02 += r00 * fy * fy
+		m.M30 += r30
+		m.M21 += r20 * fy
+		m.M12 += r10 * fy * fy
+		m.M03 += r00 * fy * fy * fy
+	}
+	m.deriveCentral()
+	return m
+}
+
+// FromContour computes moments of a closed polygon boundary using Green's
+// theorem, following OpenCV's contourMoments so that shape matching
+// behaves identically to cv::matchShapes on point contours.
+func FromContour(pts []geom.PointI) Moments {
+	var m Moments
+	n := len(pts)
+	if n == 0 {
+		return m
+	}
+	var a00, a10, a01, a20, a11, a02, a30, a21, a12, a03 float64
+	xiPrev := float64(pts[n-1].X)
+	yiPrev := float64(pts[n-1].Y)
+	for i := 0; i < n; i++ {
+		xi := float64(pts[i].X)
+		yi := float64(pts[i].Y)
+		xi2 := xi * xi
+		yi2 := yi * yi
+		xp2 := xiPrev * xiPrev
+		yp2 := yiPrev * yiPrev
+		dxy := xiPrev*yi - xi*yiPrev
+		xii := xiPrev + xi
+		yii := yiPrev + yi
+
+		a00 += dxy
+		a10 += dxy * xii
+		a01 += dxy * yii
+		a20 += dxy * (xiPrev*xii + xi2)
+		a11 += dxy * (xiPrev*(yii+yiPrev) + xi*(yii+yi))
+		a02 += dxy * (yiPrev*yii + yi2)
+		a30 += dxy * xii * (xp2 + xi2)
+		a03 += dxy * yii * (yp2 + yi2)
+		a21 += dxy * (xp2*(3*yiPrev+yi) + 2*xi*xiPrev*yii + xi2*(yiPrev+3*yi))
+		a12 += dxy * (yp2*(3*xiPrev+xi) + 2*yi*yiPrev*xii + yi2*(xiPrev+3*xi))
+
+		xiPrev, yiPrev = xi, yi
+	}
+	if a00 == 0 {
+		return m
+	}
+	sign := 1.0
+	if a00 < 0 {
+		sign = -1
+	}
+	m.M00 = a00 * sign / 2
+	m.M10 = a10 * sign / 6
+	m.M01 = a01 * sign / 6
+	m.M20 = a20 * sign / 12
+	m.M11 = a11 * sign / 24
+	m.M02 = a02 * sign / 12
+	m.M30 = a30 * sign / 20
+	m.M21 = a21 * sign / 60
+	m.M12 = a12 * sign / 60
+	m.M03 = a03 * sign / 20
+	m.deriveCentral()
+	return m
+}
+
+// Hu holds the seven Hu moment invariants.
+type Hu [7]float64
+
+// HuInvariants computes the seven invariants from normalised central
+// moments. They are invariant to translation, scale and rotation (the
+// seventh changes sign under reflection).
+func HuInvariants(m Moments) Hu {
+	n20, n11, n02 := m.Nu20, m.Nu11, m.Nu02
+	n30, n21, n12, n03 := m.Nu30, m.Nu21, m.Nu12, m.Nu03
+
+	t0 := n30 + n12
+	t1 := n21 + n03
+	q0 := t0 * t0
+	q1 := t1 * t1
+	n4 := 4 * n11
+	s := n20 + n02
+	d := n20 - n02
+
+	var h Hu
+	h[0] = s
+	h[1] = d*d + n4*n11
+	h[3] = q0 + q1
+	h[5] = d*(q0-q1) + n4*t0*t1
+
+	t0q := q0 - 3*q1
+	t1q := 3*q0 - q1
+	u0 := n30 - 3*n12
+	u1 := 3*n21 - n03
+	h[2] = u0*u0 + u1*u1
+	h[4] = u0*t0*t0q + u1*t1*t1q
+	h[6] = u1*t0*t0q - u0*t1*t1q
+	return h
+}
+
+// MatchMethod selects the matchShapes distance. The paper labels these
+// L1, L2 and L3.
+type MatchMethod int
+
+const (
+	// MatchI1 is OpenCV CONTOURS_MATCH_I1: sum |1/mA - 1/mB| over the
+	// log-scaled Hu invariants.
+	MatchI1 MatchMethod = iota
+	// MatchI2 is CONTOURS_MATCH_I2: sum |mA - mB|.
+	MatchI2
+	// MatchI3 is CONTOURS_MATCH_I3: max |mA - mB| / |mA|.
+	MatchI3
+)
+
+// String returns the paper's label for the method.
+func (m MatchMethod) String() string {
+	switch m {
+	case MatchI1:
+		return "L1"
+	case MatchI2:
+		return "L2"
+	case MatchI3:
+		return "L3"
+	}
+	return "unknown"
+}
+
+// matchEps mirrors the magnitude cut-off OpenCV applies before taking
+// logarithms of Hu invariants.
+const matchEps = 1e-20
+
+// MatchShapes returns the dissimilarity of two Hu invariant vectors using
+// the OpenCV formulas over log-scaled invariants: smaller is more similar
+// and identical shapes score 0.
+func MatchShapes(a, b Hu, method MatchMethod) float64 {
+	result := 0.0
+	for i := 0; i < 7; i++ {
+		ama := math.Abs(a[i])
+		amb := math.Abs(b[i])
+		if ama <= matchEps || amb <= matchEps {
+			continue
+		}
+		sma := 1.0
+		if a[i] < 0 {
+			sma = -1
+		}
+		smb := 1.0
+		if b[i] < 0 {
+			smb = -1
+		}
+		ma := sma * math.Log10(ama)
+		mb := smb * math.Log10(amb)
+		switch method {
+		case MatchI1:
+			result += math.Abs(1/ma - 1/mb)
+		case MatchI2:
+			result += math.Abs(ma - mb)
+		case MatchI3:
+			if r := math.Abs(ma-mb) / math.Abs(ma); r > result {
+				result = r
+			}
+		}
+	}
+	return result
+}
+
+// HuFromGray is a convenience helper computing Hu invariants straight
+// from a binary-thresholded raster.
+func HuFromGray(g *imaging.Gray, binary bool) Hu {
+	return HuInvariants(FromRaster(g, binary))
+}
+
+// HuFromContour is a convenience helper computing Hu invariants from a
+// boundary polygon.
+func HuFromContour(pts []geom.PointI) Hu {
+	return HuInvariants(FromContour(pts))
+}

@@ -1,0 +1,223 @@
+package moments
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/contour"
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+// rasterRect returns a binary raster with a filled rectangle.
+func rasterRect(w, h int, r geom.Rect) *imaging.Gray {
+	img := imaging.NewImage(w, h)
+	img.FillRect(r, imaging.White)
+	return img.ToGray()
+}
+
+// rasterShape draws an L-shaped asymmetric test polygon, optionally
+// rotated by theta and scaled by s about the canvas centre.
+func rasterShape(size int, theta, s float64) *imaging.Gray {
+	img := imaging.NewImage(size, size)
+	c := float64(size) / 2
+	base := []geom.Point{
+		geom.Pt(-20, -30), geom.Pt(12, -30), geom.Pt(12, -6),
+		geom.Pt(28, -6), geom.Pt(28, 30), geom.Pt(-20, 30),
+	}
+	pts := make([]geom.Point, len(base))
+	for i, p := range base {
+		q := p.Scale(s).Rotate(theta)
+		pts[i] = geom.Pt(q.X+c, q.Y+c)
+	}
+	img.FillPolygon(pts, imaging.White)
+	return img.ToGray()
+}
+
+func TestRasterMomentsRect(t *testing.T) {
+	g := rasterRect(20, 20, geom.R(4, 6, 10, 16)) // 6 x 10 = 60 px
+	m := FromRaster(g, true)
+	if m.M00 != 60 {
+		t.Errorf("M00 = %v, want 60", m.M00)
+	}
+	c := m.Centroid()
+	if math.Abs(c.X-6.5) > 1e-9 || math.Abs(c.Y-10.5) > 1e-9 {
+		t.Errorf("centroid = %v, want (6.5, 10.5)", c)
+	}
+	// Central moments of an axis-aligned rectangle: Mu11 == 0.
+	if math.Abs(m.Mu11) > 1e-6 {
+		t.Errorf("Mu11 = %v, want 0", m.Mu11)
+	}
+	// For a discrete w x h block, mu20 = m00*(w^2-1)/12.
+	wantMu20 := 60.0 * (36 - 1) / 12
+	if math.Abs(m.Mu20-wantMu20) > 1e-6 {
+		t.Errorf("Mu20 = %v, want %v", m.Mu20, wantMu20)
+	}
+}
+
+func TestRasterMomentsIntensityWeight(t *testing.T) {
+	g := imaging.NewGray(3, 1)
+	g.Pix = []uint8{0, 100, 200}
+	m := FromRaster(g, false)
+	if m.M00 != 300 {
+		t.Errorf("M00 = %v", m.M00)
+	}
+	// Centroid pulled towards the brighter pixel.
+	if got := m.Centroid().X; math.Abs(got-(100*1+200*2)/300.0) > 1e-9 {
+		t.Errorf("centroid x = %v", got)
+	}
+}
+
+func TestEmptyMoments(t *testing.T) {
+	g := imaging.NewGray(4, 4)
+	m := FromRaster(g, true)
+	if m.M00 != 0 || m.Centroid() != (geom.Point{}) {
+		t.Errorf("empty moments = %+v", m)
+	}
+	if m := FromContour(nil); m.M00 != 0 {
+		t.Errorf("empty contour moments = %+v", m)
+	}
+}
+
+func TestContourMomentsMatchAnalytic(t *testing.T) {
+	// Square polygon with corners (0,0)..(10,10): area 100, centroid (5,5).
+	pts := []geom.PointI{geom.PtI(0, 0), geom.PtI(10, 0), geom.PtI(10, 10), geom.PtI(0, 10)}
+	m := FromContour(pts)
+	if math.Abs(m.M00-100) > 1e-9 {
+		t.Errorf("M00 = %v, want 100", m.M00)
+	}
+	c := m.Centroid()
+	if math.Abs(c.X-5) > 1e-9 || math.Abs(c.Y-5) > 1e-9 {
+		t.Errorf("centroid = %v", c)
+	}
+	// mu20 of a continuous a x a square = a^4/12.
+	if math.Abs(m.Mu20-10000.0/12) > 1e-6 {
+		t.Errorf("Mu20 = %v, want %v", m.Mu20, 10000.0/12)
+	}
+}
+
+func TestContourOrientationInvariance(t *testing.T) {
+	cw := []geom.PointI{geom.PtI(0, 0), geom.PtI(0, 8), geom.PtI(6, 8), geom.PtI(6, 0)}
+	ccw := []geom.PointI{geom.PtI(0, 0), geom.PtI(6, 0), geom.PtI(6, 8), geom.PtI(0, 8)}
+	a, b := FromContour(cw), FromContour(ccw)
+	if math.Abs(a.M00-b.M00) > 1e-9 || math.Abs(a.M10-b.M10) > 1e-9 {
+		t.Errorf("orientation changed moments: %v vs %v", a.M00, b.M00)
+	}
+}
+
+func TestContourVsRasterAgreement(t *testing.T) {
+	// For a large shape, boundary (Green) moments approximate raster ones.
+	g := rasterShape(128, 0.4, 1)
+	cs := contour.FindContours(g)
+	c := contour.Largest(cs)
+	if c == nil {
+		t.Fatal("no contour")
+	}
+	mr := FromRaster(g, true)
+	mc := FromContour(c.Points)
+	if rel := math.Abs(mr.M00-mc.M00) / mr.M00; rel > 0.05 {
+		t.Errorf("area disagreement = %v", rel)
+	}
+	cr, cc := mr.Centroid(), mc.Centroid()
+	if cr.Sub(cc).Norm() > 1 {
+		t.Errorf("centroid disagreement: %v vs %v", cr, cc)
+	}
+}
+
+func TestHuTranslationInvariance(t *testing.T) {
+	a := rasterRect(64, 64, geom.R(5, 5, 25, 15))
+	b := rasterRect(64, 64, geom.R(30, 40, 50, 50))
+	ha, hb := HuFromGray(a, true), HuFromGray(b, true)
+	for i := 0; i < 7; i++ {
+		if math.Abs(ha[i]-hb[i]) > 1e-9*(1+math.Abs(ha[i])) {
+			t.Errorf("hu[%d]: %v vs %v", i, ha[i], hb[i])
+		}
+	}
+}
+
+func TestHuScaleInvariance(t *testing.T) {
+	a := rasterShape(200, 0, 1)
+	b := rasterShape(200, 0, 1.9)
+	ha, hb := HuFromGray(a, true), HuFromGray(b, true)
+	for i := 0; i < 4; i++ { // low-order invariants are numerically stable
+		rel := math.Abs(ha[i]-hb[i]) / (math.Abs(ha[i]) + 1e-12)
+		if rel > 0.08 {
+			t.Errorf("hu[%d] scale drift = %v (%v vs %v)", i, rel, ha[i], hb[i])
+		}
+	}
+}
+
+func TestHuRotationInvariance(t *testing.T) {
+	a := rasterShape(200, 0, 1.5)
+	b := rasterShape(200, 1.1, 1.5)
+	ha, hb := HuFromGray(a, true), HuFromGray(b, true)
+	for i := 0; i < 4; i++ {
+		rel := math.Abs(ha[i]-hb[i]) / (math.Abs(ha[i]) + 1e-12)
+		if rel > 0.08 {
+			t.Errorf("hu[%d] rotation drift = %v (%v vs %v)", i, rel, ha[i], hb[i])
+		}
+	}
+}
+
+func TestHuDiscriminates(t *testing.T) {
+	// A square and a thin bar must have clearly different invariants.
+	sq := rasterRect(64, 64, geom.R(16, 16, 48, 48))
+	bar := rasterRect(64, 64, geom.R(2, 28, 62, 36))
+	hs, hb := HuFromGray(sq, true), HuFromGray(bar, true)
+	if MatchShapes(hs, hb, MatchI2) < 0.1 {
+		t.Errorf("square vs bar I2 distance = %v, too small", MatchShapes(hs, hb, MatchI2))
+	}
+}
+
+func TestMatchShapesIdentityAndSymmetry(t *testing.T) {
+	h := HuFromGray(rasterShape(100, 0.3, 1.2), true)
+	for _, m := range []MatchMethod{MatchI1, MatchI2, MatchI3} {
+		if d := MatchShapes(h, h, m); d != 0 {
+			t.Errorf("%v self distance = %v", m, d)
+		}
+	}
+	h2 := HuFromGray(rasterRect(64, 64, geom.R(10, 10, 50, 30)), true)
+	// I1 and I2 are symmetric; I3 normalises by the first argument.
+	if d1, d2 := MatchShapes(h, h2, MatchI2), MatchShapes(h2, h, MatchI2); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("I2 asymmetric: %v vs %v", d1, d2)
+	}
+	if d1, d2 := MatchShapes(h, h2, MatchI1), MatchShapes(h2, h, MatchI1); math.Abs(d1-d2) > 1e-12 {
+		t.Errorf("I1 asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestMatchShapesSkipsTinyInvariants(t *testing.T) {
+	var a, b Hu
+	a[0], b[0] = 1e-3, 2e-3
+	// Remaining entries are zero and must be skipped, not produce NaN.
+	for _, m := range []MatchMethod{MatchI1, MatchI2, MatchI3} {
+		d := MatchShapes(a, b, m)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Errorf("%v distance = %v", m, d)
+		}
+		if d == 0 {
+			t.Errorf("%v distance = 0 for different shapes", m)
+		}
+	}
+}
+
+func TestMatchMethodString(t *testing.T) {
+	if MatchI1.String() != "L1" || MatchI2.String() != "L2" || MatchI3.String() != "L3" {
+		t.Error("method labels wrong")
+	}
+	if MatchMethod(9).String() != "unknown" {
+		t.Error("unknown label wrong")
+	}
+}
+
+func TestHuFromContourCloseToRaster(t *testing.T) {
+	g := rasterShape(160, 0.2, 1.4)
+	c := contour.Largest(contour.FindContours(g))
+	hc := HuFromContour(c.Points)
+	hr := HuFromGray(g, true)
+	// First invariant should agree within a few percent for large shapes.
+	rel := math.Abs(hc[0]-hr[0]) / hr[0]
+	if rel > 0.05 {
+		t.Errorf("hu[0] contour vs raster drift = %v", rel)
+	}
+}

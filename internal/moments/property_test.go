@@ -1,0 +1,76 @@
+package moments
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+)
+
+// TestHuTranslationProperty verifies translation invariance of the Hu
+// vector over randomly sized and placed rectangles.
+func TestHuTranslationProperty(t *testing.T) {
+	f := func(w8, h8, dx8, dy8 uint8) bool {
+		w := int(w8%20) + 4
+		h := int(h8%20) + 4
+		dx := int(dx8 % 30)
+		dy := int(dy8 % 30)
+		a := imaging.NewImage(80, 80)
+		a.FillRect(geom.R(5, 5, 5+w, 5+h), imaging.White)
+		b := imaging.NewImage(80, 80)
+		b.FillRect(geom.R(5+dx, 5+dy, 5+dx+w, 5+dy+h), imaging.White)
+		ha := HuFromGray(a.ToGray(), true)
+		hb := HuFromGray(b.ToGray(), true)
+		for i := 0; i < 7; i++ {
+			if math.Abs(ha[i]-hb[i]) > 1e-9*(1+math.Abs(ha[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMatchShapesNonNegativeProperty checks that every matchShapes
+// method yields a non-negative, finite distance for arbitrary shapes.
+func TestMatchShapesNonNegativeProperty(t *testing.T) {
+	f := func(w8, h8, w2, h2 uint8) bool {
+		mk := func(w, h int) Hu {
+			img := imaging.NewImage(60, 60)
+			img.FillRect(geom.R(10, 10, 10+w, 10+h), imaging.White)
+			return HuFromGray(img.ToGray(), true)
+		}
+		a := mk(int(w8%30)+2, int(h8%30)+2)
+		b := mk(int(w2%30)+2, int(h2%30)+2)
+		for _, m := range []MatchMethod{MatchI1, MatchI2, MatchI3} {
+			d := MatchShapes(a, b, m)
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContourMomentsScaleProperty: doubling a polygon's coordinates
+// quadruples its area moment M00.
+func TestContourMomentsScaleProperty(t *testing.T) {
+	f := func(w8, h8 uint8) bool {
+		w := int(w8%40) + 2
+		h := int(h8%40) + 2
+		p1 := []geom.PointI{geom.PtI(0, 0), geom.PtI(w, 0), geom.PtI(w, h), geom.PtI(0, h)}
+		p2 := []geom.PointI{geom.PtI(0, 0), geom.PtI(2*w, 0), geom.PtI(2*w, 2*h), geom.PtI(0, 2*h)}
+		m1, m2 := FromContour(p1), FromContour(p2)
+		return math.Abs(m2.M00-4*m1.M00) < 1e-6*(1+m1.M00)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimiser with Keras-style inverse-time
+// learning-rate decay: lr_t = LR / (1 + Decay * t), as configured in the
+// paper (lr = 1e-4, decay = 1e-7).
+type Adam struct {
+	LR    float64
+	Decay float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	step  int
+}
+
+// NewAdam returns an optimiser with the standard betas.
+func NewAdam(lr, decay float64) *Adam {
+	return &Adam{LR: lr, Decay: decay, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step returns the number of updates applied so far.
+func (a *Adam) Step() int { return a.step }
+
+// CurrentLR returns the decayed learning rate for the next update.
+func (a *Adam) CurrentLR() float64 {
+	return a.LR / (1 + a.Decay*float64(a.step))
+}
+
+// Update applies one Adam step to every parameter using its accumulated
+// gradient, then clears the gradients.
+func (a *Adam) Update(params []*Param) {
+	lr := a.CurrentLR()
+	a.step++
+	t := float64(a.step)
+	bc1 := 1 - math.Pow(a.Beta1, t)
+	bc2 := 1 - math.Pow(a.Beta2, t)
+	for _, p := range params {
+		if p.m == nil {
+			p.m = NewTensor(p.W.Shape...)
+			p.v = NewTensor(p.W.Shape...)
+		}
+		for i, g := range p.G.Data {
+			m := a.Beta1*float64(p.m.Data[i]) + (1-a.Beta1)*float64(g)
+			v := a.Beta2*float64(p.v.Data[i]) + (1-a.Beta2)*float64(g)*float64(g)
+			p.m.Data[i] = float32(m)
+			p.v.Data[i] = float32(v)
+			mHat := m / bc1
+			vHat := v / bc2
+			p.W.Data[i] -= float32(lr * mHat / (math.Sqrt(vHat) + a.Eps))
+		}
+		p.G.Zero()
+	}
+}

@@ -1,0 +1,317 @@
+package nn
+
+import (
+	"math"
+
+	"snmatch/internal/rng"
+)
+
+// Layer is a differentiable network stage. Forward caches whatever the
+// subsequent Backward needs; Backward accumulates parameter gradients and
+// returns the gradient with respect to the input. SharedCopy returns a
+// layer sharing the same parameters but with independent caches, used to
+// run the Siamese trunk on both inputs of a pair.
+type Layer interface {
+	Forward(x *Tensor) *Tensor
+	Backward(grad *Tensor) *Tensor
+	Params() []*Param
+	SharedCopy() Layer
+}
+
+// Conv2D is a 2-D convolution with stride 1 and selectable zero padding.
+type Conv2D struct {
+	InC, OutC, K int
+	Pad          int // zero padding on each side
+	W            *Param
+	B            *Param
+	in           *Tensor // cached input
+}
+
+// NewConv2D creates a convolution with He-normal initialised weights.
+func NewConv2D(inC, outC, k, pad int, r *rng.RNG) *Conv2D {
+	w := NewTensor(outC, inC, k, k)
+	std := math.Sqrt(2.0 / float64(inC*k*k))
+	for i := range w.Data {
+		w.Data[i] = float32(r.NormRange(0, std))
+	}
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Pad: pad,
+		W: NewParam(w),
+		B: NewParam(NewTensor(outC)),
+	}
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// SharedCopy returns a convolution sharing weights with c.
+func (c *Conv2D) SharedCopy() Layer {
+	return &Conv2D{InC: c.InC, OutC: c.OutC, K: c.K, Pad: c.Pad, W: c.W, B: c.B}
+}
+
+// Forward computes the convolution over an NCHW input.
+func (c *Conv2D) Forward(x *Tensor) *Tensor {
+	c.in = x
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := h + 2*c.Pad - c.K + 1
+	ow := w + 2*c.Pad - c.K + 1
+	out := NewTensor(n, c.OutC, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := c.B.W.Data[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					acc := bias
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy + ky - c.Pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox + kx - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								acc += x.Data[x.at4(ni, ic, iy, ix)] *
+									c.W.W.Data[c.W.W.at4(oc, ic, ky, kx)]
+							}
+						}
+					}
+					out.Data[out.at4(ni, oc, oy, ox)] = acc
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW/dB and returns dX.
+func (c *Conv2D) Backward(grad *Tensor) *Tensor {
+	x := c.in
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	dx := NewTensor(x.Shape...)
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := grad.Data[grad.at4(ni, oc, oy, ox)]
+					if g == 0 {
+						continue
+					}
+					c.B.G.Data[oc] += g
+					for ic := 0; ic < c.InC; ic++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy + ky - c.Pad
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox + kx - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								xi := x.at4(ni, ic, iy, ix)
+								wi := c.W.W.at4(oc, ic, ky, kx)
+								c.W.G.Data[wi] += g * x.Data[xi]
+								dx.Data[xi] += g * c.W.W.Data[wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// MaxPool2D is max pooling with a square window and equal stride.
+type MaxPool2D struct {
+	Size   int
+	in     *Tensor
+	argmax []int
+}
+
+// NewMaxPool2D creates a pooling layer with the given window size.
+func NewMaxPool2D(size int) *MaxPool2D { return &MaxPool2D{Size: size} }
+
+// Params returns no parameters.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// SharedCopy returns an independent pooling layer.
+func (p *MaxPool2D) SharedCopy() Layer { return NewMaxPool2D(p.Size) }
+
+// Forward pools each window to its maximum, remembering argmax indices.
+func (p *MaxPool2D) Forward(x *Tensor) *Tensor {
+	p.in = x
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/p.Size, w/p.Size
+	out := NewTensor(n, c, oh, ow)
+	p.argmax = make([]int, out.Size())
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(math.Inf(-1))
+					bestIdx := -1
+					for ky := 0; ky < p.Size; ky++ {
+						for kx := 0; kx < p.Size; kx++ {
+							idx := x.at4(ni, ci, oy*p.Size+ky, ox*p.Size+kx)
+							if x.Data[idx] > best {
+								best = x.Data[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oi := out.at4(ni, ci, oy, ox)
+					out.Data[oi] = best
+					p.argmax[oi] = bestIdx
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward routes gradients to the argmax positions.
+func (p *MaxPool2D) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(p.in.Shape...)
+	for i, g := range grad.Data {
+		dx.Data[p.argmax[i]] += g
+	}
+	return dx
+}
+
+// ReLU is the elementwise rectifier.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Params returns no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// SharedCopy returns an independent ReLU.
+func (r *ReLU) SharedCopy() Layer { return NewReLU() }
+
+// Forward clamps negatives to zero.
+func (r *ReLU) Forward(x *Tensor) *Tensor {
+	out := NewTensor(x.Shape...)
+	r.mask = make([]bool, x.Size())
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the input was negative.
+func (r *ReLU) Backward(grad *Tensor) *Tensor {
+	dx := NewTensor(grad.Shape...)
+	for i, g := range grad.Data {
+		if r.mask[i] {
+			dx.Data[i] = g
+		}
+	}
+	return dx
+}
+
+// Flatten reshapes NCHW activations to [N, C*H*W].
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten creates a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Params returns no parameters.
+func (f *Flatten) Params() []*Param { return nil }
+
+// SharedCopy returns an independent flatten layer.
+func (f *Flatten) SharedCopy() Layer { return NewFlatten() }
+
+// Forward flattens all but the batch dimension.
+func (f *Flatten) Forward(x *Tensor) *Tensor {
+	f.inShape = append([]int(nil), x.Shape...)
+	n := x.Shape[0]
+	return x.Reshape(n, x.Size()/n)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *Tensor) *Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// Dense is a fully connected layer over [N, in] inputs.
+type Dense struct {
+	In, Out int
+	W       *Param // [Out, In]
+	B       *Param // [Out]
+	in      *Tensor
+}
+
+// NewDense creates a dense layer with He-normal initialisation.
+func NewDense(in, out int, r *rng.RNG) *Dense {
+	w := NewTensor(out, in)
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range w.Data {
+		w.Data[i] = float32(r.NormRange(0, std))
+	}
+	return &Dense{In: in, Out: out, W: NewParam(w), B: NewParam(NewTensor(out))}
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// SharedCopy returns a dense layer sharing weights with d.
+func (d *Dense) SharedCopy() Layer {
+	return &Dense{In: d.In, Out: d.Out, W: d.W, B: d.B}
+}
+
+// Forward computes x W^T + b.
+func (d *Dense) Forward(x *Tensor) *Tensor {
+	d.in = x
+	n := x.Shape[0]
+	out := NewTensor(n, d.Out)
+	for ni := 0; ni < n; ni++ {
+		xRow := x.Data[ni*d.In : (ni+1)*d.In]
+		for o := 0; o < d.Out; o++ {
+			acc := d.B.W.Data[o]
+			wRow := d.W.W.Data[o*d.In : (o+1)*d.In]
+			for i, xv := range xRow {
+				acc += xv * wRow[i]
+			}
+			out.Data[ni*d.Out+o] = acc
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW/dB and returns dX.
+func (d *Dense) Backward(grad *Tensor) *Tensor {
+	n := grad.Shape[0]
+	dx := NewTensor(n, d.In)
+	for ni := 0; ni < n; ni++ {
+		xRow := d.in.Data[ni*d.In : (ni+1)*d.In]
+		dxRow := dx.Data[ni*d.In : (ni+1)*d.In]
+		for o := 0; o < d.Out; o++ {
+			g := grad.Data[ni*d.Out+o]
+			if g == 0 {
+				continue
+			}
+			d.B.G.Data[o] += g
+			wRow := d.W.W.Data[o*d.In : (o+1)*d.In]
+			gRow := d.W.G.Data[o*d.In : (o+1)*d.In]
+			for i := range xRow {
+				gRow[i] += g * xRow[i]
+				dxRow[i] += g * wRow[i]
+			}
+		}
+	}
+	return dx
+}

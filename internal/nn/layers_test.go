@@ -1,0 +1,257 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/rng"
+)
+
+// numericGrad estimates d loss / d t[i] by central differences, where
+// loss is recomputed by fn after each perturbation.
+func numericGrad(t *Tensor, i int, fn func() float64) float64 {
+	const eps = 1e-2
+	orig := t.Data[i]
+	t.Data[i] = orig + eps
+	up := fn()
+	t.Data[i] = orig - eps
+	down := fn()
+	t.Data[i] = orig
+	return (up - down) / (2 * eps)
+}
+
+// sumLoss is a simple scalar objective: sum of all outputs. Its gradient
+// with respect to the output is all ones.
+func sumAll(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+func onesLike(t *Tensor) *Tensor {
+	g := NewTensor(t.Shape...)
+	for i := range g.Data {
+		g.Data[i] = 1
+	}
+	return g
+}
+
+func randTensor(r *rng.RNG, shape ...int) *Tensor {
+	t := NewTensor(shape...)
+	for i := range t.Data {
+		t.Data[i] = float32(r.NormRange(0, 1))
+	}
+	return t
+}
+
+func TestTensorBasics(t *testing.T) {
+	x := NewTensor(2, 3)
+	if x.Size() != 6 || x.Dim(0) != 2 || x.Dim(1) != 3 {
+		t.Fatal("tensor shape accessors wrong")
+	}
+	x.Data[0] = 5
+	c := x.Clone()
+	c.Data[0] = 9
+	if x.Data[0] != 5 {
+		t.Error("Clone shares data")
+	}
+	r := x.Reshape(3, 2)
+	r.Data[1] = 7
+	if x.Data[1] != 7 {
+		t.Error("Reshape must share data")
+	}
+	x.Zero()
+	if x.Data[0] != 0 {
+		t.Error("Zero failed")
+	}
+}
+
+func TestTensorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad reshape did not panic")
+		}
+	}()
+	NewTensor(2, 2).Reshape(3)
+}
+
+func TestConv2DForwardKnown(t *testing.T) {
+	r := rng.New(1)
+	c := NewConv2D(1, 1, 3, 0, r)
+	// Identity-ish kernel: only centre weight 2, bias 1.
+	c.W.W.Zero()
+	c.W.W.Data[4] = 2
+	c.B.W.Data[0] = 1
+	x := NewTensor(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	out := c.Forward(x)
+	if out.Shape[2] != 2 || out.Shape[3] != 2 {
+		t.Fatalf("out shape = %v", out.Shape)
+	}
+	// Output (0,0) corresponds to centre pixel (1,1) = value 5 -> 2*5+1.
+	if out.Data[0] != 11 {
+		t.Errorf("out[0] = %v, want 11", out.Data[0])
+	}
+}
+
+func TestConv2DPadding(t *testing.T) {
+	r := rng.New(2)
+	c := NewConv2D(1, 2, 3, 1, r)
+	x := randTensor(r, 2, 1, 5, 5)
+	out := c.Forward(x)
+	want := []int{2, 2, 5, 5}
+	for i, d := range want {
+		if out.Shape[i] != d {
+			t.Fatalf("same-pad shape = %v, want %v", out.Shape, want)
+		}
+	}
+}
+
+func TestConv2DGradients(t *testing.T) {
+	r := rng.New(3)
+	c := NewConv2D(2, 3, 3, 1, r)
+	x := randTensor(r, 1, 2, 5, 5)
+	fn := func() float64 { return sumAll(c.Forward(x)) }
+	out := c.Forward(x)
+	dx := c.Backward(onesLike(out))
+
+	for _, i := range []int{0, 7, 24, 49} {
+		want := numericGrad(x, i, fn)
+		if math.Abs(float64(dx.Data[i])-want) > 1e-2*(1+math.Abs(want)) {
+			t.Errorf("dx[%d] = %v, numeric %v", i, dx.Data[i], want)
+		}
+	}
+	// Weight gradients (accumulated once by the Backward above; reset and
+	// redo to measure cleanly).
+	c.W.G.Zero()
+	c.B.G.Zero()
+	c.Forward(x)
+	c.Backward(onesLike(out))
+	for _, i := range []int{0, 5, 17} {
+		want := numericGrad(c.W.W, i, fn)
+		if math.Abs(float64(c.W.G.Data[i])-want) > 1e-2*(1+math.Abs(want)) {
+			t.Errorf("dW[%d] = %v, numeric %v", i, c.W.G.Data[i], want)
+		}
+	}
+	want := numericGrad(c.B.W, 0, fn)
+	if math.Abs(float64(c.B.G.Data[0])-want) > 1e-2*(1+math.Abs(want)) {
+		t.Errorf("dB[0] = %v, numeric %v", c.B.G.Data[0], want)
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D(2)
+	x := NewTensor(1, 1, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = float32(i)
+	}
+	out := p.Forward(x)
+	if out.Shape[2] != 2 || out.Shape[3] != 2 {
+		t.Fatalf("pool shape = %v", out.Shape)
+	}
+	// Max of each 2x2 block: 5, 7, 13, 15.
+	wantVals := []float32{5, 7, 13, 15}
+	for i, w := range wantVals {
+		if out.Data[i] != w {
+			t.Errorf("pool[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+	g := onesLike(out)
+	dx := p.Backward(g)
+	// Gradient goes only to argmax positions.
+	var nonZero int
+	for i, v := range dx.Data {
+		if v != 0 {
+			nonZero++
+			if x.Data[i] != 5 && x.Data[i] != 7 && x.Data[i] != 13 && x.Data[i] != 15 {
+				t.Errorf("gradient routed to non-max position %d", i)
+			}
+		}
+	}
+	if nonZero != 4 {
+		t.Errorf("nonZero = %d, want 4", nonZero)
+	}
+}
+
+func TestReLUGradient(t *testing.T) {
+	relu := NewReLU()
+	x := NewTensor(1, 4)
+	x.Data = []float32{-1, 2, -3, 4}
+	out := relu.Forward(x)
+	if out.Data[0] != 0 || out.Data[1] != 2 || out.Data[3] != 4 {
+		t.Errorf("relu forward = %v", out.Data)
+	}
+	dx := relu.Backward(onesLike(out))
+	if dx.Data[0] != 0 || dx.Data[1] != 1 || dx.Data[2] != 0 || dx.Data[3] != 1 {
+		t.Errorf("relu backward = %v", dx.Data)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	r := rng.New(4)
+	d := NewDense(6, 4, r)
+	x := randTensor(r, 2, 6)
+	fn := func() float64 { return sumAll(d.Forward(x)) }
+	out := d.Forward(x)
+	dx := d.Backward(onesLike(out))
+	for _, i := range []int{0, 5, 11} {
+		want := numericGrad(x, i, fn)
+		if math.Abs(float64(dx.Data[i])-want) > 1e-2*(1+math.Abs(want)) {
+			t.Errorf("dx[%d] = %v, numeric %v", i, dx.Data[i], want)
+		}
+	}
+	d.W.G.Zero()
+	d.B.G.Zero()
+	d.Forward(x)
+	d.Backward(onesLike(out))
+	for _, i := range []int{0, 10, 23} {
+		want := numericGrad(d.W.W, i, fn)
+		if math.Abs(float64(d.W.G.Data[i])-want) > 1e-2*(1+math.Abs(want)) {
+			t.Errorf("dW[%d] = %v, numeric %v", i, d.W.G.Data[i], want)
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten()
+	x := randTensor(rng.New(5), 2, 3, 4, 5)
+	out := f.Forward(x)
+	if out.Shape[0] != 2 || out.Shape[1] != 60 {
+		t.Fatalf("flatten shape = %v", out.Shape)
+	}
+	back := f.Backward(out)
+	for i, d := range x.Shape {
+		if back.Shape[i] != d {
+			t.Fatalf("backward shape = %v", back.Shape)
+		}
+	}
+}
+
+func TestSharedCopySharesParams(t *testing.T) {
+	r := rng.New(6)
+	c := NewConv2D(1, 2, 3, 1, r)
+	cp := c.SharedCopy().(*Conv2D)
+	if cp.W != c.W || cp.B != c.B {
+		t.Error("SharedCopy must share parameter objects")
+	}
+	d := NewDense(4, 2, r)
+	dp := d.SharedCopy().(*Dense)
+	if dp.W != d.W {
+		t.Error("Dense SharedCopy must share weights")
+	}
+	// Forward on the copy must not disturb the original's cache.
+	x1 := randTensor(r, 1, 1, 6, 6)
+	x2 := randTensor(r, 1, 1, 6, 6)
+	out1 := c.Forward(x1)
+	_ = cp.Forward(x2)
+	dx := c.Backward(onesLike(out1))
+	for i, d := range x1.Shape {
+		if dx.Shape[i] != d {
+			t.Fatal("original cache clobbered by shared copy")
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import "math"
+
+// Softmax converts logits [N, K] into probabilities row by row.
+func Softmax(logits *Tensor) *Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	out := NewTensor(n, k)
+	for ni := 0; ni < n; ni++ {
+		row := logits.Data[ni*k : (ni+1)*k]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			out.Data[ni*k+i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range row {
+			out.Data[ni*k+i] *= inv
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes the mean categorical cross-entropy of softmaxed
+// logits against integer labels, together with the gradient with respect
+// to the logits (the standard softmax - onehot form, averaged over the
+// batch).
+func CrossEntropy(logits *Tensor, labels []int) (loss float64, grad *Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	probs := Softmax(logits)
+	grad = NewTensor(n, k)
+	invN := 1 / float64(n)
+	for ni := 0; ni < n; ni++ {
+		p := float64(probs.Data[ni*k+labels[ni]])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p) * invN
+		for ki := 0; ki < k; ki++ {
+			g := float64(probs.Data[ni*k+ki])
+			if ki == labels[ni] {
+				g -= 1
+			}
+			grad.Data[ni*k+ki] = float32(g * invN)
+		}
+	}
+	return loss, grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label.
+func Accuracy(logits *Tensor, labels []int) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	correct := 0
+	for ni := 0; ni < n; ni++ {
+		best, bestV := 0, logits.Data[ni*k]
+		for ki := 1; ki < k; ki++ {
+			if logits.Data[ni*k+ki] > bestV {
+				best, bestV = ki, logits.Data[ni*k+ki]
+			}
+		}
+		if best == labels[ni] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"fmt"
+	"io"
+
+	"snmatch/internal/rng"
+)
+
+// NXCorrConfig describes the Normalized-X-Corr architecture. The paper's
+// configuration (60x160 inputs, 20/25 conv maps, 5x5 kernels, 500 hidden
+// units) is expressible, but the defaults are scaled down so the model
+// trains in reasonable time on a CPU; the architecture is identical.
+type NXCorrConfig struct {
+	InputH, InputW int // input image size (paper: 160x60)
+	InputC         int // input channels (3 for RGB)
+	Conv1Out       int // first shared conv maps (paper: 20)
+	Conv2Out       int // second shared conv maps (paper: 25)
+	Kernel         int // conv kernel side (paper: 5)
+	Patch          int // x-corr patch side (paper: 5)
+	SearchW        int // x-corr horizontal search width
+	SearchH        int // x-corr vertical search width
+	Conv3Out       int // post-correlation conv maps (paper: 25)
+	Hidden         int // dense units before softmax (paper: 500)
+	Seed           uint64
+}
+
+// DefaultConfig returns a CPU-sized configuration for sz x sz RGB inputs.
+func DefaultConfig(sz int) NXCorrConfig {
+	return NXCorrConfig{
+		InputH: sz, InputW: sz, InputC: 3,
+		Conv1Out: 8, Conv2Out: 8,
+		Kernel: 3, Patch: 3,
+		SearchW: 3, SearchH: 3,
+		Conv3Out: 8, Hidden: 32,
+		Seed: 1,
+	}
+}
+
+// PaperConfig returns the configuration of Subramaniam et al. as used in
+// the paper (60x160x3 inputs). Training it needs GPU-class budgets.
+func PaperConfig() NXCorrConfig {
+	return NXCorrConfig{
+		InputH: 160, InputW: 60, InputC: 3,
+		Conv1Out: 20, Conv2Out: 25,
+		Kernel: 5, Patch: 5,
+		SearchW: 37, SearchH: 5,
+		Conv3Out: 25, Hidden: 500,
+		Seed: 1,
+	}
+}
+
+// NXCorrNet is the Siamese inexact-matching network: a shared
+// convolutional trunk applied to both images, the Normalized-X-Corr
+// layer, and a convolutional + dense head ending in 2-way softmax logits
+// (similar / dissimilar).
+type NXCorrNet struct {
+	Cfg NXCorrConfig
+
+	trunkA []Layer // caches for input A
+	trunkB []Layer // shared-parameter copies for input B
+	xcorr  *NormXCorr
+	head   []Layer
+
+	params []*Param
+}
+
+// NewNXCorrNet builds a network with freshly initialised weights.
+func NewNXCorrNet(cfg NXCorrConfig) (*NXCorrNet, error) {
+	if cfg.InputH < 8 || cfg.InputW < 8 {
+		return nil, fmt.Errorf("nn: input %dx%d too small", cfg.InputH, cfg.InputW)
+	}
+	if cfg.InputC <= 0 {
+		cfg.InputC = 3
+	}
+	r := rng.New(cfg.Seed)
+
+	pad := cfg.Kernel / 2 // 'same' padding keeps the arithmetic simple
+	trunk := []Layer{
+		NewConv2D(cfg.InputC, cfg.Conv1Out, cfg.Kernel, pad, r),
+		NewReLU(),
+		NewMaxPool2D(2),
+		NewConv2D(cfg.Conv1Out, cfg.Conv2Out, cfg.Kernel, pad, r),
+		NewReLU(),
+		NewMaxPool2D(2),
+	}
+	fh, fw := cfg.InputH/4, cfg.InputW/4
+	if fh < cfg.Patch || fw < cfg.Patch {
+		return nil, fmt.Errorf("nn: feature map %dx%d smaller than patch %d", fh, fw, cfg.Patch)
+	}
+	xc := NewNormXCorr(cfg.Patch, cfg.SearchW, cfg.SearchH)
+	xcOut := xc.OutChannels(cfg.Conv2Out)
+
+	head := []Layer{
+		NewConv2D(xcOut, cfg.Conv3Out, cfg.Kernel, pad, r),
+		NewReLU(),
+		NewMaxPool2D(2),
+	}
+	hh, hw := fh/2, fw/2
+	if hh < 1 || hw < 1 {
+		return nil, fmt.Errorf("nn: head feature map vanished (%dx%d)", hh, hw)
+	}
+	head = append(head,
+		NewFlatten(),
+		NewDense(cfg.Conv3Out*hh*hw, cfg.Hidden, r),
+		NewReLU(),
+		NewDense(cfg.Hidden, 2, r),
+	)
+
+	net := &NXCorrNet{Cfg: cfg, trunkA: trunk, xcorr: xc, head: head}
+	net.trunkB = make([]Layer, len(trunk))
+	for i, l := range trunk {
+		net.trunkB[i] = l.SharedCopy()
+	}
+	for _, l := range trunk {
+		net.params = append(net.params, l.Params()...)
+	}
+	for _, l := range head {
+		net.params = append(net.params, l.Params()...)
+	}
+	return net, nil
+}
+
+// Params returns all trainable parameters.
+func (n *NXCorrNet) Params() []*Param { return n.params }
+
+// Forward runs a batch pair through the network and returns the logits
+// [N, 2] where class 1 means "similar".
+func (n *NXCorrNet) Forward(a, b *Tensor) *Tensor {
+	fa, fb := a, b
+	for i := range n.trunkA {
+		fa = n.trunkA[i].Forward(fa)
+		fb = n.trunkB[i].Forward(fb)
+	}
+	x := n.xcorr.Forward2(fa, fb)
+	for _, l := range n.head {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the logits gradient through the network,
+// accumulating parameter gradients from both Siamese paths.
+func (n *NXCorrNet) Backward(grad *Tensor) {
+	g := grad
+	for i := len(n.head) - 1; i >= 0; i-- {
+		g = n.head[i].Backward(g)
+	}
+	ga, gb := n.xcorr.Backward2(g)
+	for i := len(n.trunkA) - 1; i >= 0; i-- {
+		ga = n.trunkA[i].Backward(ga)
+		gb = n.trunkB[i].Backward(gb)
+	}
+}
+
+// TrainBatch performs a single optimisation step on a batch pair and
+// returns the batch loss.
+func (n *NXCorrNet) TrainBatch(a, b *Tensor, labels []int, opt *Adam) float64 {
+	logits := n.Forward(a, b)
+	loss, grad := CrossEntropy(logits, labels)
+	n.Backward(grad)
+	opt.Update(n.params)
+	return loss
+}
+
+// PredictPair returns the probability that the two single images
+// ([C,H,W] tensors) are similar.
+func (n *NXCorrNet) PredictPair(a, b *Tensor) float64 {
+	ba := a.Reshape(append([]int{1}, a.Shape...)...)
+	bb := b.Reshape(append([]int{1}, b.Shape...)...)
+	logits := n.Forward(ba, bb)
+	probs := Softmax(logits)
+	return float64(probs.Data[1])
+}
+
+// FitConfig controls NXCorrNet.Fit. It mirrors the paper's §3.4 training
+// protocol.
+type FitConfig struct {
+	Epochs    int     // maximum epochs (paper: 100)
+	BatchSize int     // paper: 16
+	LR        float64 // paper: 1e-4
+	Decay     float64 // paper: 1e-7
+	EarlyEps  float64 // minimum loss decrease (paper: 1e-6)
+	Patience  int     // epochs without improvement (paper: 10)
+	Seed      uint64
+	Log       io.Writer // optional progress sink
+}
+
+// DefaultFit returns the paper's training protocol.
+func DefaultFit() FitConfig {
+	return FitConfig{
+		Epochs: 100, BatchSize: 16,
+		LR: 1e-4, Decay: 1e-7,
+		EarlyEps: 1e-6, Patience: 10,
+		Seed: 1,
+	}
+}
+
+// FitResult summarises a training run.
+type FitResult struct {
+	Epochs    int
+	FinalLoss float64
+	LossByEp  []float64
+	EarlyStop bool
+}
+
+// Fit trains the network on sample pairs given as [C,H,W] tensors with
+// binary labels (1 = similar). It implements the paper's early-stopping
+// rule: stop when the epoch loss has not decreased by more than EarlyEps
+// for Patience consecutive epochs.
+func (n *NXCorrNet) Fit(a, b []*Tensor, labels []int, cfg FitConfig) FitResult {
+	if len(a) != len(b) || len(a) != len(labels) {
+		panic("nn: Fit input length mismatch")
+	}
+	if cfg.BatchSize < 1 {
+		cfg.BatchSize = 16
+	}
+	opt := NewAdam(cfg.LR, cfg.Decay)
+	r := rng.New(cfg.Seed)
+	res := FitResult{}
+
+	c, h, w := n.Cfg.InputC, n.Cfg.InputH, n.Cfg.InputW
+	batchA := NewTensor(cfg.BatchSize, c, h, w)
+	batchB := NewTensor(cfg.BatchSize, c, h, w)
+	sampleSize := c * h * w
+
+	bestLoss := 0.0
+	stall := 0
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		perm := r.Perm(len(a))
+		var epochLoss float64
+		batches := 0
+		for start := 0; start+cfg.BatchSize <= len(perm); start += cfg.BatchSize {
+			lbls := make([]int, cfg.BatchSize)
+			for i := 0; i < cfg.BatchSize; i++ {
+				s := perm[start+i]
+				copy(batchA.Data[i*sampleSize:(i+1)*sampleSize], a[s].Data)
+				copy(batchB.Data[i*sampleSize:(i+1)*sampleSize], b[s].Data)
+				lbls[i] = labels[s]
+			}
+			epochLoss += n.TrainBatch(batchA, batchB, lbls, opt)
+			batches++
+		}
+		if batches == 0 {
+			break
+		}
+		epochLoss /= float64(batches)
+		res.LossByEp = append(res.LossByEp, epochLoss)
+		res.Epochs = ep + 1
+		res.FinalLoss = epochLoss
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "epoch %3d loss %.6f lr %.2e\n", ep+1, epochLoss, opt.CurrentLR())
+		}
+		// Early stopping on the epsilon of loss decrease.
+		if ep == 0 || bestLoss-epochLoss > cfg.EarlyEps {
+			bestLoss = epochLoss
+			stall = 0
+		} else {
+			stall++
+			if cfg.Patience > 0 && stall > cfg.Patience {
+				res.EarlyStop = true
+				break
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,271 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"snmatch/internal/imaging"
+	"snmatch/internal/rng"
+)
+
+func TestSoftmaxRows(t *testing.T) {
+	logits := NewTensor(2, 3)
+	logits.Data = []float32{1, 2, 3, 1000, 1000, 1000}
+	p := Softmax(logits)
+	for ni := 0; ni < 2; ni++ {
+		var sum float64
+		for k := 0; k < 3; k++ {
+			v := float64(p.Data[ni*3+k])
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("prob out of range: %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("row %d sums to %v", ni, sum)
+		}
+	}
+	if !(p.Data[2] > p.Data[1] && p.Data[1] > p.Data[0]) {
+		t.Error("softmax not monotone")
+	}
+}
+
+func TestCrossEntropyValueAndGrad(t *testing.T) {
+	logits := NewTensor(1, 2)
+	logits.Data = []float32{0, 0}
+	loss, grad := CrossEntropy(logits, []int{1})
+	if math.Abs(loss-math.Log(2)) > 1e-6 {
+		t.Errorf("uniform CE = %v, want ln 2", loss)
+	}
+	// Gradient: softmax - onehot = [0.5, -0.5].
+	if math.Abs(float64(grad.Data[0])-0.5) > 1e-6 || math.Abs(float64(grad.Data[1])+0.5) > 1e-6 {
+		t.Errorf("grad = %v", grad.Data)
+	}
+	// Numeric check.
+	fn := func() float64 {
+		l, _ := CrossEntropy(logits, []int{1})
+		return l
+	}
+	for i := 0; i < 2; i++ {
+		want := numericGrad(logits, i, fn)
+		if math.Abs(float64(grad.Data[i])-want) > 1e-3 {
+			t.Errorf("grad[%d] = %v, numeric %v", i, grad.Data[i], want)
+		}
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := NewTensor(3, 2)
+	logits.Data = []float32{2, 1, 0, 3, 5, 4}
+	got := Accuracy(logits, []int{0, 1, 0})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("accuracy = %v, want 1", got)
+	}
+	got = Accuracy(logits, []int{1, 0, 1})
+	if math.Abs(got) > 1e-9 {
+		t.Errorf("accuracy = %v, want 0", got)
+	}
+}
+
+func TestAdamMinimisesQuadratic(t *testing.T) {
+	// Minimise f(w) = sum w^2 by feeding grad = 2w.
+	p := NewParam(NewTensor(4))
+	for i := range p.W.Data {
+		p.W.Data[i] = float32(i + 1)
+	}
+	opt := NewAdam(0.1, 0)
+	for step := 0; step < 500; step++ {
+		for i, w := range p.W.Data {
+			p.G.Data[i] = 2 * w
+		}
+		opt.Update([]*Param{p})
+	}
+	for i, w := range p.W.Data {
+		if math.Abs(float64(w)) > 0.05 {
+			t.Errorf("w[%d] = %v after optimisation", i, w)
+		}
+	}
+	if opt.Step() != 500 {
+		t.Errorf("steps = %d", opt.Step())
+	}
+}
+
+func TestAdamDecaySchedule(t *testing.T) {
+	opt := NewAdam(1e-4, 1e-2)
+	if math.Abs(opt.CurrentLR()-1e-4) > 1e-12 {
+		t.Errorf("initial lr = %v", opt.CurrentLR())
+	}
+	p := NewParam(NewTensor(1))
+	for i := 0; i < 100; i++ {
+		opt.Update([]*Param{p})
+	}
+	want := 1e-4 / (1 + 1e-2*100)
+	if math.Abs(opt.CurrentLR()-want) > 1e-12 {
+		t.Errorf("decayed lr = %v, want %v", opt.CurrentLR(), want)
+	}
+}
+
+func tinyNet(t *testing.T) *NXCorrNet {
+	t.Helper()
+	cfg := NXCorrConfig{
+		InputH: 12, InputW: 12, InputC: 3,
+		Conv1Out: 4, Conv2Out: 4, Kernel: 3,
+		Patch: 3, SearchW: 3, SearchH: 3,
+		Conv3Out: 4, Hidden: 16, Seed: 7,
+	}
+	net, err := NewNXCorrNet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestNetworkForwardShape(t *testing.T) {
+	net := tinyNet(t)
+	r := rng.New(1)
+	a := randTensor(r, 2, 3, 12, 12)
+	b := randTensor(r, 2, 3, 12, 12)
+	logits := net.Forward(a, b)
+	if logits.Shape[0] != 2 || logits.Shape[1] != 2 {
+		t.Fatalf("logits shape = %v", logits.Shape)
+	}
+}
+
+func TestNetworkOverfitsTinyDataset(t *testing.T) {
+	net := tinyNet(t)
+	r := rng.New(2)
+	// Similar pairs: identical tensors; dissimilar: independent noise.
+	var as, bs []*Tensor
+	var labels []int
+	for i := 0; i < 8; i++ {
+		x := randTensor(r, 3, 12, 12)
+		as = append(as, x)
+		bs = append(bs, x.Clone())
+		labels = append(labels, 1)
+		as = append(as, randTensor(r, 3, 12, 12))
+		bs = append(bs, randTensor(r, 3, 12, 12))
+		labels = append(labels, 0)
+	}
+	cfg := FitConfig{Epochs: 30, BatchSize: 4, LR: 3e-3, Decay: 0, EarlyEps: 1e-9, Patience: 30, Seed: 3}
+	res := net.Fit(as, bs, labels, cfg)
+	if len(res.LossByEp) == 0 {
+		t.Fatal("no epochs ran")
+	}
+	first, last := res.LossByEp[0], res.FinalLoss
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestEarlyStoppingTriggers(t *testing.T) {
+	net := tinyNet(t)
+	r := rng.New(4)
+	// Unlearnable task: random labels on random pairs, tiny LR so the
+	// loss plateaus immediately.
+	var as, bs []*Tensor
+	var labels []int
+	for i := 0; i < 8; i++ {
+		as = append(as, randTensor(r, 3, 12, 12))
+		bs = append(bs, randTensor(r, 3, 12, 12))
+		labels = append(labels, i%2)
+	}
+	cfg := FitConfig{Epochs: 100, BatchSize: 8, LR: 1e-12, Decay: 0, EarlyEps: 1e-3, Patience: 3, Seed: 5}
+	res := net.Fit(as, bs, labels, cfg)
+	if !res.EarlyStop {
+		t.Error("early stopping did not trigger on plateau")
+	}
+	if res.Epochs >= 100 {
+		t.Errorf("ran all %d epochs", res.Epochs)
+	}
+}
+
+func TestPredictPairBounds(t *testing.T) {
+	net := tinyNet(t)
+	r := rng.New(6)
+	a := randTensor(r, 3, 12, 12)
+	b := randTensor(r, 3, 12, 12)
+	p := net.PredictPair(a, b)
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		t.Errorf("PredictPair = %v", p)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	net := tinyNet(t)
+	r := rng.New(7)
+	a := randTensor(r, 3, 12, 12)
+	b := randTensor(r, 3, 12, 12)
+	before := net.PredictPair(a, b)
+
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := loaded.PredictPair(a, b)
+	if math.Abs(before-after) > 1e-6 {
+		t.Errorf("prediction changed after round trip: %v vs %v", before, after)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestNewNXCorrNetValidation(t *testing.T) {
+	if _, err := NewNXCorrNet(NXCorrConfig{InputH: 4, InputW: 4}); err == nil {
+		t.Error("tiny input accepted")
+	}
+	cfg := DefaultConfig(32)
+	if _, err := NewNXCorrNet(cfg); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestImageToTensor(t *testing.T) {
+	img := imaging.NewImageFilled(8, 8, imaging.C(255, 0, 128))
+	tt := ImageToTensor(img, 8, 8)
+	if tt.Shape[0] != 3 || tt.Shape[1] != 8 || tt.Shape[2] != 8 {
+		t.Fatalf("shape = %v", tt.Shape)
+	}
+	if tt.Data[0] != 1 || tt.Data[64] != 0 || math.Abs(float64(tt.Data[128])-128.0/255) > 1e-6 {
+		t.Errorf("channel values wrong: %v %v %v", tt.Data[0], tt.Data[64], tt.Data[128])
+	}
+	// Resizing path.
+	tt2 := ImageToTensor(img, 4, 4)
+	if tt2.Shape[1] != 4 {
+		t.Errorf("resize shape = %v", tt2.Shape)
+	}
+}
+
+func TestFitLengthMismatchPanics(t *testing.T) {
+	net := tinyNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	net.Fit([]*Tensor{NewTensor(3, 12, 12)}, nil, nil, DefaultFit())
+}
+
+func TestNetworkDeterministicInit(t *testing.T) {
+	a := tinyNet(t)
+	b := tinyNet(t)
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].W.Data {
+			if pa[i].W.Data[j] != pb[i].W.Data[j] {
+				t.Fatal("weights differ for equal seeds")
+			}
+		}
+	}
+}

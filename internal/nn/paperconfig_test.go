@@ -1,0 +1,38 @@
+package nn
+
+import "testing"
+
+func TestPaperConfigConstructs(t *testing.T) {
+	// The full Subramaniam et al. configuration (60x160 inputs, 37-wide
+	// search window) must build: parameter shapes are the GPU-scale ones
+	// even though training it on CPU is impractical.
+	net, err := NewNXCorrNet(PaperConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, p := range net.Params() {
+		total += p.W.Size()
+	}
+	// The correlation volume has 25 * 37 * 5 = 4625 channels feeding a
+	// 25-map conv: that conv alone holds 4625*25*25 weights.
+	if total < 4625*25*25 {
+		t.Errorf("paper config parameter count = %d, implausibly small", total)
+	}
+	if net.Cfg.SearchW != 37 || net.Cfg.SearchH != 5 {
+		t.Errorf("search window = %dx%d", net.Cfg.SearchW, net.Cfg.SearchH)
+	}
+}
+
+func TestDefaultConfigForwardRuns(t *testing.T) {
+	net, err := NewNXCorrNet(DefaultConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewTensor(1, 3, 16, 16)
+	b := NewTensor(1, 3, 16, 16)
+	logits := net.Forward(a, b)
+	if logits.Shape[0] != 1 || logits.Shape[1] != 2 {
+		t.Errorf("logits shape = %v", logits.Shape)
+	}
+}

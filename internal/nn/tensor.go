@@ -1,0 +1,78 @@
+// Package nn is a small CPU neural-network framework sufficient to
+// reproduce the paper's Keras pipeline: float32 tensors, Conv2D /
+// MaxPool2D / ReLU / Dense / Flatten layers, the Normalized-X-Corr
+// matching layer of Subramaniam et al. (2016), softmax cross-entropy,
+// and an Adam optimiser with Keras-style learning-rate decay and the
+// paper's epsilon early-stopping rule.
+package nn
+
+import "fmt"
+
+// Tensor is a dense row-major float32 array. Layers use the NCHW
+// convention for 4-D tensors and [N, features] for 2-D ones.
+type Tensor struct {
+	Shape []int
+	Data  []float32
+}
+
+// NewTensor allocates a zeroed tensor with the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("nn: invalid tensor dimension %d", d))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float32, n)}
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.Data) }
+
+// Dim returns the i-th dimension.
+func (t *Tensor) Dim(i int) int { return t.Shape[i] }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float32, len(t.Data))}
+	copy(out.Data, t.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.Data) {
+		panic(fmt.Sprintf("nn: reshape %v -> %v changes size", t.Shape, shape))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
+}
+
+// at4 returns the flat index of [n, c, y, x] in an NCHW tensor.
+func (t *Tensor) at4(n, c, y, x int) int {
+	return ((n*t.Shape[1]+c)*t.Shape[2]+y)*t.Shape[3] + x
+}
+
+// Param is a trainable parameter with its gradient accumulator and Adam
+// moment buffers.
+type Param struct {
+	W, G *Tensor
+	m, v *Tensor // Adam state, lazily allocated
+}
+
+// NewParam wraps a weight tensor in a Param with a zero gradient.
+func NewParam(w *Tensor) *Param {
+	return &Param{W: w, G: NewTensor(w.Shape...)}
+}

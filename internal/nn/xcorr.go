@@ -1,0 +1,195 @@
+package nn
+
+import "math"
+
+// NormXCorr is the Normalized-X-Corr matching layer of Subramaniam,
+// Chatterjee and Mittal (NIPS 2016). For every spatial location of
+// feature map A it computes the normalised cross-correlation between the
+// Patch x Patch window centred there and windows of B displaced within a
+// SearchH x SearchW neighbourhood. The output has C * SearchH * SearchW
+// channels: the paper's dense inexact-matching tensor.
+//
+// Normalisation subtracts each patch's mean and divides by its standard
+// deviation, which gives the architecture its robustness to illumination
+// differences; the search window provides the "inexact" spatial slack.
+type NormXCorr struct {
+	Patch   int // patch side (paper: 5)
+	SearchW int // horizontal displacement count (odd)
+	SearchH int // vertical displacement count (odd)
+
+	a, b *Tensor // cached inputs
+}
+
+// NewNormXCorr creates the layer. Even window sizes are rounded up to
+// the next odd value so the window is centred.
+func NewNormXCorr(patch, searchW, searchH int) *NormXCorr {
+	if patch < 1 {
+		patch = 5
+	}
+	if searchW%2 == 0 {
+		searchW++
+	}
+	if searchH%2 == 0 {
+		searchH++
+	}
+	return &NormXCorr{Patch: patch, SearchW: searchW, SearchH: searchH}
+}
+
+const xcorrEps = 1e-4
+
+// OutChannels returns the output channel count for an input with c
+// channels.
+func (l *NormXCorr) OutChannels(c int) int { return c * l.SearchW * l.SearchH }
+
+// patchStats computes the mean and stddev of the Patch x Patch window of
+// channel c centred at (y, x), with zero padding outside the map.
+func (l *NormXCorr) patchStats(t *Tensor, n, c, y, x int) (mean, std float32) {
+	h, w := t.Shape[2], t.Shape[3]
+	r := l.Patch / 2
+	var sum, sumSq float64
+	cnt := float64(l.Patch * l.Patch)
+	for dy := -r; dy <= r; dy++ {
+		yy := y + dy
+		if yy < 0 || yy >= h {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			xx := x + dx
+			if xx < 0 || xx >= w {
+				continue
+			}
+			v := float64(t.Data[t.at4(n, c, yy, xx)])
+			sum += v
+			sumSq += v * v
+		}
+	}
+	m := sum / cnt
+	variance := sumSq/cnt - m*m
+	if variance < 0 {
+		variance = 0
+	}
+	return float32(m), float32(math.Sqrt(variance) + xcorrEps)
+}
+
+// ncc computes the normalised cross-correlation between the patches of a
+// and b centred at (ya, xa) and (yb, xb) on channel c.
+func (l *NormXCorr) ncc(a, b *Tensor, n, c, ya, xa, yb, xb int, ma, sa, mb, sb float32) float32 {
+	h, w := a.Shape[2], a.Shape[3]
+	r := l.Patch / 2
+	var sum float32
+	for dy := -r; dy <= r; dy++ {
+		ay, by := ya+dy, yb+dy
+		for dx := -r; dx <= r; dx++ {
+			ax, bx := xa+dx, xb+dx
+			var va, vb float32
+			va, vb = -ma, -mb // zero padding contributes -mean
+			if ay >= 0 && ay < h && ax >= 0 && ax < w {
+				va = a.Data[a.at4(n, c, ay, ax)] - ma
+			}
+			if by >= 0 && by < h && bx >= 0 && bx < w {
+				vb = b.Data[b.at4(n, c, by, bx)] - mb
+			}
+			sum += va * vb
+		}
+	}
+	cnt := float32(l.Patch * l.Patch)
+	return sum / (cnt * sa * sb)
+}
+
+// Forward computes the correlation volume for the pair (a, b).
+func (l *NormXCorr) Forward2(a, b *Tensor) *Tensor {
+	l.a, l.b = a, b
+	n, c, h, w := a.Shape[0], a.Shape[1], a.Shape[2], a.Shape[3]
+	rw, rh := l.SearchW/2, l.SearchH/2
+	out := NewTensor(n, l.OutChannels(c), h, w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					ma, sa := l.patchStats(a, ni, ci, y, x)
+					oc0 := ci * l.SearchW * l.SearchH
+					k := 0
+					for dy := -rh; dy <= rh; dy++ {
+						for dx := -rw; dx <= rw; dx++ {
+							yb, xb := y+dy, x+dx
+							mb, sb := l.patchStats(b, ni, ci, yb, xb)
+							v := l.ncc(a, b, ni, ci, y, x, yb, xb, ma, sa, mb, sb)
+							out.Data[out.at4(ni, oc0+k, y, x)] = v
+							k++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward2 propagates the output gradient to both inputs.
+//
+// With u = a_patch - mean(a), v = b_patch - mean(b), s = ncc value:
+//
+//	d ncc / d a_j = (v_j/sb - s*u_j/sa) / (cnt * sa)
+//
+// and symmetrically for b. The mean-subtraction Jacobian is handled by
+// noting sum(v) = 0 within the patch, so the mean term vanishes for
+// in-bounds patches; the small residual for clipped border patches is
+// ignored, matching common CUDA implementations of the layer.
+func (l *NormXCorr) Backward2(grad *Tensor) (da, db *Tensor) {
+	a, b := l.a, l.b
+	n, c, h, w := a.Shape[0], a.Shape[1], a.Shape[2], a.Shape[3]
+	rw, rh := l.SearchW/2, l.SearchH/2
+	r := l.Patch / 2
+	cnt := float32(l.Patch * l.Patch)
+	da = NewTensor(a.Shape...)
+	db = NewTensor(b.Shape...)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					ma, sa := l.patchStats(a, ni, ci, y, x)
+					oc0 := ci * l.SearchW * l.SearchH
+					k := 0
+					for dy := -rh; dy <= rh; dy++ {
+						for dx := -rw; dx <= rw; dx++ {
+							yb, xb := y+dy, x+dx
+							g := grad.Data[grad.at4(ni, oc0+k, y, x)]
+							k++
+							if g == 0 {
+								continue
+							}
+							mb, sb := l.patchStats(b, ni, ci, yb, xb)
+							s := l.ncc(a, b, ni, ci, y, x, yb, xb, ma, sa, mb, sb)
+							scale := g / (cnt * sa * sb)
+							for py := -r; py <= r; py++ {
+								ay, by := y+py, yb+py
+								for px := -r; px <= r; px++ {
+									ax, bx := x+px, xb+px
+									var va, vb float32
+									va, vb = -ma, -mb
+									aIn := ay >= 0 && ay < h && ax >= 0 && ax < w
+									bIn := by >= 0 && by < h && bx >= 0 && bx < w
+									if aIn {
+										va = a.Data[a.at4(ni, ci, ay, ax)] - ma
+									}
+									if bIn {
+										vb = b.Data[b.at4(ni, ci, by, bx)] - mb
+									}
+									if aIn {
+										da.Data[da.at4(ni, ci, ay, ax)] +=
+											scale * (vb - s*va*sb/sa)
+									}
+									if bIn {
+										db.Data[db.at4(ni, ci, by, bx)] +=
+											scale * (va - s*vb*sa/sb)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return da, db
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/rng"
+)
+
+func TestNormXCorrIdenticalInputs(t *testing.T) {
+	r := rng.New(1)
+	a := randTensor(r, 1, 1, 7, 7)
+	l := NewNormXCorr(3, 1, 1)
+	out := l.Forward2(a, a.Clone())
+	// Identical patches: correlation near 1 away from degenerate spots.
+	if out.Shape[1] != 1 {
+		t.Fatalf("out channels = %d", out.Shape[1])
+	}
+	centre := out.Data[out.at4(0, 0, 3, 3)]
+	if centre < 0.9 || centre > 1.01 {
+		t.Errorf("self correlation = %v, want ~1", centre)
+	}
+}
+
+func TestNormXCorrRange(t *testing.T) {
+	r := rng.New(2)
+	a := randTensor(r, 2, 2, 8, 8)
+	b := randTensor(r, 2, 2, 8, 8)
+	l := NewNormXCorr(3, 3, 3)
+	out := l.Forward2(a, b)
+	if out.Shape[1] != 2*9 {
+		t.Fatalf("out channels = %d, want 18", out.Shape[1])
+	}
+	for _, v := range out.Data {
+		if float64(v) > 1.05 || float64(v) < -1.05 || math.IsNaN(float64(v)) {
+			t.Fatalf("correlation out of range: %v", v)
+		}
+	}
+}
+
+func TestNormXCorrIlluminationInvariance(t *testing.T) {
+	r := rng.New(3)
+	a := randTensor(r, 1, 1, 7, 7)
+	// b = 2a + 0.5: affine intensity change leaves NCC unchanged.
+	b := a.Clone()
+	for i := range b.Data {
+		b.Data[i] = 2*b.Data[i] + 0.5
+	}
+	l := NewNormXCorr(3, 1, 1)
+	out := l.Forward2(a, b)
+	centre := out.Data[out.at4(0, 0, 3, 3)]
+	if centre < 0.9 {
+		t.Errorf("affine-transformed correlation = %v, want ~1", centre)
+	}
+}
+
+func TestNormXCorrSymmetricWindowRounding(t *testing.T) {
+	l := NewNormXCorr(3, 2, 4)
+	if l.SearchW != 3 || l.SearchH != 5 {
+		t.Errorf("window rounding = %dx%d, want 3x5", l.SearchW, l.SearchH)
+	}
+	if l.OutChannels(4) != 4*15 {
+		t.Errorf("OutChannels = %d", l.OutChannels(4))
+	}
+}
+
+func TestNormXCorrGradients(t *testing.T) {
+	r := rng.New(4)
+	a := randTensor(r, 1, 1, 6, 6)
+	b := randTensor(r, 1, 1, 6, 6)
+	l := NewNormXCorr(3, 3, 1)
+	fn := func() float64 { return sumAll(l.Forward2(a, b)) }
+	out := l.Forward2(a, b)
+	da, db := l.Backward2(onesLike(out))
+
+	for _, i := range []int{0, 10, 21, 35} {
+		want := numericGrad(a, i, fn)
+		if math.Abs(float64(da.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
+			t.Errorf("da[%d] = %v, numeric %v", i, da.Data[i], want)
+		}
+	}
+	for _, i := range []int{3, 14, 27} {
+		want := numericGrad(b, i, fn)
+		if math.Abs(float64(db.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
+			t.Errorf("db[%d] = %v, numeric %v", i, db.Data[i], want)
+		}
+	}
+}
+
+func TestNormXCorrShiftDetection(t *testing.T) {
+	// Put a distinctive blob in A at (4,4) and in B at (4,6): the best
+	// correlation for the centre location should occur at displacement
+	// dx=+2.
+	a := NewTensor(1, 1, 9, 9)
+	b := NewTensor(1, 1, 9, 9)
+	blob := func(t *Tensor, cx, cy int) {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				t.Data[t.at4(0, 0, cy+dy, cx+dx)] = float32(3 - dx*dx - dy*dy)
+			}
+		}
+	}
+	blob(a, 4, 4)
+	blob(b, 6, 4)
+	l := NewNormXCorr(3, 5, 1)
+	out := l.Forward2(a, b)
+	// Channels enumerate displacements dx = -2..2 at dy = 0.
+	best, bestCh := float32(-2), -1
+	for ch := 0; ch < 5; ch++ {
+		v := out.Data[out.at4(0, ch, 4, 4)]
+		if v > best {
+			best, bestCh = v, ch
+		}
+	}
+	if bestCh != 4 { // dx = +2 is the last channel
+		t.Errorf("best displacement channel = %d, want 4", bestCh)
+	}
+}

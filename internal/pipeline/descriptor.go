@@ -1,0 +1,44 @@
+package pipeline
+
+import (
+	"snmatch/internal/features/match"
+	"snmatch/internal/imaging"
+)
+
+// Descriptor is the §3.3 pipeline: extract SIFT, SURF or ORB features
+// from the query, brute-force match against every gallery view, apply
+// Lowe's ratio test, and predict the view with the most surviving
+// matches. The paper's reported configuration uses ratio 0.5.
+type Descriptor struct {
+	Kind   DescriptorKind
+	Ratio  float64 // ratio-test threshold (paper tests 0.75 and 0.5)
+	Params DescriptorParams
+}
+
+// NewDescriptor builds the pipeline with default extractor parameters.
+func NewDescriptor(kind DescriptorKind, ratio float64) *Descriptor {
+	return &Descriptor{Kind: kind, Ratio: ratio, Params: DefaultDescriptorParams()}
+}
+
+// Name implements Pipeline.
+func (p *Descriptor) Name() string { return p.Kind.String() }
+
+// Classify implements Pipeline. Gallery descriptors must have been
+// prepared with Gallery.PrepareDescriptors; unprepared views are
+// extracted on the fly.
+func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
+	q := ExtractDescriptors(img, p.Kind, p.Params)
+	best := Prediction{Index: -1, Score: -1}
+	for i := range g.Views {
+		train := g.Views[i].Desc[p.Kind]
+		if train == nil {
+			train = ExtractDescriptors(g.Views[i].Sample.Image, p.Kind, p.Params)
+			g.Views[i].Desc[p.Kind] = train
+		}
+		score := float64(match.GoodMatchCount(q, train, p.Ratio))
+		if score > best.Score {
+			best = Prediction{Class: g.ClassOf(i), Index: i, Score: score}
+		}
+	}
+	return best
+}

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"snmatch/internal/contour"
+	"snmatch/internal/histogram"
+	"snmatch/internal/imaging"
+	"snmatch/internal/moments"
+	"snmatch/internal/synth"
+)
+
+// KNNVote is an extension beyond the paper (its §5 future work asks for
+// methods more robust to within-class heterogeneity): instead of the
+// single argmin over views, the K best-scoring gallery views vote for
+// the predicted class, weighted by inverse rank. With K = 1 it reduces
+// to the hybrid weighted-sum pipeline.
+type KNNVote struct {
+	K           int
+	ShapeMethod moments.MatchMethod
+	ColorMetric histogram.CompareMethod
+	Alpha, Beta float64
+}
+
+// NewKNNVote returns the voting pipeline with the paper's hybrid score
+// configuration (L3 + Hellinger, alpha = 0.3, beta = 0.7).
+func NewKNNVote(k int) *KNNVote {
+	if k < 1 {
+		k = 1
+	}
+	return &KNNVote{
+		K:           k,
+		ShapeMethod: moments.MatchI3,
+		ColorMetric: histogram.Hellinger,
+		Alpha:       0.3,
+		Beta:        0.7,
+	}
+}
+
+// Name implements Pipeline.
+func (p *KNNVote) Name() string { return fmt.Sprintf("Shape+Color %d-NN vote", p.K) }
+
+// Classify implements Pipeline.
+func (p *KNNVote) Classify(img *imaging.Image, g *Gallery) Prediction {
+	pre := contour.Preprocess(img)
+	hu := huOf(pre)
+	h := histOf(pre)
+
+	type scored struct {
+		idx   int
+		theta float64
+	}
+	all := make([]scored, g.Len())
+	for i := range g.Views {
+		s := moments.MatchShapes(hu, g.Views[i].Hu, p.ShapeMethod)
+		c := histogram.Distance(histogram.Compare(h, g.Views[i].Hist, p.ColorMetric), p.ColorMetric)
+		all[i] = scored{idx: i, theta: p.Alpha*s + p.Beta*c}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].theta != all[j].theta {
+			return all[i].theta < all[j].theta
+		}
+		return all[i].idx < all[j].idx
+	})
+	k := p.K
+	if k > len(all) {
+		k = len(all)
+	}
+	votes := map[synth.Class]float64{}
+	for rank := 0; rank < k; rank++ {
+		votes[g.ClassOf(all[rank].idx)] += 1 / float64(rank+1)
+	}
+	best := Prediction{Index: all[0].idx, Score: all[0].theta, Class: g.ClassOf(all[0].idx)}
+	bestVote := -1.0
+	for _, cls := range synth.AllClasses {
+		if v, ok := votes[cls]; ok && v > bestVote {
+			bestVote = v
+			best.Class = cls
+		}
+	}
+	return best
+}

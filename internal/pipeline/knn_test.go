@@ -1,0 +1,47 @@
+package pipeline
+
+import (
+	"testing"
+
+	"snmatch/internal/eval"
+)
+
+func TestKNNVoteReducesToHybridAtK1(t *testing.T) {
+	knn := NewKNNVote(1)
+	hybrid := DefaultHybrid(WeightedSum)
+	pred1, truth := Run(knn, sns2, gallery1)
+	pred2, _ := Run(hybrid, sns2, gallery1)
+	for i := range pred1 {
+		if pred1[i] != pred2[i] {
+			t.Fatalf("query %d: 1-NN vote %v != weighted sum %v (truth %v)",
+				i, pred1[i], pred2[i], truth[i])
+		}
+	}
+}
+
+func TestKNNVoteBeatsBaseline(t *testing.T) {
+	for _, k := range []int{3, 5, 9} {
+		p := NewKNNVote(k)
+		pred, truth := Run(p, sns2, gallery1)
+		res := eval.Evaluate(truth, pred)
+		if res.Cumulative <= 0.1 {
+			t.Errorf("%d-NN vote cumulative = %v", k, res.Cumulative)
+		}
+	}
+}
+
+func TestKNNVoteClampAndName(t *testing.T) {
+	p := NewKNNVote(0)
+	if p.K != 1 {
+		t.Errorf("K = %d, want clamp to 1", p.K)
+	}
+	if NewKNNVote(5).Name() != "Shape+Color 5-NN vote" {
+		t.Errorf("name = %q", NewKNNVote(5).Name())
+	}
+	// K beyond the gallery size must not panic.
+	big := NewKNNVote(10000)
+	pred := big.Classify(sns2.Samples[0].Image, gallery1)
+	if pred.Index < 0 {
+		t.Error("oversized K produced no prediction")
+	}
+}

@@ -1,0 +1,102 @@
+package pipeline
+
+import (
+	"io"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/imaging"
+	"snmatch/internal/nn"
+)
+
+// Neural is the §3.4 pipeline: the Normalized-X-Corr Siamese network
+// scores the query against every gallery view and the class of the view
+// with the highest similarity probability wins. It also exposes the
+// binary pair-classification interface evaluated in Table 4.
+type Neural struct {
+	Net *nn.NXCorrNet
+
+	tensorCache map[*imaging.Image]*nn.Tensor
+}
+
+// NewNeural wraps a trained network.
+func NewNeural(net *nn.NXCorrNet) *Neural {
+	return &Neural{Net: net, tensorCache: map[*imaging.Image]*nn.Tensor{}}
+}
+
+// Name implements Pipeline.
+func (p *Neural) Name() string { return "Normalized-X-Corr" }
+
+// tensorOf converts (and caches) an image into the network's input
+// tensor.
+func (p *Neural) tensorOf(img *imaging.Image) *nn.Tensor {
+	if t, ok := p.tensorCache[img]; ok {
+		return t
+	}
+	t := nn.ImageToTensor(img, p.Net.Cfg.InputH, p.Net.Cfg.InputW)
+	p.tensorCache[img] = t
+	return t
+}
+
+// Classify implements Pipeline.
+func (p *Neural) Classify(img *imaging.Image, g *Gallery) Prediction {
+	q := p.tensorOf(img)
+	best := Prediction{Index: -1, Score: -1}
+	for i := range g.Views {
+		prob := p.Net.PredictPair(q, p.tensorOf(g.Views[i].Sample.Image))
+		if prob > best.Score {
+			best = Prediction{Class: g.ClassOf(i), Index: i, Score: prob}
+		}
+	}
+	return best
+}
+
+// PredictSimilar classifies a single pair as similar (probability of
+// the "similar" class above 0.5), the Table 4 task.
+func (p *Neural) PredictSimilar(a, b *imaging.Image) bool {
+	return p.Net.PredictPair(p.tensorOf(a), p.tensorOf(b)) >= 0.5
+}
+
+// ClassifyPairs runs the binary task over a pair list, returning
+// predictions and ground truth for eval.EvaluatePairs.
+func (p *Neural) ClassifyPairs(pairs []dataset.Pair, setA, setB *dataset.Set) (pred, truth []bool) {
+	pred = make([]bool, len(pairs))
+	truth = make([]bool, len(pairs))
+	for i, pr := range pairs {
+		pred[i] = p.PredictSimilar(setA.Samples[pr.A].Image, setB.Samples[pr.B].Image)
+		truth[i] = pr.Similar
+	}
+	return pred, truth
+}
+
+// TrainNeural trains a fresh NXCorr network on a pair set drawn from
+// the given dataset, following the §3.4 protocol. The log writer may be
+// nil.
+func TrainNeural(cfg nn.NXCorrConfig, s *dataset.Set, pairs []dataset.Pair, fit nn.FitConfig, log io.Writer) (*Neural, nn.FitResult, error) {
+	net, err := nn.NewNXCorrNet(cfg)
+	if err != nil {
+		return nil, nn.FitResult{}, err
+	}
+	// Convert unique images once.
+	cache := map[int]*nn.Tensor{}
+	tensorOf := func(i int) *nn.Tensor {
+		if t, ok := cache[i]; ok {
+			return t
+		}
+		t := nn.ImageToTensor(s.Samples[i].Image, cfg.InputH, cfg.InputW)
+		cache[i] = t
+		return t
+	}
+	a := make([]*nn.Tensor, len(pairs))
+	b := make([]*nn.Tensor, len(pairs))
+	labels := make([]int, len(pairs))
+	for i, pr := range pairs {
+		a[i] = tensorOf(pr.A)
+		b[i] = tensorOf(pr.B)
+		if pr.Similar {
+			labels[i] = 1
+		}
+	}
+	fit.Log = log
+	res := net.Fit(a, b, labels, fit)
+	return NewNeural(net), res, nil
+}

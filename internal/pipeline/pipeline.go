@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"snmatch/internal/contour"
+	"snmatch/internal/dataset"
+	"snmatch/internal/histogram"
+	"snmatch/internal/imaging"
+	"snmatch/internal/moments"
+	"snmatch/internal/rng"
+	"snmatch/internal/synth"
+)
+
+// Prediction is a classification outcome: the winning gallery view and
+// its class.
+type Prediction struct {
+	Class synth.Class
+	Index int     // winning gallery view index (-1 when not applicable)
+	Score float64 // the optimised similarity/distance value
+}
+
+// Pipeline classifies a query image against a prepared gallery.
+type Pipeline interface {
+	Name() string
+	Classify(img *imaging.Image, g *Gallery) Prediction
+}
+
+// Run classifies every sample of the query set and returns the
+// predictions alongside the ground truth, ready for eval.Evaluate.
+func Run(p Pipeline, queries *dataset.Set, g *Gallery) (pred, truth []synth.Class) {
+	pred = make([]synth.Class, queries.Len())
+	truth = make([]synth.Class, queries.Len())
+	for i, sm := range queries.Samples {
+		pred[i] = p.Classify(sm.Image, g).Class
+		truth[i] = sm.Class
+	}
+	return pred, truth
+}
+
+// Random is the paper's baseline: randomised label assignment by
+// picking a uniformly random gallery view, so class probabilities equal
+// the gallery's class shares.
+type Random struct {
+	r *rng.RNG
+}
+
+// NewRandom creates the baseline with a deterministic seed.
+func NewRandom(seed uint64) *Random { return &Random{r: rng.New(seed)} }
+
+// Name implements Pipeline.
+func (p *Random) Name() string { return "Baseline" }
+
+// Classify implements Pipeline.
+func (p *Random) Classify(_ *imaging.Image, g *Gallery) Prediction {
+	i := p.r.Intn(g.Len())
+	return Prediction{Class: g.ClassOf(i), Index: i}
+}
+
+// ShapeOnly matches Hu moments of the query's largest contour against
+// every gallery view using one of the three matchShapes distances
+// (§3.2, "Shape-only matching").
+type ShapeOnly struct {
+	Method moments.MatchMethod
+}
+
+// Name implements Pipeline.
+func (p ShapeOnly) Name() string { return "Shape only " + p.Method.String() }
+
+// Classify implements Pipeline.
+func (p ShapeOnly) Classify(img *imaging.Image, g *Gallery) Prediction {
+	hu := huOf(contour.Preprocess(img))
+	best := Prediction{Index: -1, Score: 0}
+	for i := range g.Views {
+		d := moments.MatchShapes(hu, g.Views[i].Hu, p.Method)
+		if best.Index < 0 || d < best.Score {
+			best = Prediction{Class: g.ClassOf(i), Index: i, Score: d}
+		}
+	}
+	return best
+}
+
+// ColorOnly matches RGB histograms of the preprocessed crop against
+// every gallery view with one of the four comparison metrics (§3.2,
+// "Colour-only matching").
+type ColorOnly struct {
+	Metric histogram.CompareMethod
+}
+
+// Name implements Pipeline.
+func (p ColorOnly) Name() string { return "Color only " + p.Metric.String() }
+
+// Classify implements Pipeline.
+func (p ColorOnly) Classify(img *imaging.Image, g *Gallery) Prediction {
+	h := histOf(contour.Preprocess(img))
+	best := Prediction{Index: -1}
+	for i := range g.Views {
+		s := histogram.Compare(h, g.Views[i].Hist, p.Metric)
+		better := false
+		if best.Index < 0 {
+			better = true
+		} else if p.Metric.HigherIsBetter() {
+			better = s > best.Score
+		} else {
+			better = s < best.Score
+		}
+		if better {
+			best = Prediction{Class: g.ClassOf(i), Index: i, Score: s}
+		}
+	}
+	return best
+}

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"testing"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/eval"
+	"snmatch/internal/histogram"
+	"snmatch/internal/moments"
+	"snmatch/internal/nn"
+	"snmatch/internal/synth"
+)
+
+var testCfg = dataset.Config{Size: 48, Seed: 21}
+
+// galleries are expensive to build; share across tests.
+var (
+	sns1     = dataset.BuildSNS1(testCfg)
+	sns2     = dataset.BuildSNS2(testCfg)
+	gallery1 = NewGallery(sns1)
+)
+
+func TestGalleryBasics(t *testing.T) {
+	if gallery1.Len() != 82 {
+		t.Fatalf("gallery size = %d", gallery1.Len())
+	}
+	for i := range gallery1.Views {
+		v := &gallery1.Views[i]
+		if v.Hist == nil {
+			t.Fatal("missing histogram")
+		}
+		if v.Hu[0] == 0 {
+			t.Errorf("view %d: zero first Hu invariant", i)
+		}
+	}
+	if gallery1.ClassOf(0) != synth.Chair {
+		t.Errorf("first view class = %v", gallery1.ClassOf(0))
+	}
+}
+
+func TestRandomBaselineNearClassShare(t *testing.T) {
+	p := NewRandom(3)
+	pred, truth := Run(p, sns2, gallery1)
+	res := eval.Evaluate(truth, pred)
+	// Expected cumulative accuracy: sum over classes of
+	// P(query class) * P(predicted class) = sum share_q * share_g.
+	want := 0.0
+	for _, c := range synth.AllClasses {
+		want += 0.1 * float64(dataset.SNS1Counts[c]) / 82
+	}
+	if res.Cumulative < want-0.08 || res.Cumulative > want+0.08 {
+		t.Errorf("baseline cumulative = %v, want ~%v", res.Cumulative, want)
+	}
+}
+
+func TestShapeOnlyBeatsBaseline(t *testing.T) {
+	for _, m := range []moments.MatchMethod{moments.MatchI1, moments.MatchI2, moments.MatchI3} {
+		pred, truth := Run(ShapeOnly{Method: m}, sns2, gallery1)
+		res := eval.Evaluate(truth, pred)
+		if res.Cumulative <= 0.1 {
+			t.Errorf("%v cumulative = %v, should beat 0.10 baseline", m, res.Cumulative)
+		}
+	}
+}
+
+func TestColorOnlyBeatsBaseline(t *testing.T) {
+	for _, m := range []histogram.CompareMethod{
+		histogram.Correlation, histogram.ChiSquare,
+		histogram.Intersection, histogram.Hellinger,
+	} {
+		pred, truth := Run(ColorOnly{Metric: m}, sns2, gallery1)
+		res := eval.Evaluate(truth, pred)
+		if res.Cumulative <= 0.1 {
+			t.Errorf("%v cumulative = %v, should beat 0.10 baseline", m, res.Cumulative)
+		}
+	}
+}
+
+func TestHybridStrategiesValid(t *testing.T) {
+	for _, s := range []HybridStrategy{WeightedSum, MicroAvg, MacroAvg} {
+		p := DefaultHybrid(s)
+		pred, truth := Run(p, sns2, gallery1)
+		res := eval.Evaluate(truth, pred)
+		if res.Cumulative <= 0.1 {
+			t.Errorf("hybrid %v cumulative = %v", s, res.Cumulative)
+		}
+		if p.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}
+
+func TestSelfQueryIsPerfectForShapeAndColor(t *testing.T) {
+	// Querying gallery images themselves must recover their own class
+	// (distance 0 to the identical view).
+	subset := &dataset.Set{Name: "self", Samples: sns1.Samples[:10]}
+	for _, p := range []Pipeline{
+		ShapeOnly{Method: moments.MatchI2},
+		ColorOnly{Metric: histogram.Hellinger},
+	} {
+		pred, truth := Run(p, subset, gallery1)
+		res := eval.Evaluate(truth, pred)
+		if res.Cumulative < 0.99 {
+			t.Errorf("%s self-query accuracy = %v", p.Name(), res.Cumulative)
+		}
+	}
+}
+
+func TestDescriptorPipelineSelfQuery(t *testing.T) {
+	// Small gallery for speed: 2 views each of 3 distinctive classes.
+	var samples []dataset.Sample
+	for _, s := range sns1.Samples {
+		if (s.Class == synth.Chair || s.Class == synth.Bottle || s.Class == synth.Sofa) && s.View < 1 {
+			samples = append(samples, s)
+		}
+	}
+	small := &dataset.Set{Name: "small", Samples: samples}
+	g := NewGallery(small)
+	p := NewDescriptor(ORB, 0.75)
+	g.PrepareDescriptors(ORB, p.Params)
+	pred, truth := Run(p, small, g)
+	correct := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	if correct < len(pred)*2/3 {
+		t.Errorf("ORB self-query correct = %d/%d", correct, len(pred))
+	}
+}
+
+func TestDescriptorKindsRun(t *testing.T) {
+	var samples []dataset.Sample
+	for _, s := range sns1.Samples {
+		if s.View == 0 && s.Model == 0 {
+			samples = append(samples, s)
+		}
+	}
+	small := &dataset.Set{Name: "small", Samples: samples} // 10 views, 1/class
+	g := NewGallery(small)
+	q := &dataset.Set{Name: "q", Samples: sns2.Samples[:5]}
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		p := NewDescriptor(kind, 0.5)
+		g.PrepareDescriptors(kind, p.Params)
+		pred, _ := Run(p, q, g)
+		if len(pred) != 5 {
+			t.Fatalf("%v predictions = %d", kind, len(pred))
+		}
+		if p.Name() != kind.String() {
+			t.Errorf("name = %q", p.Name())
+		}
+	}
+	if DescriptorKind(9).String() != "unknown" {
+		t.Error("unknown kind label")
+	}
+}
+
+func TestNeuralPipelineEndToEnd(t *testing.T) {
+	// Tiny training run: verifies the full §3.4 plumbing, not quality.
+	cfg := nn.NXCorrConfig{
+		InputH: 16, InputW: 16, InputC: 3,
+		Conv1Out: 4, Conv2Out: 4, Kernel: 3,
+		Patch: 3, SearchW: 3, SearchH: 3,
+		Conv3Out: 4, Hidden: 16, Seed: 5,
+	}
+	pairs := dataset.TrainPairs(sns2, 64, 0.5, 11)
+	fit := nn.FitConfig{Epochs: 2, BatchSize: 8, LR: 1e-3, EarlyEps: 1e-9, Patience: 5, Seed: 2}
+	neural, res, err := TrainNeural(cfg, sns2, pairs, fit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 2 {
+		t.Errorf("epochs = %d", res.Epochs)
+	}
+	// Classify a few queries against a small gallery.
+	smallGallery := NewGallery(&dataset.Set{Name: "g", Samples: sns1.Samples[:12]})
+	q := &dataset.Set{Name: "q", Samples: sns2.Samples[:3]}
+	pred, _ := Run(neural, q, smallGallery)
+	if len(pred) != 3 {
+		t.Fatalf("neural predictions = %d", len(pred))
+	}
+	// Binary pair task.
+	pairSubset := dataset.AllPairs(q)
+	bp, bt := neural.ClassifyPairs(pairSubset, q, q)
+	if len(bp) != len(pairSubset) || len(bt) != len(pairSubset) {
+		t.Fatal("pair classification length mismatch")
+	}
+	if neural.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestHuOfFallsBackToRaster(t *testing.T) {
+	// A sample whose preprocessing finds no contour must still get Hu
+	// invariants from the raster rather than NaNs.
+	for i := range gallery1.Views {
+		hu := gallery1.Views[i].Hu
+		for k, v := range hu {
+			if v != v { // NaN check
+				t.Fatalf("view %d hu[%d] is NaN", i, k)
+			}
+		}
+	}
+}
+
+func TestPipelineNames(t *testing.T) {
+	cases := map[string]Pipeline{
+		"Baseline":                NewRandom(1),
+		"Shape only L1":           ShapeOnly{Method: moments.MatchI1},
+		"Color only Hellinger":    ColorOnly{Metric: histogram.Hellinger},
+		"Shape+Color (micro-avg)": DefaultHybrid(MicroAvg),
+		"SIFT":                    NewDescriptor(SIFT, 0.5),
+	}
+	for want, p := range cases {
+		if p.Name() != want {
+			t.Errorf("name = %q, want %q", p.Name(), want)
+		}
+	}
+	if HybridStrategy(9).String() != "unknown" {
+		t.Error("unknown strategy label")
+	}
+}

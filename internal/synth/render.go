@@ -1,0 +1,303 @@
+package synth
+
+import (
+	"math"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+	"snmatch/internal/rng"
+)
+
+// DefaultSize is the default square canvas side in pixels.
+const DefaultSize = 96
+
+// Params controls a single rendered view.
+type Params struct {
+	Size int    // canvas side (default 96)
+	Seed uint64 // dataset-level seed; combined with class/model/view
+}
+
+// ctx carries the canvas and the object-to-canvas transform for the
+// class drawing routines, which work in object space ([-1, 1] square,
+// y growing downwards).
+type ctx struct {
+	img *imaging.Image
+	tf  geom.Affine
+}
+
+// apply maps an object-space point to canvas coordinates.
+func (c *ctx) apply(x, y float64) geom.Point { return c.tf.Apply(geom.Pt(x, y)) }
+
+// poly fills a polygon given in object space.
+func (c *ctx) poly(col imaging.RGB, pts ...geom.Point) {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[i] = c.tf.Apply(p)
+	}
+	c.img.FillPolygon(out, col)
+}
+
+// rect fills an axis-aligned object-space rectangle (which may be a
+// rotated parallelogram on canvas).
+func (c *ctx) rect(col imaging.RGB, x0, y0, x1, y1 float64) {
+	c.poly(col, geom.Pt(x0, y0), geom.Pt(x1, y0), geom.Pt(x1, y1), geom.Pt(x0, y1))
+}
+
+// ellipse fills an object-space ellipse, approximated by a 24-gon so the
+// transform applies exactly.
+func (c *ctx) ellipse(col imaging.RGB, cx, cy, rx, ry float64) {
+	const n = 24
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		t := 2 * math.Pi * float64(i) / n
+		pts[i] = geom.Pt(cx+rx*math.Cos(t), cy+ry*math.Sin(t))
+	}
+	c.poly(col, pts...)
+}
+
+// line draws a thick object-space segment.
+func (c *ctx) line(col imaging.RGB, x0, y0, x1, y1, width float64) {
+	a := c.apply(x0, y0)
+	b := c.apply(x1, y1)
+	// Transform width by the mean axis scale.
+	sx := math.Hypot(c.tf.A, c.tf.D)
+	sy := math.Hypot(c.tf.B, c.tf.E)
+	c.img.Line(a, b, width*(sx+sy)/2, col)
+}
+
+// pose is the view-dependent part of the transform.
+type pose struct {
+	yaw   float64 // horizontal foreshortening angle
+	roll  float64 // in-plane rotation
+	scale float64 // relative object size on canvas
+	dx    float64 // translation as a fraction of the canvas
+	dy    float64
+}
+
+// transform builds the object-to-canvas affine for a pose.
+func (p pose) transform(size int) geom.Affine {
+	c := float64(size) / 2
+	s := c / 1.25 * p.scale
+	squash := 0.55 + 0.45*math.Cos(p.yaw)
+	shear := 0.18 * math.Sin(p.yaw)
+	// canvas = translate(center+offset) * rotate(roll) * scale * yaw-squash
+	m := geom.Translation(c+p.dx*float64(size), c+p.dy*float64(size))
+	m = m.Mul(geom.Rotation(p.roll))
+	m = m.Mul(geom.Scaling(s*squash, s))
+	m = m.Mul(geom.Affine{A: 1, B: shear, E: 1})
+	return m
+}
+
+// viewPose returns the deterministic pose for a ShapeNet-style view
+// index: views sweep yaw across the model.
+func viewPose(view int, r *rng.RNG) pose {
+	yaws := []float64{-0.7, -0.25, 0.25, 0.7, -0.5, 0.5, 0.0, -0.9, 0.9, 0.12}
+	yaw := yaws[view%len(yaws)]
+	return pose{
+		yaw:   yaw + r.NormRange(0, 0.05),
+		roll:  r.NormRange(0, 0.02),
+		scale: 0.92 + 0.05*r.Float64(),
+	}
+}
+
+// nyuPose returns a randomised pose for NYU-style instances.
+func nyuPose(r *rng.RNG) pose {
+	return pose{
+		yaw:   r.Range(-1.1, 1.1),
+		roll:  r.NormRange(0, 0.14),
+		scale: r.Range(0.55, 0.95),
+		dx:    r.Range(-0.08, 0.08),
+		dy:    r.Range(-0.08, 0.08),
+	}
+}
+
+// RenderView renders one 2-D view. Identity is (class, model, view):
+// equal arguments always produce the identical image. Model selects the
+// style variant (dimensions and palette), view the camera pose; in NYU
+// mode the view index seeds the full degradation chain.
+func RenderView(cls Class, model, view int, mode Mode, p Params) *imaging.Image {
+	if p.Size <= 0 {
+		p.Size = DefaultSize
+	}
+	root := rng.New(p.Seed ^ 0x5eedb07713371234)
+	styleRng := root.Split(classNames[cls] + "/style/" + itoa(model))
+	viewRng := root.Split(classNames[cls] + "/view/" + itoa(model) + "/" + itoa(view) + "/" + mode.String())
+
+	st := sampleStyle(cls, styleRng)
+
+	bg := imaging.White
+	if mode == NYUMode {
+		bg = imaging.Black
+	}
+	img := imaging.NewImageFilled(p.Size, p.Size, bg)
+
+	var ps pose
+	if mode == NYUMode {
+		ps = nyuPose(viewRng)
+	} else {
+		ps = viewPose(view, viewRng)
+	}
+	tf := ps.transform(p.Size).Mul(geom.Scaling(st.aspectX, st.aspectY))
+	c := &ctx{img: img, tf: tf}
+	drawClass(c, cls, st)
+
+	if mode == NYUMode {
+		degrade(img, viewRng)
+	}
+	return img
+}
+
+// RenderOnBackground renders a clean view onto an arbitrary background
+// colour (used by the scene compositor, which chroma-keys the result).
+func RenderOnBackground(cls Class, model, view int, bg imaging.RGB, p Params) *imaging.Image {
+	if p.Size <= 0 {
+		p.Size = DefaultSize
+	}
+	root := rng.New(p.Seed ^ 0x5eedb07713371234)
+	styleRng := root.Split(classNames[cls] + "/style/" + itoa(model))
+	viewRng := root.Split(classNames[cls] + "/view/" + itoa(model) + "/" + itoa(view) + "/scene")
+	st := sampleStyle(cls, styleRng)
+	img := imaging.NewImageFilled(p.Size, p.Size, bg)
+	tf := viewPose(view, viewRng).transform(p.Size).Mul(geom.Scaling(st.aspectX, st.aspectY))
+	c := &ctx{img: img, tf: tf}
+	drawClass(c, cls, st)
+	return img
+}
+
+// degrade applies the NYU-style sensor chain in place: illumination gain
+// and colour cast on object pixels, Gaussian pixel noise, salt-and-pepper
+// speckle, optional partial occlusion, and a light blur — while keeping
+// the background mask black as in the paper's extracted regions.
+func degrade(img *imaging.Image, r *rng.RNG) {
+	w, h := img.W, img.H
+	// Object mask: pixels that are not background black.
+	mask := make([]bool, w*h)
+	for i := 0; i < w*h; i++ {
+		mask[i] = img.Pix[3*i] != 0 || img.Pix[3*i+1] != 0 || img.Pix[3*i+2] != 0
+	}
+
+	gain := clampF(r.NormRange(0.93, 0.11), 0.6, 1.25)
+	cast := [3]float64{
+		gain * clampF(r.NormRange(1, 0.05), 0.88, 1.12),
+		gain * clampF(r.NormRange(1, 0.05), 0.88, 1.12),
+		gain * clampF(r.NormRange(1, 0.05), 0.88, 1.12),
+	}
+	sigma := r.Range(4, 11)
+	for i := 0; i < w*h; i++ {
+		if !mask[i] {
+			continue
+		}
+		for ch := 0; ch < 3; ch++ {
+			v := float64(img.Pix[3*i+ch])*cast[ch] + r.NormRange(0, sigma)
+			img.Pix[3*i+ch] = clamp8i(v)
+		}
+	}
+	// Salt and pepper on the object.
+	n := w * h / 200
+	for k := 0; k < n; k++ {
+		i := r.Intn(w * h)
+		if !mask[i] {
+			continue
+		}
+		v := uint8(0)
+		if r.Bool(0.5) {
+			v = 255
+		}
+		img.Pix[3*i], img.Pix[3*i+1], img.Pix[3*i+2] = v, v, v
+	}
+	// Silhouette raggedness: real NYU segmentation masks have jagged,
+	// bitten boundaries. Black disc bites at boundary pixels perturb the
+	// traced contour (and therefore Hu moments) substantially while
+	// removing only a small fraction of the colour mass.
+	bites := r.IntRange(3, 7)
+	for k := 0; k < bites; k++ {
+		for tries := 0; tries < 40; tries++ {
+			i := r.Intn(w * h)
+			if !mask[i] {
+				continue
+			}
+			x, y := i%w, i/w
+			// Require a background neighbour so the bite hits the outline.
+			onBoundary := false
+			for dy := -1; dy <= 1 && !onBoundary; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || nx >= w || ny < 0 || ny >= h || !mask[ny*w+nx] {
+						onBoundary = true
+						break
+					}
+				}
+			}
+			if !onBoundary {
+				continue
+			}
+			rad := r.Range(1.5, float64(minInt(w, h))/12)
+			img.FillCircle(geom.Pt(float64(x), float64(y)), rad, imaging.Black)
+			break
+		}
+	}
+	// Partial occlusion: a black band eats into one edge of the object,
+	// simulating imperfect segmentation masks and overlapping furniture.
+	// Frequent in real NYU regions, and a major reason contour-based
+	// shape matching fails there.
+	if r.Bool(0.55) {
+		frac := r.Range(0.12, 0.3)
+		switch r.Intn(4) {
+		case 0:
+			img.FillRect(geom.Rect{MinX: 0, MinY: 0, MaxX: int(float64(w) * frac), MaxY: h}, imaging.Black)
+		case 1:
+			img.FillRect(geom.Rect{MinX: w - int(float64(w)*frac), MinY: 0, MaxX: w, MaxY: h}, imaging.Black)
+		case 2:
+			img.FillRect(geom.Rect{MinX: 0, MinY: 0, MaxX: w, MaxY: int(float64(h) * frac)}, imaging.Black)
+		default:
+			img.FillRect(geom.Rect{MinX: 0, MinY: h - int(float64(h)*frac), MaxX: w, MaxY: h}, imaging.Black)
+		}
+	}
+	// Light sensor blur.
+	if r.Bool(0.5) {
+		blurred := img.GaussianBlur(r.Range(0.4, 0.8))
+		copy(img.Pix, blurred.Pix)
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func clamp8i(v float64) uint8 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,309 @@
+package synth
+
+import (
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+	"snmatch/internal/rng"
+)
+
+// style holds the per-model appearance: a palette plus dimension jitters
+// interpreted by each class's drawing routine. aspectX/aspectY stretch
+// the whole silhouette per model: real object categories vary wildly in
+// proportions, which is what keeps Hu-moment matching weak in the
+// paper's evaluation, so the simulation reproduces that variation.
+type style struct {
+	primary   imaging.RGB
+	secondary imaging.RGB
+	accent    imaging.RGB
+	dims      [6]float64 // uniform [0,1] shape variations
+	aspectX   float64
+	aspectY   float64
+}
+
+// jitter perturbs a base colour per-channel by up to +-d.
+func jitter(c imaging.RGB, d int, r *rng.RNG) imaging.RGB {
+	j := func(v uint8) uint8 {
+		n := int(v) + r.IntRange(-d, d)
+		if n < 0 {
+			n = 0
+		}
+		if n > 255 {
+			n = 255
+		}
+		return uint8(n)
+	}
+	return imaging.RGB{R: j(c.R), G: j(c.G), B: j(c.B)}
+}
+
+// pick selects one of the base colours uniformly and jitters it.
+func pick(r *rng.RNG, d int, options ...imaging.RGB) imaging.RGB {
+	return jitter(options[r.Intn(len(options))], d, r)
+}
+
+// darker returns the colour scaled towards black.
+func darker(c imaging.RGB, k float64) imaging.RGB { return c.Scale(k) }
+
+// sampleStyle draws a deterministic style for (class, model).
+func sampleStyle(cls Class, r *rng.RNG) style {
+	var st style
+	for i := range st.dims {
+		st.dims[i] = r.Float64()
+	}
+	st.aspectX = r.Range(0.74, 1.34)
+	st.aspectY = r.Range(0.82, 1.22)
+	switch cls {
+	case Chair:
+		st.primary = pick(r, 18,
+			imaging.C(139, 90, 43), imaging.C(60, 60, 65),
+			imaging.C(35, 30, 30), imaging.C(120, 40, 40))
+		st.secondary = jitter(darker(st.primary, 0.8), 10, r)
+		st.accent = pick(r, 15, imaging.C(160, 120, 80), imaging.C(90, 90, 95))
+	case Bottle:
+		st.primary = pick(r, 18,
+			imaging.C(30, 120, 60), imaging.C(40, 90, 160),
+			imaging.C(150, 100, 30), imaging.C(120, 125, 130))
+		st.secondary = jitter(darker(st.primary, 0.75), 10, r)
+		st.accent = pick(r, 15, imaging.C(200, 200, 205), imaging.C(40, 40, 40), imaging.C(180, 30, 30))
+	case Paper:
+		st.primary = pick(r, 8, imaging.C(243, 243, 240), imaging.C(235, 236, 230))
+		st.secondary = jitter(imaging.C(210, 212, 214), 6, r)
+		st.accent = st.secondary
+	case Book:
+		st.primary = pick(r, 20,
+			imaging.C(170, 40, 40), imaging.C(40, 60, 150),
+			imaging.C(40, 120, 60), imaging.C(200, 120, 30), imaging.C(90, 40, 120))
+		st.secondary = jitter(darker(st.primary, 0.6), 10, r)
+		st.accent = pick(r, 10, imaging.C(230, 225, 210), imaging.C(220, 200, 90))
+	case Table:
+		st.primary = pick(r, 18,
+			imaging.C(120, 80, 45), imaging.C(180, 140, 90), imaging.C(100, 100, 105))
+		st.secondary = jitter(darker(st.primary, 0.8), 10, r)
+		st.accent = st.secondary
+	case Box:
+		st.primary = pick(r, 14, imaging.C(170, 130, 80), imaging.C(190, 155, 100))
+		st.secondary = jitter(darker(st.primary, 0.85), 8, r)
+		st.accent = jitter(darker(st.primary, 0.7), 8, r)
+	case Window:
+		st.primary = pick(r, 10,
+			imaging.C(240, 240, 238), imaging.C(175, 175, 178), imaging.C(130, 95, 60))
+		st.secondary = jitter(imaging.C(190, 215, 235), 12, r) // glass
+		st.accent = jitter(darker(st.primary, 0.85), 8, r)
+	case Door:
+		st.primary = pick(r, 16,
+			imaging.C(110, 70, 40), imaging.C(235, 233, 228), imaging.C(140, 140, 145))
+		st.secondary = jitter(darker(st.primary, 0.82), 8, r)
+		st.accent = pick(r, 10, imaging.C(200, 180, 90), imaging.C(70, 70, 75))
+	case Sofa:
+		st.primary = pick(r, 18,
+			imaging.C(120, 40, 45), imaging.C(40, 50, 90),
+			imaging.C(110, 110, 115), imaging.C(60, 90, 60))
+		st.secondary = jitter(darker(st.primary, 0.85), 10, r)
+		st.accent = jitter(darker(st.primary, 0.65), 10, r)
+	case Lamp:
+		st.primary = pick(r, 14, imaging.C(235, 210, 150), imaging.C(220, 190, 120), imaging.C(215, 160, 120))
+		st.secondary = jitter(imaging.C(50, 50, 55), 10, r) // pole
+		st.accent = jitter(imaging.C(120, 110, 100), 10, r) // base
+	}
+	return st
+}
+
+// drawClass dispatches to the class-specific renderer.
+func drawClass(c *ctx, cls Class, st style) {
+	switch cls {
+	case Chair:
+		drawChair(c, st)
+	case Bottle:
+		drawBottle(c, st)
+	case Paper:
+		drawPaper(c, st)
+	case Book:
+		drawBook(c, st)
+	case Table:
+		drawTable(c, st)
+	case Box:
+		drawBox(c, st)
+	case Window:
+		drawWindow(c, st)
+	case Door:
+		drawDoor(c, st)
+	case Sofa:
+		drawSofa(c, st)
+	case Lamp:
+		drawLamp(c, st)
+	}
+}
+
+// drawChair renders a leggy silhouette: four legs, a seat slab and a
+// backrest (solid or slatted), the most shape-distinctive class.
+func drawChair(c *ctx, st style) {
+	legW := 0.08 + 0.05*st.dims[0]
+	seatY := -0.02 + 0.1*st.dims[1]
+	// Rear legs (slightly inset, drawn first so the seat overlaps).
+	c.rect(st.secondary, -0.38, seatY, -0.38+legW, 0.82)
+	c.rect(st.secondary, 0.38-legW, seatY, 0.38, 0.82)
+	// Front legs.
+	c.rect(st.primary, -0.6, seatY, -0.6+legW, 0.95)
+	c.rect(st.primary, 0.6-legW, seatY, 0.6, 0.95)
+	// Seat.
+	c.rect(st.primary, -0.68, seatY-0.14, 0.68, seatY+0.06)
+	// Back posts.
+	c.rect(st.primary, -0.6, -0.92, -0.6+legW, seatY)
+	c.rect(st.primary, 0.6-legW, -0.92, 0.6, seatY)
+	if st.dims[2] < 0.5 {
+		// Solid backrest.
+		c.rect(st.primary, -0.6, -0.88, 0.6, -0.35)
+	} else {
+		// Slatted backrest.
+		c.rect(st.primary, -0.6, -0.88, 0.6, -0.72)
+		c.rect(st.primary, -0.6, -0.6, 0.6, -0.48)
+	}
+}
+
+// drawBottle renders the elongated neck-and-body silhouette.
+func drawBottle(c *ctx, st style) {
+	bw := 0.24 + 0.12*st.dims[0] // body half width
+	nw := bw * (0.3 + 0.12*st.dims[1])
+	shoulderY := -0.25 + 0.15*st.dims[2]
+	// Body with a rounded bottom.
+	c.rect(st.primary, -bw, shoulderY, bw, 0.85)
+	c.ellipse(st.primary, 0, 0.85, bw, 0.1)
+	// Shoulder taper.
+	c.poly(st.primary,
+		geom.Pt(-bw, shoulderY), geom.Pt(bw, shoulderY),
+		geom.Pt(nw, shoulderY-0.3), geom.Pt(-nw, shoulderY-0.3))
+	// Neck.
+	c.rect(st.primary, -nw, shoulderY-0.62, nw, shoulderY-0.28)
+	// Cap.
+	c.rect(st.accent, -nw*1.3, shoulderY-0.75, nw*1.3, shoulderY-0.6)
+	// Label band on some models.
+	if st.dims[3] > 0.4 {
+		c.rect(st.accent, -bw, 0.25, bw, 0.55)
+	}
+}
+
+// drawPaper renders a plain near-white sheet: almost textureless, so
+// descriptor pipelines find nearly nothing (paper's Tables 8-9 rows).
+func drawPaper(c *ctx, st style) {
+	w := 0.62 + 0.1*st.dims[0]
+	h := 0.85 + 0.08*st.dims[1]
+	c.rect(st.primary, -w, -h, w, h)
+	// Faint ruled lines, barely above the background contrast.
+	if st.dims[2] > 0.3 {
+		for i := 0; i < 5; i++ {
+			y := -0.6 + 0.3*float64(i)
+			c.rect(st.secondary, -w*0.85, y, w*0.85, y+0.02)
+		}
+	}
+}
+
+// drawBook renders a cover with a darker spine and a title band.
+func drawBook(c *ctx, st style) {
+	w := 0.52 + 0.12*st.dims[0]
+	h := 0.78 + 0.12*st.dims[1]
+	c.rect(st.primary, -w, -h, w, h)
+	// Spine.
+	c.rect(st.secondary, -w, -h, -w+0.16, h)
+	// Title band.
+	c.rect(st.accent, -w*0.4, -h*0.55, w*0.8, -h*0.3)
+	if st.dims[2] > 0.55 {
+		c.rect(st.accent, -w*0.4, h*0.1, w*0.6, h*0.25)
+	}
+}
+
+// drawTable renders a wide top slab on tall legs.
+func drawTable(c *ctx, st style) {
+	topY := -0.45 + 0.12*st.dims[0]
+	legW := 0.1 + 0.05*st.dims[1]
+	c.rect(st.primary, -0.98, topY-0.12, 0.98, topY+0.08)
+	c.rect(st.secondary, -0.88, topY+0.08, -0.88+legW, 0.95)
+	c.rect(st.secondary, 0.88-legW, topY+0.08, 0.88, 0.95)
+	// Rear legs hinted.
+	c.rect(darker(st.secondary, 0.85), -0.6, topY+0.08, -0.6+legW*0.8, 0.8)
+	c.rect(darker(st.secondary, 0.85), 0.6-legW*0.8, topY+0.08, 0.6, 0.8)
+	if st.dims[2] > 0.6 {
+		// Stretcher bar.
+		c.rect(st.secondary, -0.88, 0.5, 0.88, 0.58)
+	}
+}
+
+// drawBox renders a cardboard carton with flaps and a centre seam.
+func drawBox(c *ctx, st style) {
+	w := 0.6 + 0.15*st.dims[0]
+	h := 0.55 + 0.2*st.dims[1]
+	c.rect(st.primary, -w, -h, w, h)
+	// Top flaps.
+	c.rect(st.secondary, -w, -h-0.14, -0.02, -h)
+	c.rect(st.accent, 0.02, -h-0.14, w, -h)
+	// Centre seam and tape.
+	c.rect(st.accent, -0.03, -h, 0.03, h)
+	if st.dims[2] > 0.5 {
+		c.rect(st.secondary, -w, -0.05, w, 0.08)
+	}
+}
+
+// drawWindow renders a pale frame around glass panes with mullions; its
+// palette overlaps paper's, driving the confusions seen in the paper.
+func drawWindow(c *ctx, st style) {
+	c.rect(st.primary, -0.8, -0.9, 0.8, 0.9)
+	c.rect(st.secondary, -0.66, -0.76, 0.66, 0.76)
+	// Mullions.
+	c.rect(st.primary, -0.05, -0.76, 0.05, 0.76)
+	if st.dims[0] > 0.35 {
+		c.rect(st.primary, -0.66, -0.05, 0.66, 0.05)
+	}
+	// Sill.
+	if st.dims[1] > 0.5 {
+		c.rect(st.accent, -0.88, 0.82, 0.88, 0.92)
+	}
+}
+
+// drawDoor renders the tall panel-and-knob silhouette.
+func drawDoor(c *ctx, st style) {
+	w := 0.42 + 0.1*st.dims[0]
+	c.rect(st.primary, -w, -0.96, w, 0.96)
+	// Inset panels.
+	c.rect(st.secondary, -w*0.7, -0.78, w*0.7, -0.12)
+	c.rect(st.secondary, -w*0.7, 0.06, w*0.7, 0.8)
+	// Knob.
+	c.ellipse(st.accent, w*0.75, 0.02, 0.05, 0.05)
+}
+
+// drawSofa renders the bulky armrest-and-cushion silhouette.
+func drawSofa(c *ctx, st style) {
+	seatY := 0.05 + 0.1*st.dims[0]
+	// Backrest.
+	c.rect(st.primary, -0.8, -0.6, 0.8, seatY)
+	// Seat base.
+	c.rect(st.primary, -0.8, seatY, 0.8, 0.72)
+	// Armrests.
+	c.rect(st.secondary, -0.98, -0.3, -0.72, 0.72)
+	c.rect(st.secondary, 0.72, -0.3, 0.98, 0.72)
+	c.ellipse(st.secondary, -0.85, -0.3, 0.13, 0.1)
+	c.ellipse(st.secondary, 0.85, -0.3, 0.13, 0.1)
+	// Cushion seams.
+	c.rect(st.accent, -0.04, -0.55, 0.04, seatY)
+	if st.dims[1] > 0.5 {
+		c.rect(st.accent, -0.72, seatY-0.04, 0.72, seatY+0.04)
+	}
+	// Short legs.
+	c.rect(st.accent, -0.7, 0.72, -0.58, 0.9)
+	c.rect(st.accent, 0.58, 0.72, 0.7, 0.9)
+}
+
+// drawLamp renders a shade on a thin pole over a base.
+func drawLamp(c *ctx, st style) {
+	shadeW := 0.42 + 0.14*st.dims[0]
+	topW := shadeW * (0.5 + 0.2*st.dims[1])
+	// Base.
+	c.ellipse(st.accent, 0, 0.88, 0.4, 0.09)
+	// Pole.
+	c.rect(st.secondary, -0.035, -0.2, 0.035, 0.88)
+	// Shade (trapezoid).
+	c.poly(st.primary,
+		geom.Pt(-topW, -0.85), geom.Pt(topW, -0.85),
+		geom.Pt(shadeW, -0.18), geom.Pt(-shadeW, -0.18))
+	// Glow line under the shade on some models.
+	if st.dims[2] > 0.6 {
+		c.rect(imaging.C(250, 240, 200), -shadeW*0.8, -0.18, shadeW*0.8, -0.12)
+	}
+}

@@ -1,0 +1,204 @@
+package synth
+
+import (
+	"testing"
+
+	"snmatch/internal/contour"
+	"snmatch/internal/histogram"
+	"snmatch/internal/imaging"
+)
+
+func TestClassNamesRoundTrip(t *testing.T) {
+	for _, c := range AllClasses {
+		got, err := ParseClass(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseClass("Spaceship"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if Class(99).String() == "" {
+		t.Error("out-of-range String empty")
+	}
+	if len(AllClasses) != NumClasses {
+		t.Error("AllClasses length mismatch")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	p := Params{Size: 64, Seed: 42}
+	for _, mode := range []Mode{ShapeNetMode, NYUMode} {
+		a := RenderView(Chair, 0, 0, mode, p)
+		b := RenderView(Chair, 0, 0, mode, p)
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("%v render not deterministic", mode)
+			}
+		}
+	}
+}
+
+func TestRenderVariesAcrossIdentity(t *testing.T) {
+	p := Params{Size: 64, Seed: 42}
+	base := RenderView(Chair, 0, 0, ShapeNetMode, p)
+	cases := map[string]*imaging.Image{
+		"model": RenderView(Chair, 1, 0, ShapeNetMode, p),
+		"view":  RenderView(Chair, 0, 1, ShapeNetMode, p),
+		"class": RenderView(Sofa, 0, 0, ShapeNetMode, p),
+		"seed":  RenderView(Chair, 0, 0, ShapeNetMode, Params{Size: 64, Seed: 43}),
+	}
+	for name, img := range cases {
+		same := 0
+		for i := range base.Pix {
+			if base.Pix[i] == img.Pix[i] {
+				same++
+			}
+		}
+		if same == len(base.Pix) {
+			t.Errorf("changing %s produced an identical image", name)
+		}
+	}
+}
+
+func TestShapeNetModeBackgrounds(t *testing.T) {
+	p := Params{Size: 64, Seed: 1}
+	for _, cls := range AllClasses {
+		img := RenderView(cls, 0, 0, ShapeNetMode, p)
+		// Corners should be white background.
+		if img.At(0, 0) != imaging.White {
+			t.Errorf("%v: corner not white: %v", cls, img.At(0, 0))
+		}
+		// The object must cover a reasonable area.
+		res := contour.Preprocess(img)
+		if res.Largest == nil {
+			t.Fatalf("%v: no object found", cls)
+		}
+		if area := res.Largest.Area(); area < 200 {
+			t.Errorf("%v: object area = %v, too small", cls, area)
+		}
+	}
+}
+
+func TestNYUModeBackgrounds(t *testing.T) {
+	p := Params{Size: 64, Seed: 2}
+	for _, cls := range AllClasses {
+		img := RenderView(cls, 3, 1, NYUMode, p)
+		if img.At(0, 0) != imaging.Black && img.At(63, 63) != imaging.Black {
+			t.Errorf("%v: corners not black: %v %v", cls, img.At(0, 0), img.At(63, 63))
+		}
+		// Some object pixels must survive degradation.
+		nonBlack := 0
+		for i := 0; i < len(img.Pix); i += 3 {
+			if img.Pix[i] != 0 || img.Pix[i+1] != 0 || img.Pix[i+2] != 0 {
+				nonBlack++
+			}
+		}
+		if nonBlack < 100 {
+			t.Errorf("%v: only %d object pixels after degradation", cls, nonBlack)
+		}
+	}
+}
+
+func TestNYUNoisierThanShapeNet(t *testing.T) {
+	p := Params{Size: 64, Seed: 3}
+	// Same model rendered in both modes should differ meaningfully more
+	// than two clean views of the same model.
+	clean := RenderView(Bottle, 0, 0, ShapeNetMode, p)
+	noisy := RenderView(Bottle, 0, 0, NYUMode, p)
+	hClean := histogram.Compute(clean, 8).Normalize()
+	hNoisy := histogram.Compute(noisy, 8).Normalize()
+	d := histogram.Compare(hClean, hNoisy, histogram.Hellinger)
+	if d < 0.1 {
+		t.Errorf("NYU degradation too mild: Hellinger = %v", d)
+	}
+}
+
+func TestClassShapesDiffer(t *testing.T) {
+	// Silhouette areas of a bottle and a sofa should differ: sanity that
+	// classes are not drawing the same geometry.
+	p := Params{Size: 96, Seed: 4}
+	areas := map[Class]float64{}
+	for _, cls := range []Class{Bottle, Sofa, Lamp, Table} {
+		res := contour.Preprocess(RenderView(cls, 0, 2, ShapeNetMode, p))
+		if res.Largest == nil {
+			t.Fatalf("%v: no contour", cls)
+		}
+		areas[cls] = res.Largest.Area()
+	}
+	if areas[Sofa] <= areas[Bottle] {
+		t.Errorf("sofa area %v should exceed bottle area %v", areas[Sofa], areas[Bottle])
+	}
+}
+
+func TestPaperIsNearWhite(t *testing.T) {
+	// The paper class must be high-luma and low-texture: the property
+	// driving its recognition failures in the original evaluation.
+	img := RenderView(Paper, 0, 0, ShapeNetMode, Params{Size: 64, Seed: 5})
+	res := contour.Preprocess(img)
+	g := res.Cropped.ToGray()
+	if contour.MeanIntensity(g) < 200 {
+		t.Errorf("paper luma = %v, want near-white", contour.MeanIntensity(g))
+	}
+}
+
+func TestComposeScene(t *testing.T) {
+	classes := []Class{Chair, Bottle, Lamp, Door}
+	sc := ComposeScene(classes, 320, 240, 7)
+	if len(sc.Objects) != 4 {
+		t.Fatalf("objects = %d", len(sc.Objects))
+	}
+	for i, obj := range sc.Objects {
+		if obj.Box.Empty() {
+			t.Errorf("object %d empty box", i)
+		}
+		if obj.Box.MaxX > 320 || obj.Box.MaxY > 240 {
+			t.Errorf("object %d out of scene: %+v", i, obj.Box)
+		}
+		crop := sc.CropObject(i)
+		if crop == nil {
+			t.Fatalf("object %d crop nil", i)
+		}
+		// Crop should contain both black background and object pixels.
+		var black, other int
+		for p := 0; p < crop.W*crop.H; p++ {
+			if crop.Pix[3*p] == 0 && crop.Pix[3*p+1] == 0 && crop.Pix[3*p+2] == 0 {
+				black++
+			} else {
+				other++
+			}
+		}
+		if other < 50 {
+			t.Errorf("object %d: crop nearly empty (%d object px)", i, other)
+		}
+	}
+	// Deterministic.
+	sc2 := ComposeScene(classes, 320, 240, 7)
+	for i := range sc.Image.Pix {
+		if sc.Image.Pix[i] != sc2.Image.Pix[i] {
+			t.Fatal("scene not deterministic")
+		}
+	}
+}
+
+func TestComposeSceneEmpty(t *testing.T) {
+	sc := ComposeScene(nil, 100, 100, 1)
+	if len(sc.Objects) != 0 || sc.Image == nil {
+		t.Error("empty scene wrong")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ShapeNetMode.String() != "shapenet" || NYUMode.String() != "nyu" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{0: "0", 7: "7", 42: "42", -3: "-3", 1234: "1234"}
+	for v, want := range cases {
+		if got := itoa(v); got != want {
+			t.Errorf("itoa(%d) = %q", v, got)
+		}
+	}
+}
