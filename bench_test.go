@@ -151,6 +151,52 @@ func BenchmarkTable9DescriptorClasswise(b *testing.B) {
 	b.ReportMetric(last.Classwise["SIFT"].PerClass[synth.Chair].Accuracy, "sift-chair-acc")
 }
 
+// --- Concurrency benches (worker-pool recognition engine) ---
+
+// BenchmarkRunParallel measures the pooled query sweep against the
+// serial baseline on the hybrid pipeline (the paper's most consistent
+// configuration), SNS2 queries vs the SNS1 gallery. The workers=cpu
+// variant is the speedup the ≥2x acceptance bar refers to.
+func BenchmarkRunParallel(b *testing.B) {
+	s := getBenchSuite(b)
+	p := pipeline.DefaultHybrid(pipeline.WeightedSum)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipeline.Run(p, s.SNS2, s.GallerySNS1)
+		}
+	})
+	for _, w := range []int{2, 4} {
+		b.Run("workers="+itoa(w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pipeline.RunParallel(p, s.SNS2, s.GallerySNS1, w)
+			}
+		})
+	}
+	b.Run("workers=cpu", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pipeline.RunParallel(p, s.SNS2, s.GallerySNS1, 0)
+		}
+	})
+}
+
+// BenchmarkGalleryPrepareParallel measures pooled gallery construction
+// plus ORB descriptor extraction against the single-worker path.
+func BenchmarkGalleryPrepareParallel(b *testing.B) {
+	s := getBenchSuite(b)
+	params := pipeline.DefaultDescriptorParams()
+	run := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := pipeline.NewGalleryWorkers(s.SNS1, workers)
+				g.PrepareDescriptorsWorkers(pipeline.ORB, params, workers)
+			}
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("workers=4", run(4))
+	b.Run("workers=cpu", run(0))
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // BenchmarkAblationHistogramBins sweeps the joint histogram resolution.

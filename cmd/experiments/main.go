@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|medium|full] [-skip-neural] [-out report.txt]
+//	experiments [-scale quick|medium|full] [-skip-neural] [-workers N] [-out report.txt]
 //
 // quick matches the test-suite budget (seconds); medium uses the full
 // Table 1 cardinalities with a reduced neural budget (minutes); full
@@ -25,6 +25,7 @@ func main() {
 	scaleFlag := flag.String("scale", "medium", "experiment scale: quick, medium or full")
 	skipNeural := flag.Bool("skip-neural", false, "skip the Table 4 neural experiment")
 	outPath := flag.String("out", "", "also write the report to this file")
+	workers := flag.Int("workers", 0, "classification worker pool size (0 = one per CPU)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -43,6 +44,7 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
+	scale.Workers = *workers
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

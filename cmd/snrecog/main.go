@@ -46,7 +46,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   snrecog sheet -dir DIR [-size N] [-seed N]     render class sample sheets
   snrecog stats [-cap N]                         print Table 1 statistics
-  snrecog classify -class NAME [-pipeline P] [-mode shapenet|nyu] [-model N] [-view N]
+  snrecog classify -class NAME [-pipeline P] [-mode shapenet|nyu] [-model N] [-view N] [-workers N]
       pipelines: random, shape, color, hybrid, sift, surf, orb`)
 	os.Exit(2)
 }
@@ -100,6 +100,7 @@ func cmdClassify(args []string) {
 	view := fs.Int("view", 0, "query view index")
 	size := fs.Int("size", 64, "image side in pixels")
 	seed := fs.Uint64("seed", 1, "render seed")
+	workers := fs.Int("workers", 0, "worker pool size for gallery prep and batch classification (0 = one per CPU)")
 	fs.Parse(args)
 
 	cls, err := synth.ParseClass(*clsName)
@@ -133,9 +134,12 @@ func cmdClassify(args []string) {
 
 	fmt.Println("building SNS1 gallery...")
 	cfg := dataset.Config{Size: *size, Seed: *seed}
-	gallery := pipeline.NewGallery(dataset.BuildSNS1(cfg))
+	gallery := pipeline.NewGalleryWorkers(dataset.BuildSNS1(cfg), *workers)
 
 	query := synth.RenderView(cls, *model, *view, mode, synth.Params{Size: *size, Seed: *seed})
+	if prep, ok := p.(pipeline.Preparer); ok {
+		prep.Prepare(gallery, *workers)
+	}
 	pred := p.Classify(query, gallery)
 	fmt.Printf("pipeline:   %s\n", p.Name())
 	fmt.Printf("truth:      %s (model %d, view %d, %s mode)\n", cls, *model, *view, mode)
@@ -148,7 +152,7 @@ func cmdClassify(args []string) {
 
 	// Context: how often is this pipeline right on a 30-query sample?
 	qs := dataset.BuildNYUSubset(dataset.Config{Size: *size, Seed: *seed + 9}, 3)
-	preds, truth := pipeline.Run(p, qs, gallery)
+	preds, truth := pipeline.NewBatchClassifier(p, *workers).Run(qs, gallery)
 	fmt.Printf("sample accuracy over %d fresh queries: %.2f\n",
 		qs.Len(), eval.Evaluate(truth, preds).Cumulative)
 }

@@ -1,0 +1,3 @@
+module snmatch
+
+go 1.22

@@ -28,6 +28,7 @@ type Scale struct {
 	NXCorrInput    int // NXCorr input side (paper uses 60x160; we use square)
 	NXCorrEpochs   int // cap on training epochs (paper: 100)
 	Seed           uint64
+	Workers        int // classification pool size (<= 0: one per CPU)
 }
 
 // Quick returns a scale suitable for tests and benchmarks: the full
@@ -75,7 +76,8 @@ type Suite struct {
 	GallerySNS1 *pipeline.Gallery
 }
 
-// NewSuite builds the datasets once.
+// NewSuite builds the datasets once. Gallery preparation fans out over
+// the Scale's worker pool.
 func NewSuite(s Scale) *Suite {
 	cfg := s.config()
 	sns1 := dataset.BuildSNS1(cfg)
@@ -84,8 +86,14 @@ func NewSuite(s Scale) *Suite {
 		SNS1:        sns1,
 		SNS2:        dataset.BuildSNS2(cfg),
 		NYU:         dataset.BuildNYU(cfg),
-		GallerySNS1: pipeline.NewGallery(sns1),
+		GallerySNS1: pipeline.NewGalleryWorkers(sns1, s.Workers),
 	}
+}
+
+// run classifies a query set against the SNS1 gallery through the
+// suite's worker pool; output is identical to the serial pipeline.Run.
+func (s *Suite) run(p pipeline.Pipeline, queries *dataset.Set) (pred, truth []synth.Class) {
+	return pipeline.NewBatchClassifier(p, s.Scale.Workers).Run(queries, s.GallerySNS1)
 }
 
 // Table1 reproduces the dataset statistics table.
@@ -139,9 +147,9 @@ type Table2Result struct {
 func (s *Suite) Table2() Table2Result {
 	res := Table2Result{ByName: map[string][2]float64{}}
 	for _, p := range exploratoryPipelines(s.Scale.Seed) {
-		predN, truthN := pipeline.Run(p, s.NYU, s.GallerySNS1)
+		predN, truthN := s.run(p, s.NYU)
 		accN := eval.Evaluate(truthN, predN).Cumulative
-		predS, truthS := pipeline.Run(p, s.SNS2, s.GallerySNS1)
+		predS, truthS := s.run(p, s.SNS2)
 		accS := eval.Evaluate(truthS, predS).Cumulative
 		res.Rows = append(res.Rows, eval.CumulativeRow{
 			Approach: p.Name(), Values: []float64{accN, accS},
@@ -170,15 +178,14 @@ type Table3Result struct {
 func (s *Suite) Table3(ratio float64) Table3Result {
 	res := Table3Result{ByName: map[string]float64{}, Classwise: map[string]eval.Result{}}
 	base := pipeline.NewRandom(s.Scale.Seed + 7)
-	pred, truth := pipeline.Run(base, s.SNS2, s.GallerySNS1)
+	pred, truth := s.run(base, s.SNS2)
 	r := eval.Evaluate(truth, pred)
 	res.Rows = append(res.Rows, eval.CumulativeRow{Approach: "Baseline", Values: []float64{r.Cumulative}})
 	res.ByName["Baseline"] = r.Cumulative
 
 	for _, kind := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
 		p := pipeline.NewDescriptor(kind, ratio)
-		s.GallerySNS1.PrepareDescriptors(kind, p.Params)
-		pred, truth := pipeline.Run(p, s.SNS2, s.GallerySNS1)
+		pred, truth := s.run(p, s.SNS2)
 		r := eval.Evaluate(truth, pred)
 		res.Rows = append(res.Rows, eval.CumulativeRow{Approach: p.Name(), Values: []float64{r.Cumulative}})
 		res.ByName[p.Name()] = r.Cumulative
@@ -219,12 +226,12 @@ func (s *Suite) Table4(log io.Writer) (Table4Result, error) {
 	out := Table4Result{TrainEpochs: fitRes.Epochs, TrainLoss: fitRes.FinalLoss}
 
 	sns1Pairs := dataset.AllPairs(s.SNS1)
-	pred, truth := neural.ClassifyPairs(sns1Pairs, s.SNS1, s.SNS1)
+	pred, truth := neural.ClassifyPairsParallel(sns1Pairs, s.SNS1, s.SNS1, s.Scale.Workers)
 	out.SNS1Pairs = eval.EvaluatePairs(truth, pred)
 
 	picks := dataset.BuildNYUSubset(s.Scale.config(), s.Scale.NYUQueryPick)
 	cross := dataset.CrossPairs(picks, s.SNS1)
-	predC, truthC := neural.ClassifyPairs(cross, picks, s.SNS1)
+	predC, truthC := neural.ClassifyPairsParallel(cross, picks, s.SNS1, s.Scale.Workers)
 	out.CrossPairs = eval.EvaluatePairs(truthC, predC)
 	return out, nil
 }
@@ -247,7 +254,7 @@ func (s *Suite) Table5() map[string]eval.Result {
 		pipeline.ShapeOnly{Method: moments.MatchI2},
 		pipeline.ShapeOnly{Method: moments.MatchI3},
 	} {
-		pred, truth := pipeline.Run(p, s.NYU, s.GallerySNS1)
+		pred, truth := s.run(p, s.NYU)
 		out[p.Name()] = eval.Evaluate(truth, pred)
 	}
 	return out
@@ -261,7 +268,7 @@ func (s *Suite) Table6() map[string]eval.Result {
 		histogram.Intersection, histogram.Hellinger,
 	} {
 		p := pipeline.ColorOnly{Metric: m}
-		pred, truth := pipeline.Run(p, s.NYU, s.GallerySNS1)
+		pred, truth := s.run(p, s.NYU)
 		out[p.Name()] = eval.Evaluate(truth, pred)
 	}
 	return out
@@ -275,7 +282,7 @@ func (s *Suite) Table7() map[string]eval.Result {
 		pipeline.WeightedSum, pipeline.MicroAvg, pipeline.MacroAvg,
 	} {
 		p := pipeline.DefaultHybrid(st)
-		pred, truth := pipeline.Run(p, s.NYU, s.GallerySNS1)
+		pred, truth := s.run(p, s.NYU)
 		out[p.Name()] = eval.Evaluate(truth, pred)
 	}
 	return out
@@ -288,7 +295,7 @@ func (s *Suite) Table8() map[string]eval.Result {
 		pipeline.WeightedSum, pipeline.MicroAvg, pipeline.MacroAvg,
 	} {
 		p := pipeline.DefaultHybrid(st)
-		pred, truth := pipeline.Run(p, s.SNS2, s.GallerySNS1)
+		pred, truth := s.run(p, s.SNS2)
 		out[p.Name()] = eval.Evaluate(truth, pred)
 	}
 	return out

@@ -124,6 +124,26 @@ func NewNXCorrNet(cfg NXCorrConfig) (*NXCorrNet, error) {
 // Params returns all trainable parameters.
 func (n *NXCorrNet) Params() []*Param { return n.params }
 
+// SharedClone returns a network that shares every trainable parameter
+// with n but owns private forward caches (the layer input buffers that
+// Forward stores for Backward). Clones therefore run inference
+// concurrently with each other and with n, producing bit-identical
+// outputs; training through a clone updates the shared weights.
+func (n *NXCorrNet) SharedClone() *NXCorrNet {
+	c := &NXCorrNet{Cfg: n.Cfg, xcorr: n.xcorr.SharedCopy(), params: n.params}
+	c.trunkA = make([]Layer, len(n.trunkA))
+	c.trunkB = make([]Layer, len(n.trunkB))
+	for i := range n.trunkA {
+		c.trunkA[i] = n.trunkA[i].SharedCopy()
+		c.trunkB[i] = n.trunkB[i].SharedCopy()
+	}
+	c.head = make([]Layer, len(n.head))
+	for i := range n.head {
+		c.head[i] = n.head[i].SharedCopy()
+	}
+	return c
+}
+
 // Forward runs a batch pair through the network and returns the logits
 // [N, 2] where class 1 means "similar".
 func (n *NXCorrNet) Forward(a, b *Tensor) *Tensor {

@@ -3,6 +3,7 @@ package nn
 import (
 	"bytes"
 	"math"
+	"sync"
 	"testing"
 
 	"snmatch/internal/imaging"
@@ -189,6 +190,51 @@ func TestPredictPairBounds(t *testing.T) {
 	if p < 0 || p > 1 || math.IsNaN(p) {
 		t.Errorf("PredictPair = %v", p)
 	}
+}
+
+func TestSharedClonePredictsIdentically(t *testing.T) {
+	net := tinyNet(t)
+	clone := net.SharedClone()
+	r := rng.New(9)
+	for trial := 0; trial < 3; trial++ {
+		a := randTensor(r, 3, 12, 12)
+		b := randTensor(r, 3, 12, 12)
+		if got, want := clone.PredictPair(a, b), net.PredictPair(a, b); got != want {
+			t.Errorf("trial %d: clone predicts %v, original %v", trial, got, want)
+		}
+	}
+	// Weights are shared, not copied.
+	np, cp := net.Params(), clone.Params()
+	if len(np) != len(cp) {
+		t.Fatalf("param counts differ: %d vs %d", len(np), len(cp))
+	}
+	for i := range np {
+		if np[i] != cp[i] {
+			t.Errorf("param %d not shared", i)
+		}
+	}
+}
+
+func TestSharedCloneConcurrentInference(t *testing.T) {
+	net := tinyNet(t)
+	r := rng.New(10)
+	a := randTensor(r, 3, 12, 12)
+	b := randTensor(r, 3, 12, 12)
+	want := net.PredictPair(a, b)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := net.SharedClone()
+			for i := 0; i < 5; i++ {
+				if got := clone.PredictPair(a, b); got != want {
+					t.Errorf("concurrent clone predicts %v, want %v", got, want)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {

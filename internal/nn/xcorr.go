@@ -35,6 +35,13 @@ func NewNormXCorr(patch, searchW, searchH int) *NormXCorr {
 	return &NormXCorr{Patch: patch, SearchW: searchW, SearchH: searchH}
 }
 
+// SharedCopy returns a layer with the same geometry but private input
+// caches, so independent clones of the network can run Forward2
+// concurrently. The layer has no trainable parameters.
+func (l *NormXCorr) SharedCopy() *NormXCorr {
+	return &NormXCorr{Patch: l.Patch, SearchW: l.SearchW, SearchH: l.SearchH}
+}
+
 const xcorrEps = 1e-4
 
 // OutChannels returns the output channel count for an input with c

@@ -1,0 +1,120 @@
+// Package parallel provides the bounded worker pool used by every hot
+// path of the recognition engine. All helpers guarantee deterministic,
+// index-ordered result collection: work is identified by item index, so
+// outputs land in the same slot regardless of goroutine scheduling, and
+// contiguous chunk assignment lets stateful callers reproduce a serial
+// left-to-right sweep exactly (see pipeline.Forker).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool size used when the caller passes a
+// non-positive worker count: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Clamp resolves a requested worker count against n items: non-positive
+// requests become DefaultWorkers, and the result never exceeds n (nor
+// drops below 1), so callers may pass Workers values straight from
+// flags or configs without validating them.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Span is a half-open index interval [Start, End).
+type Span struct {
+	Start, End int
+}
+
+// Len returns the number of items in the span.
+func (s Span) Len() int { return s.End - s.Start }
+
+// Chunks splits [0, n) into at most `workers` contiguous spans whose
+// sizes differ by at most one. Empty spans are never returned; for
+// n == 0 the result is empty.
+func Chunks(workers, n int) []Span {
+	workers = Clamp(workers, n)
+	if n <= 0 {
+		return nil
+	}
+	spans := make([]Span, 0, workers)
+	base, rem := n/workers, n%workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
+		}
+		spans = append(spans, Span{Start: start, End: start + size})
+		start += size
+	}
+	return spans
+}
+
+// run starts one goroutine per job, waits for all of them, and re-panics
+// the first captured panic in the caller's goroutine so failures in
+// worker code surface in tests instead of crashing the process.
+func run(jobs int, job func(j int)) {
+	if jobs == 1 {
+		job(0)
+		return
+	}
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	wg.Add(jobs)
+	for j := 0; j < jobs; j++ {
+		go func(j int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			job(j)
+		}(j)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// ForEachChunk partitions [0, n) into contiguous chunks, one per worker,
+// and invokes fn(worker, span) concurrently. Chunk boundaries depend
+// only on (workers, n), never on scheduling, which is what lets forked
+// stateful pipelines reproduce serial behaviour deterministically.
+func ForEachChunk(workers, n int, fn func(worker int, s Span)) {
+	spans := Chunks(workers, n)
+	run(len(spans), func(j int) { fn(j, spans[j]) })
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), distributing
+// indices across the pool in contiguous chunks. fn must be safe to call
+// concurrently; writes keyed by i are race-free and index-ordered.
+func ForEach(workers, n int, fn func(i int)) {
+	ForEachChunk(workers, n, func(_ int, s Span) {
+		for i := s.Start; i < s.End; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Map applies fn to every index in [0, n) across the pool and collects
+// the results in index order, independent of scheduling.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

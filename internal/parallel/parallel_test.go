@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 10, min(DefaultWorkers(), 10)},
+		{-3, 10, min(DefaultWorkers(), 10)},
+		{4, 10, 4},
+		{16, 4, 4},
+		{4, 0, 1},
+		{0, 0, 1},
+		{-1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Errorf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestChunksCoverExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 16, 17, 100} {
+			spans := Chunks(workers, n)
+			next := 0
+			for _, s := range spans {
+				if s.Start != next {
+					t.Fatalf("workers=%d n=%d: span starts at %d, want %d", workers, n, s.Start, next)
+				}
+				if s.Len() <= 0 {
+					t.Fatalf("workers=%d n=%d: empty span", workers, n)
+				}
+				next = s.End
+			}
+			if next != n {
+				t.Fatalf("workers=%d n=%d: spans cover [0,%d), want [0,%d)", workers, n, next, n)
+			}
+			if len(spans) > Clamp(workers, n) && n > 0 {
+				t.Fatalf("workers=%d n=%d: %d spans exceed pool", workers, n, len(spans))
+			}
+		}
+	}
+}
+
+func TestChunksBalanced(t *testing.T) {
+	spans := Chunks(4, 10)
+	lo, hi := 10, 0
+	for _, s := range spans {
+		if s.Len() < lo {
+			lo = s.Len()
+		}
+		if s.Len() > hi {
+			hi = s.Len()
+		}
+	}
+	if hi-lo > 1 {
+		t.Errorf("chunk sizes differ by %d, want at most 1", hi-lo)
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		const n = 257
+		visits := make([]int32, n)
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&visits[i], 1) })
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := int32(0)
+	ForEach(4, 0, func(int) { atomic.AddInt32(&called, 1) })
+	if called != 0 {
+		t.Errorf("fn called %d times on empty range", called)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachChunkWorkerIDs(t *testing.T) {
+	spans := make([]Span, 4)
+	ForEachChunk(4, 16, func(w int, s Span) { spans[w] = s })
+	// Worker w always receives the w-th contiguous chunk.
+	want := Chunks(4, 16)
+	for w, s := range spans {
+		if s != want[w] {
+			t.Errorf("worker %d got %v, want %v", w, s, want[w])
+		}
+	}
+}
+
+func TestRunPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("panic not propagated to caller")
+		}
+	}()
+	ForEach(4, 8, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+// TestStressSharedCounter is the -race smoke test: many workers hammer
+// shared state through the pool's only sanctioned channels (atomic ops
+// and index-keyed writes).
+func TestStressSharedCounter(t *testing.T) {
+	const n = 10000
+	var total int64
+	out := make([]int, n)
+	ForEach(16, n, func(i int) {
+		atomic.AddInt64(&total, 1)
+		out[i] = i
+	})
+	if total != n {
+		t.Fatalf("total = %d, want %d", total, n)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -23,17 +23,18 @@ func NewDescriptor(kind DescriptorKind, ratio float64) *Descriptor {
 // Name implements Pipeline.
 func (p *Descriptor) Name() string { return p.Kind.String() }
 
-// Classify implements Pipeline. Gallery descriptors must have been
+// Classify implements Pipeline. Gallery descriptors should have been
 // prepared with Gallery.PrepareDescriptors; unprepared views are
-// extracted on the fly.
+// extracted on the fly through the gallery's mutex-guarded cache, so
+// concurrent Classify calls against a shared gallery are safe.
 func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
 	q := ExtractDescriptors(img, p.Kind, p.Params)
+	cached := g.descriptorSnapshot(p.Kind)
 	best := Prediction{Index: -1, Score: -1}
 	for i := range g.Views {
-		train := g.Views[i].Desc[p.Kind]
+		train := cached[i]
 		if train == nil {
-			train = ExtractDescriptors(g.Views[i].Sample.Image, p.Kind, p.Params)
-			g.Views[i].Desc[p.Kind] = train
+			train = g.descriptorOf(i, p.Kind, p.Params)
 		}
 		score := float64(match.GoodMatchCount(q, train, p.Ratio))
 		if score > best.Score {
@@ -41,4 +42,10 @@ func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
 		}
 	}
 	return best
+}
+
+// Prepare implements Preparer: extracting every gallery descriptor up
+// front across the pool keeps lock traffic out of the per-query loop.
+func (p *Descriptor) Prepare(g *Gallery, workers int) {
+	g.PrepareDescriptorsWorkers(p.Kind, p.Params, workers)
 }

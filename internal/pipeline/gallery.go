@@ -7,6 +7,8 @@
 package pipeline
 
 import (
+	"sync"
+
 	"snmatch/internal/contour"
 	"snmatch/internal/dataset"
 	"snmatch/internal/features"
@@ -16,6 +18,7 @@ import (
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
 	"snmatch/internal/moments"
+	"snmatch/internal/parallel"
 	"snmatch/internal/synth"
 )
 
@@ -61,19 +64,29 @@ type View struct {
 // class, each with a set of 2D views, preprocessed once.
 type Gallery struct {
 	Views []View
+
+	mu sync.RWMutex // guards lazy Desc writes during concurrent Classify
 }
 
 // NewGallery preprocesses every sample of the reference set (§3.2
-// cascade) and computes the always-needed shape and colour features.
-func NewGallery(s *dataset.Set) *Gallery {
+// cascade) and computes the always-needed shape and colour features,
+// fanned out over one worker per CPU.
+func NewGallery(s *dataset.Set) *Gallery { return NewGalleryWorkers(s, 0) }
+
+// NewGalleryWorkers is NewGallery with an explicit pool size
+// (workers <= 0 selects one worker per CPU). Every view is a pure
+// function of its sample, so the gallery is identical view-for-view
+// regardless of the worker count.
+func NewGalleryWorkers(s *dataset.Set, workers int) *Gallery {
 	g := &Gallery{Views: make([]View, s.Len())}
-	for i, sm := range s.Samples {
+	parallel.ForEach(workers, s.Len(), func(i int) {
+		sm := s.Samples[i]
 		pre := contour.Preprocess(sm.Image)
 		v := View{Sample: sm, Desc: map[DescriptorKind]*features.Set{}}
 		v.Hu = huOf(pre)
 		v.Hist = histOf(pre)
 		g.Views[i] = v
-	}
+	})
 	return g
 }
 
@@ -122,14 +135,56 @@ func DefaultDescriptorParams() DescriptorParams {
 }
 
 // PrepareDescriptors extracts and caches the given descriptor family
-// for every gallery view.
+// for every gallery view, fanned out over one worker per CPU.
 func (g *Gallery) PrepareDescriptors(kind DescriptorKind, p DescriptorParams) {
+	g.PrepareDescriptorsWorkers(kind, p, 0)
+}
+
+// PrepareDescriptorsWorkers is PrepareDescriptors with an explicit pool
+// size (workers <= 0 selects one worker per CPU). Extraction is pure,
+// so the cached sets are identical for any worker count. It fills the
+// cache through the same mutex-guarded path as lazy extraction, so it
+// is safe to run concurrently with Classify on the same gallery.
+func (g *Gallery) PrepareDescriptorsWorkers(kind DescriptorKind, p DescriptorParams, workers int) {
+	parallel.ForEach(workers, len(g.Views), func(i int) {
+		g.descriptorOf(i, kind, p)
+	})
+}
+
+// descriptorSnapshot returns every view's cached descriptor set of the
+// given kind under a single read lock (missing entries are nil), so a
+// prepared gallery's matching loop runs without per-view locking.
+func (g *Gallery) descriptorSnapshot(kind DescriptorKind) []*features.Set {
+	out := make([]*features.Set, len(g.Views))
+	g.mu.RLock()
 	for i := range g.Views {
-		if _, ok := g.Views[i].Desc[kind]; ok {
-			continue
-		}
-		g.Views[i].Desc[kind] = ExtractDescriptors(g.Views[i].Sample.Image, kind, p)
+		out[i] = g.Views[i].Desc[kind]
 	}
+	g.mu.RUnlock()
+	return out
+}
+
+// descriptorOf returns the cached descriptor set of view i, extracting
+// and caching it on first use. It is safe for concurrent Classify
+// calls: hits take only a read lock, the store is write-locked, and
+// the (deterministic) extraction runs unlocked, so two racing workers
+// may duplicate an extraction but observe the same stored value.
+func (g *Gallery) descriptorOf(i int, kind DescriptorKind, p DescriptorParams) *features.Set {
+	g.mu.RLock()
+	d, ok := g.Views[i].Desc[kind]
+	g.mu.RUnlock()
+	if ok {
+		return d
+	}
+	d = ExtractDescriptors(g.Views[i].Sample.Image, kind, p)
+	g.mu.Lock()
+	if cur, ok := g.Views[i].Desc[kind]; ok {
+		d = cur
+	} else {
+		g.Views[i].Desc[kind] = d
+	}
+	g.mu.Unlock()
+	return d
 }
 
 // ExtractDescriptors runs the chosen extractor on the image.

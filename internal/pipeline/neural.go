@@ -6,6 +6,7 @@ import (
 	"snmatch/internal/dataset"
 	"snmatch/internal/imaging"
 	"snmatch/internal/nn"
+	"snmatch/internal/parallel"
 )
 
 // Neural is the §3.4 pipeline: the Normalized-X-Corr Siamese network
@@ -15,6 +16,10 @@ import (
 type Neural struct {
 	Net *nn.NXCorrNet
 
+	// shared holds pre-filled input tensors (gallery views, pair-set
+	// images). It is immutable once published, so forks read it
+	// lock-free instead of re-converting the same images per worker.
+	shared      map[*imaging.Image]*nn.Tensor
 	tensorCache map[*imaging.Image]*nn.Tensor
 }
 
@@ -26,9 +31,80 @@ func NewNeural(net *nn.NXCorrNet) *Neural {
 // Name implements Pipeline.
 func (p *Neural) Name() string { return "Normalized-X-Corr" }
 
+// Fork implements Forker: the clone shares the trained weights and the
+// immutable pre-filled tensor cache but owns private layer scratch
+// buffers and a private lazy cache, so workers classify concurrently
+// with bit-identical outputs. Inference consumes no random state, so
+// the chunk offset is irrelevant.
+func (p *Neural) Fork(int) Pipeline {
+	return &Neural{Net: p.Net.SharedClone(), shared: p.shared, tensorCache: map[*imaging.Image]*nn.Tensor{}}
+}
+
+// Advance implements Forker as a no-op: inference consumes no
+// sequential state, so skipping classifications changes nothing.
+func (p *Neural) Advance(int, *Gallery) {}
+
+// Prepare implements Preparer: converting every gallery view to its
+// input tensor once, across the pool, keeps per-worker forks from each
+// redoing the whole gallery's ImageToTensor work.
+func (p *Neural) Prepare(g *Gallery, workers int) {
+	imgs := make([]*imaging.Image, g.Len())
+	for i := range g.Views {
+		imgs[i] = g.Views[i].Sample.Image
+	}
+	p.prefill(imgs, workers)
+}
+
+// prefill converts every image not yet in the shared cache across the
+// pool and publishes a new immutable shared map including them. The
+// conversion is pure, so the tensors are identical to what any lazy
+// path would produce.
+func (p *Neural) prefill(imgs []*imaging.Image, workers int) {
+	seen := make(map[*imaging.Image]bool, len(imgs))
+	var missing, promoted []*imaging.Image
+	for _, img := range imgs {
+		if img == nil || seen[img] {
+			continue
+		}
+		seen[img] = true
+		if _, ok := p.shared[img]; ok {
+			continue
+		}
+		// Tensors already converted lazily are promoted into the shared
+		// map instead of being re-converted (and left pinned as stale
+		// duplicates in tensorCache).
+		if _, ok := p.tensorCache[img]; ok {
+			promoted = append(promoted, img)
+			continue
+		}
+		missing = append(missing, img)
+	}
+	if len(missing) == 0 && len(promoted) == 0 {
+		return
+	}
+	tensors := parallel.Map(workers, len(missing), func(i int) *nn.Tensor {
+		return nn.ImageToTensor(missing[i], p.Net.Cfg.InputH, p.Net.Cfg.InputW)
+	})
+	merged := make(map[*imaging.Image]*nn.Tensor, len(p.shared)+len(promoted)+len(missing))
+	for k, v := range p.shared {
+		merged[k] = v
+	}
+	for _, img := range promoted {
+		merged[img] = p.tensorCache[img]
+		delete(p.tensorCache, img)
+	}
+	for i, img := range missing {
+		merged[img] = tensors[i]
+	}
+	p.shared = merged
+}
+
 // tensorOf converts (and caches) an image into the network's input
 // tensor.
 func (p *Neural) tensorOf(img *imaging.Image) *nn.Tensor {
+	if t, ok := p.shared[img]; ok {
+		return t
+	}
 	if t, ok := p.tensorCache[img]; ok {
 		return t
 	}
@@ -65,6 +141,34 @@ func (p *Neural) ClassifyPairs(pairs []dataset.Pair, setA, setB *dataset.Set) (p
 		pred[i] = p.PredictSimilar(setA.Samples[pr.A].Image, setB.Samples[pr.B].Image)
 		truth[i] = pr.Similar
 	}
+	return pred, truth
+}
+
+// ClassifyPairsParallel is the pooled counterpart of ClassifyPairs:
+// pair chunks are scored by per-worker network clones, with results
+// identical to the serial sweep. workers <= 0 selects one worker per
+// CPU.
+func (p *Neural) ClassifyPairsParallel(pairs []dataset.Pair, setA, setB *dataset.Set, workers int) (pred, truth []bool) {
+	n := len(pairs)
+	w := parallel.Clamp(workers, n)
+	if w <= 1 {
+		return p.ClassifyPairs(pairs, setA, setB)
+	}
+	imgs := make([]*imaging.Image, 0, 2*n)
+	for _, pr := range pairs {
+		imgs = append(imgs, setA.Samples[pr.A].Image, setB.Samples[pr.B].Image)
+	}
+	p.prefill(imgs, w)
+	pred = make([]bool, n)
+	truth = make([]bool, n)
+	parallel.ForEachChunk(w, n, func(_ int, s parallel.Span) {
+		wp := p.Fork(s.Start).(*Neural)
+		for i := s.Start; i < s.End; i++ {
+			pr := pairs[i]
+			pred[i] = wp.PredictSimilar(setA.Samples[pr.A].Image, setB.Samples[pr.B].Image)
+			truth[i] = pr.Similar
+		}
+	})
 	return pred, truth
 }
 

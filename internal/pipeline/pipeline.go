@@ -19,6 +19,10 @@ type Prediction struct {
 }
 
 // Pipeline classifies a query image against a prepared gallery.
+// Implementations that hold mutable state (Random's RNG stream,
+// Neural's forward caches) are not safe for concurrent Classify calls
+// on one instance; they additionally implement Forker so RunParallel
+// can hand every worker an independent clone.
 type Pipeline interface {
 	Name() string
 	Classify(img *imaging.Image, g *Gallery) Prediction
@@ -26,6 +30,7 @@ type Pipeline interface {
 
 // Run classifies every sample of the query set and returns the
 // predictions alongside the ground truth, ready for eval.Evaluate.
+// RunParallel is the concurrent equivalent with identical output.
 func Run(p Pipeline, queries *dataset.Set, g *Gallery) (pred, truth []synth.Class) {
 	pred = make([]synth.Class, queries.Len())
 	truth = make([]synth.Class, queries.Len())
@@ -40,7 +45,8 @@ func Run(p Pipeline, queries *dataset.Set, g *Gallery) (pred, truth []synth.Clas
 // picking a uniformly random gallery view, so class probabilities equal
 // the gallery's class shares.
 type Random struct {
-	r *rng.RNG
+	r    *rng.RNG
+	skip int // draws to replay before the first real draw (set by Fork)
 }
 
 // NewRandom creates the baseline with a deterministic seed.
@@ -51,8 +57,40 @@ func (p *Random) Name() string { return "Baseline" }
 
 // Classify implements Pipeline.
 func (p *Random) Classify(_ *imaging.Image, g *Gallery) Prediction {
+	for p.skip > 0 {
+		p.r.Intn(g.Len())
+		p.skip--
+	}
 	i := p.r.Intn(g.Len())
 	return Prediction{Class: g.ClassOf(i), Index: i}
+}
+
+// Fork implements Forker: the clone starts from the parent's current
+// stream position and replays the `start` draws a serial sweep would
+// have consumed before reaching its chunk. Each Classify draws exactly
+// once, so a worker that owns queries [start, end) produces the same
+// predictions there as the serial Run. The replay is deferred to the
+// first Classify because the draw bound is the gallery size, which is
+// the same gallery that first Classify receives.
+func (p *Random) Fork(start int) Pipeline {
+	return &Random{r: p.r.Clone(), skip: p.skip + start}
+}
+
+// Advance implements Forker by consuming the n draws a serial sweep
+// over n queries against g would have consumed, keeping mixed
+// sequences of Run and RunParallel on one instance identical — even
+// when later sweeps use galleries of other sizes (Intn's rejection
+// sampling consumes a bound-dependent number of RNG words, so the
+// draws must use this sweep's gallery size, not the next caller's).
+func (p *Random) Advance(n int, g *Gallery) {
+	// Drain any replay a Fork left pending first: forks are meant for
+	// the sweep (and gallery) that created them, so g is its bound.
+	for ; p.skip > 0; p.skip-- {
+		p.r.Intn(g.Len())
+	}
+	for j := 0; j < n; j++ {
+		p.r.Intn(g.Len())
+	}
 }
 
 // ShapeOnly matches Hu moments of the query's largest contour against

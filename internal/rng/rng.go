@@ -34,6 +34,15 @@ func New(seed uint64) *RNG {
 	return r
 }
 
+// Clone returns an independent generator in exactly the same state as
+// r: both produce the same subsequent stream, and advancing one does
+// not affect the other. Worker pools use this to replay a serial draw
+// sequence from a known offset.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
