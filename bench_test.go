@@ -15,6 +15,7 @@ import (
 	"snmatch/internal/dataset"
 	"snmatch/internal/eval"
 	"snmatch/internal/experiments"
+	"snmatch/internal/features"
 	"snmatch/internal/features/match"
 	"snmatch/internal/histogram"
 	"snmatch/internal/moments"
@@ -175,6 +176,82 @@ func BenchmarkRunParallel(b *testing.B) {
 	b.Run("workers=cpu", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pipeline.RunParallel(p, s.SNS2, s.GallerySNS1, 0)
+		}
+	})
+}
+
+// BenchmarkRunParallelDescriptor measures the pooled query sweep for the
+// §3.3 descriptor pipelines (SIFT/SURF/ORB), SNS2 queries vs the SNS1
+// gallery — the matching-bound workload the flat-index engine targets.
+// Galleries are prepared outside the timed loop so the numbers isolate
+// extraction + matching, and -benchmem exposes the per-query allocation
+// behaviour of the matching loop.
+func BenchmarkRunParallelDescriptor(b *testing.B) {
+	s := getBenchSuite(b)
+	for _, kind := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
+		p := pipeline.NewDescriptor(kind, 0.5)
+		p.Prepare(s.GallerySNS1, 0)
+		for _, w := range []int{1, 4} {
+			b.Run(kind.String()+"/workers="+itoa(w), func(b *testing.B) {
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					pred, truth := pipeline.RunParallel(p, s.SNS2, s.GallerySNS1, w)
+					acc = eval.Evaluate(truth, pred).Cumulative
+				}
+				b.ReportMetric(acc, "acc")
+			})
+		}
+		b.Run(kind.String()+"/workers=cpu", func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				pred, truth := pipeline.RunParallel(p, s.SNS2, s.GallerySNS1, 0)
+				acc = eval.Evaluate(truth, pred).Cumulative
+			}
+			b.ReportMetric(acc, "acc")
+		})
+	}
+}
+
+// BenchmarkGoodMatchCount isolates the descriptor-matching kernel on
+// synthetic float (SIFT-shaped) and binary (ORB-shaped) sets.
+func BenchmarkGoodMatchCount(b *testing.B) {
+	r := rng.New(3)
+	mkFloat := func(n, dim int) *features.Set {
+		s := &features.Set{}
+		for i := 0; i < n; i++ {
+			d := make([]float32, dim)
+			for j := range d {
+				d[j] = float32(r.Float64())
+			}
+			s.Float = append(s.Float, d)
+			s.Keypoints = append(s.Keypoints, features.Keypoint{})
+		}
+		return s
+	}
+	mkBinary := func(n, bytes int) *features.Set {
+		s := &features.Set{}
+		for i := 0; i < n; i++ {
+			d := make([]byte, bytes)
+			for j := range d {
+				d[j] = byte(r.Intn(256))
+			}
+			s.Binary = append(s.Binary, d)
+			s.Keypoints = append(s.Keypoints, features.Keypoint{})
+		}
+		return s
+	}
+	qf, tf := mkFloat(80, 128), mkFloat(80, 128)
+	qb, tb := mkBinary(150, 32), mkBinary(150, 32)
+	b.Run("float128", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.GoodMatchCount(qf, tf, 0.5)
+		}
+	})
+	b.Run("binary256", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			match.GoodMatchCount(qb, tb, 0.5)
 		}
 	})
 }

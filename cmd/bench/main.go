@@ -1,0 +1,179 @@
+// Command bench runs the repository's `go test -bench` tables, parses
+// ns/op, -benchmem and custom metrics (accuracy etc.), and writes a
+// machine-readable BENCH_<n>.json snapshot — the perf trajectory record
+// the ROADMAP asks every optimisation PR to extend.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-bench REGEX] [-benchtime 3x] [-count 3] [-out BENCH_2.json] [-note "..."]
+//
+// Multiple -count repetitions are averaged per benchmark.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's aggregated numbers.
+type Result struct {
+	Name       string             `json:"name"`
+	Runs       int                `json:"runs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // ns/op, B/op, allocs/op, acc, ...
+}
+
+// Report is the BENCH_<n>.json document.
+type Report struct {
+	ID         string   `json:"id"`
+	Note       string   `json:"note,omitempty"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Bench      string   `json:"bench_regex"`
+	BenchTime  string   `json:"benchtime"`
+	Count      int      `json:"count"`
+	DurationMS int64    `json:"duration_ms"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	benchRe := flag.String("bench", "BenchmarkRunParallelDescriptor|BenchmarkGoodMatchCount|BenchmarkRunParallel$",
+		"benchmark regex passed to go test -bench")
+	benchTime := flag.String("benchtime", "3x", "go test -benchtime value")
+	count := flag.Int("count", 3, "go test -count repetitions (averaged)")
+	outPath := flag.String("out", "BENCH_2.json", "output JSON path")
+	pkg := flag.String("pkg", ".", "package to benchmark")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	args := []string{
+		"test", "-run", "^$",
+		"-bench", *benchRe,
+		"-benchmem",
+		"-benchtime", *benchTime,
+		"-count", strconv.Itoa(*count),
+		*pkg,
+	}
+	log.Printf("running go %s", strings.Join(args, " "))
+	start := time.Now()
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		log.Fatalf("go test -bench failed: %v", err)
+	}
+	elapsed := time.Since(start)
+
+	results := parseBenchOutput(bytes.NewReader(out))
+	if len(results) == 0 {
+		log.Fatal("no benchmark lines parsed; is the regex right?")
+	}
+
+	id := strings.TrimSuffix(strings.TrimSuffix(*outPath, ".json"), ".JSON")
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		id = id[i+1:]
+	}
+	report := Report{
+		ID:         id,
+		Note:       *note,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *benchRe,
+		BenchTime:  *benchTime,
+		Count:      *count,
+		DurationMS: elapsed.Milliseconds(),
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-60s %12.0f ns/op", r.Name, r.Metrics["ns/op"])
+		if acc, ok := r.Metrics["acc"]; ok {
+			fmt.Printf("  acc=%.4f", acc)
+		}
+		if al, ok := r.Metrics["allocs/op"]; ok {
+			fmt.Printf("  allocs/op=%.0f", al)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s (%d benchmarks, %s)\n", *outPath, len(results), elapsed.Round(time.Second))
+}
+
+// parseBenchOutput folds standard `go test -bench` lines — name,
+// iteration count, then (value, unit) pairs — into per-name means.
+func parseBenchOutput(r *bytes.Reader) []Result {
+	type agg struct {
+		runs  int
+		iters int64
+		sums  map[string]float64
+	}
+	byName := map[string]*agg{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Strip the -N GOMAXPROCS suffix go test appends to the name.
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			a = &agg{sums: map[string]float64{}}
+			byName[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.iters = iters
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			a.sums[fields[i+1]] += v
+		}
+	}
+	out := make([]Result, 0, len(order))
+	for _, name := range order {
+		a := byName[name]
+		metrics := make(map[string]float64, len(a.sums))
+		for unit, sum := range a.sums {
+			metrics[unit] = sum / float64(a.runs)
+		}
+		out = append(out, Result{Name: name, Runs: a.runs, Iterations: a.iters, Metrics: metrics})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -140,6 +140,10 @@ func cmdClassify(args []string) {
 	if prep, ok := p.(pipeline.Preparer); ok {
 		prep.Prepare(gallery, *workers)
 	}
+	if d, ok := p.(*pipeline.Descriptor); ok {
+		nd, nv := gallery.IndexStats(d.Kind)
+		fmt.Printf("flat index: %d %s descriptors across %d views\n", nd, d.Kind, nv)
+	}
 	pred := p.Classify(query, gallery)
 	fmt.Printf("pipeline:   %s\n", p.Name())
 	fmt.Printf("truth:      %s (model %d, view %d, %s mode)\n", cls, *model, *view, mode)

@@ -68,6 +68,114 @@ func TestL2TriangleInequality(t *testing.T) {
 	}
 }
 
+func TestPackFloat(t *testing.T) {
+	s := &Set{
+		Keypoints: make([]Keypoint, 3),
+		Float:     [][]float32{{1, 2, 3}, {4, 5, 6}, {-1, 0, 0.5}},
+	}
+	s.Pack()
+	p := s.Packed
+	if p == nil || p.N != 3 || p.Dim != 3 {
+		t.Fatalf("packed shape = %+v", p)
+	}
+	for i, row := range s.Float {
+		got := p.FloatRow(i)
+		for j := range row {
+			if got[j] != row[j] {
+				t.Errorf("row %d col %d: %v != %v", i, j, got[j], row[j])
+			}
+		}
+		if want := L2Squared(row, nil); p.Norms[i] != want {
+			t.Errorf("norm %d = %v, want %v", i, p.Norms[i], want)
+		}
+	}
+	// Idempotent.
+	before := s.Packed
+	if s.Pack(); s.Packed != before {
+		t.Error("Pack rebuilt an existing packed layout")
+	}
+}
+
+func TestPackBinaryWordsMatchHamming(t *testing.T) {
+	// Byte lengths exercising zero-padded tail words.
+	for _, nb := range []int{1, 7, 8, 9, 16, 32, 33} {
+		rows := make([][]byte, 6)
+		seed := uint32(2891 + nb)
+		for i := range rows {
+			row := make([]byte, nb)
+			for j := range row {
+				seed = seed*1664525 + 1013904223
+				row[j] = byte(seed >> 24)
+			}
+			rows[i] = row
+		}
+		s := &Set{Keypoints: make([]Keypoint, len(rows)), Binary: rows}
+		s.Pack()
+		p := s.Packed
+		if p.WordsPerRow != (nb+7)/8 {
+			t.Fatalf("nb=%d: wordsPerRow = %d", nb, p.WordsPerRow)
+		}
+		for i := range rows {
+			for j := range rows {
+				want := Hamming(rows[i], rows[j])
+				got := HammingWords(p.WordRow(i), p.WordRow(j))
+				if got != want {
+					t.Errorf("nb=%d rows %d,%d: HammingWords=%d Hamming=%d", nb, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPackEmptySets(t *testing.T) {
+	for _, s := range []*Set{
+		{},
+		{Binary: [][]byte{}},
+		{Float: [][]float32{}},
+	} {
+		s.Pack()
+		if s.Packed == nil || s.Packed.N != 0 {
+			t.Errorf("empty pack = %+v", s.Packed)
+		}
+	}
+}
+
+func TestL2SquaredMatchesL2(t *testing.T) {
+	f := func(a, b [6]float32) bool {
+		for _, v := range append(a[:], b[:]...) {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				return true
+			}
+		}
+		want := float32(math.Sqrt(float64(L2Squared(a[:], b[:]))))
+		return L2(a[:], b[:]) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL2SquaredPairAndQuadBitEqualScalar(t *testing.T) {
+	// The multi-row kernels must reproduce the scalar accumulation bit
+	// for bit — the whole flat engine's exactness contract rests on it.
+	f := func(q, a, b, c, d [16]float32) bool {
+		s0, s1 := L2Squared2(q[:], a[:], b[:])
+		t0, t1, t2, t3 := L2Squared4(q[:], a[:], b[:], c[:], d[:])
+		eq := func(x, y float32) bool {
+			return math.Float32bits(x) == math.Float32bits(y)
+		}
+		return eq(s0, L2Squared(q[:], a[:])) &&
+			eq(s1, L2Squared(q[:], b[:])) &&
+			eq(t0, L2Squared(q[:], a[:])) &&
+			eq(t1, L2Squared(q[:], b[:])) &&
+			eq(t2, L2Squared(q[:], c[:])) &&
+			eq(t3, L2Squared(q[:], d[:]))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSetAccessors(t *testing.T) {
 	s := &Set{Keypoints: []Keypoint{{X: 1}}, Binary: [][]byte{{1}}}
 	if s.Len() != 1 || !s.IsBinary() {

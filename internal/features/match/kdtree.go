@@ -4,14 +4,20 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+
+	"snmatch/internal/features"
 )
 
 // KDTree is a k-d tree over float descriptors supporting bounded
 // best-bin-first search, standing in for FLANN's approximate matcher in
-// the ablation experiments.
+// the ablation experiments. Descriptors are stored as one contiguous
+// row-major matrix (shared with features.Packed when built from a
+// packed set), and all internal distances stay in the squared domain
+// with the square root taken once per reported match.
 type KDTree struct {
 	dim   int
-	data  [][]float32
+	data  []float32 // row i occupies data[i*dim : (i+1)*dim]
+	n     int
 	nodes []kdNode
 	root  int
 }
@@ -23,14 +29,36 @@ type kdNode struct {
 	left, right int // -1 when absent
 }
 
-// NewKDTree builds a tree over the given descriptors. It returns nil for
-// an empty input.
+// NewKDTree builds a tree over the given descriptors, flattening them
+// into contiguous storage. It returns nil for an empty input.
 func NewKDTree(desc [][]float32) *KDTree {
 	if len(desc) == 0 {
 		return nil
 	}
-	t := &KDTree{dim: len(desc[0]), data: desc}
-	idx := make([]int, len(desc))
+	dim := len(desc[0])
+	flat := make([]float32, len(desc)*dim)
+	for i, d := range desc {
+		copy(flat[i*dim:], d)
+	}
+	return newKDTreeFlat(flat, dim, len(desc))
+}
+
+// NewKDTreeSet builds a tree over a float descriptor set, reusing the
+// set's packed matrix without copying when present. It returns nil for
+// empty or binary sets.
+func NewKDTreeSet(s *features.Set) *KDTree {
+	if s == nil || s.Len() == 0 || s.IsBinary() {
+		return nil
+	}
+	if s.Packed == nil {
+		return NewKDTree(s.Float)
+	}
+	return newKDTreeFlat(s.Packed.Floats, s.Packed.Dim, s.Packed.N)
+}
+
+func newKDTreeFlat(data []float32, dim, n int) *KDTree {
+	t := &KDTree{dim: dim, data: data, n: n}
+	idx := make([]int, n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -38,18 +66,21 @@ func NewKDTree(desc [][]float32) *KDTree {
 	return t
 }
 
+// row returns the i-th descriptor.
+func (t *KDTree) row(i int) []float32 { return t.data[i*t.dim : (i+1)*t.dim] }
+
 func (t *KDTree) build(idx []int, depth int) int {
 	if len(idx) == 0 {
 		return -1
 	}
 	axis := t.bestAxis(idx)
 	sort.Slice(idx, func(i, j int) bool {
-		return t.data[idx[i]][axis] < t.data[idx[j]][axis]
+		return t.data[idx[i]*t.dim+axis] < t.data[idx[j]*t.dim+axis]
 	})
 	mid := len(idx) / 2
 	node := kdNode{
 		axis:  axis,
-		split: t.data[idx[mid]][axis],
+		split: t.data[idx[mid]*t.dim+axis],
 		point: idx[mid],
 	}
 	id := len(t.nodes)
@@ -66,9 +97,9 @@ func (t *KDTree) build(idx []int, depth int) int {
 func (t *KDTree) bestAxis(idx []int) int {
 	best, bestSpread := 0, float32(-1)
 	for d := 0; d < t.dim; d++ {
-		lo, hi := t.data[idx[0]][d], t.data[idx[0]][d]
+		lo, hi := t.data[idx[0]*t.dim+d], t.data[idx[0]*t.dim+d]
 		for _, i := range idx[1:] {
-			v := t.data[i][d]
+			v := t.data[i*t.dim+d]
 			if v < lo {
 				lo = v
 			}
@@ -115,30 +146,22 @@ func (t *KDTree) Search(q []float32, k, maxChecks int) []Match {
 		idx  int
 		dist float32
 	}
-	var results []result
+	results := make([]result, 0, k)
 	worst := func() float32 {
 		if len(results) < k {
-			return float32(1e30)
+			return inf32
 		}
 		return results[len(results)-1].dist
 	}
 	insert := func(idx int, d float32) {
 		pos := sort.Search(len(results), func(i int) bool { return results[i].dist > d })
-		results = append(results, result{})
+		if len(results) < k {
+			results = append(results, result{})
+		}
 		copy(results[pos+1:], results[pos:])
-		results[pos] = result{idx, d}
-		if len(results) > k {
-			results = results[:k]
+		if pos < len(results) {
+			results[pos] = result{idx, d}
 		}
-	}
-	dist := func(i int) float32 {
-		var sum float32
-		p := t.data[i]
-		for d := 0; d < t.dim; d++ {
-			diff := p[d] - q[d]
-			sum += diff * diff
-		}
-		return sum
 	}
 
 	pending := &branchHeap{{node: t.root, bound: 0}}
@@ -152,7 +175,7 @@ func (t *KDTree) Search(q []float32, k, maxChecks int) []Match {
 		node := b.node
 		for node >= 0 {
 			n := t.nodes[node]
-			if d := dist(n.point); d < worst() {
+			if d := features.L2Squared(q, t.row(n.point)); d < worst() {
 				insert(n.point, d)
 			}
 			checks++

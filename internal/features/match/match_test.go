@@ -2,6 +2,7 @@ package match
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"snmatch/internal/features"
@@ -128,6 +129,205 @@ func TestGoodMatchCountSelfMatch(t *testing.T) {
 	single := floatSet(descs[0])
 	if got := GoodMatchCount(a, single, 0.75); got != 0 {
 		t.Errorf("single train matches = %d", got)
+	}
+}
+
+// legacyKNN is the pre-flat-engine reference: build every candidate,
+// sort by (distance, TrainIdx), cut to k. The optimised KNN must match
+// it match-for-match.
+func legacyKNN(query, train *features.Set, k int) [][]Match {
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]Match, query.Len())
+	for qi := 0; qi < query.Len(); qi++ {
+		cands := make([]Match, 0, train.Len())
+		for ti := 0; ti < train.Len(); ti++ {
+			var d float32
+			if query.IsBinary() {
+				d = float32(features.Hamming(query.Binary[qi], train.Binary[ti]))
+			} else {
+				d = features.L2(query.Float[qi], train.Float[ti])
+			}
+			cands = append(cands, Match{QueryIdx: qi, TrainIdx: ti, Distance: d})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Distance != cands[j].Distance {
+				return cands[i].Distance < cands[j].Distance
+			}
+			return cands[i].TrainIdx < cands[j].TrainIdx
+		})
+		if len(cands) > k {
+			cands = cands[:k]
+		}
+		out[qi] = cands
+	}
+	return out
+}
+
+func legacyGoodMatchCount(query, train *features.Set, ratio float64) int {
+	if query.Len() == 0 || train.Len() < 2 {
+		return 0
+	}
+	return len(RatioTest(legacyKNN(query, train, 2), ratio))
+}
+
+// randomFloatSet draws integer-valued components so that distances are
+// exact and repeated descriptors produce genuine distance ties.
+func randomFloatSet(r *rng.RNG, n, dim, vocab int) *features.Set {
+	s := &features.Set{}
+	for i := 0; i < n; i++ {
+		d := make([]float32, dim)
+		for j := range d {
+			d[j] = float32(r.Intn(vocab))
+		}
+		s.Float = append(s.Float, d)
+		s.Keypoints = append(s.Keypoints, features.Keypoint{})
+	}
+	return s
+}
+
+func randomBinarySet(r *rng.RNG, n, bytes, vocab int) *features.Set {
+	s := &features.Set{}
+	for i := 0; i < n; i++ {
+		d := make([]byte, bytes)
+		for j := range d {
+			d[j] = byte(r.Intn(vocab))
+		}
+		s.Binary = append(s.Binary, d)
+		s.Keypoints = append(s.Keypoints, features.Keypoint{})
+	}
+	return s
+}
+
+func knnEqual(t *testing.T, label string, want, got [][]Match) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: query count %d != %d", label, len(got), len(want))
+	}
+	for qi := range want {
+		if len(want[qi]) != len(got[qi]) {
+			t.Fatalf("%s q%d: %d matches, want %d", label, qi, len(got[qi]), len(want[qi]))
+		}
+		for i := range want[qi] {
+			w, g := want[qi][i], got[qi][i]
+			if w.QueryIdx != g.QueryIdx || w.TrainIdx != g.TrainIdx ||
+				math.Float32bits(w.Distance) != math.Float32bits(g.Distance) {
+				t.Errorf("%s q%d rank %d: got %+v, want %+v", label, qi, i, g, w)
+			}
+		}
+	}
+}
+
+// TestKNNMatchesLegacyRandomized is the exact-equivalence contract of
+// the flat engine: constant-space selection over squared distances must
+// reproduce the legacy sort-based path match-for-match, including
+// distance ties, for float and binary sets at every k regime (register
+// path k <= 2, bounded-insertion path k > 2, k beyond train size).
+func TestKNNMatchesLegacyRandomized(t *testing.T) {
+	r := rng.New(71)
+	for trial := 0; trial < 30; trial++ {
+		nq, nt := 1+r.Intn(12), 1+r.Intn(15)
+		// Small vocabularies force many exact ties.
+		vocab := 2 + r.Intn(4)
+		fq := randomFloatSet(r, nq, 8, vocab)
+		ft := randomFloatSet(r, nt, 8, vocab)
+		bq := randomBinarySet(r, nq, 4, vocab)
+		bt := randomBinarySet(r, nt, 4, vocab)
+		if trial%2 == 0 {
+			// Half the trials run the packed fast paths.
+			fq.Pack()
+			ft.Pack()
+			bq.Pack()
+			bt.Pack()
+		}
+		for _, k := range []int{1, 2, 3, 5, nt, nt + 7} {
+			knnEqual(t, "float", legacyKNN(fq, ft, k), KNN(fq, ft, k))
+			knnEqual(t, "binary", legacyKNN(bq, bt, k), KNN(bq, bt, k))
+		}
+	}
+}
+
+func TestKNNMatchesLegacyEdgeCases(t *testing.T) {
+	r := rng.New(5)
+	empty := floatSet()
+	one := randomFloatSet(r, 1, 4, 5)
+	many := randomFloatSet(r, 6, 4, 5)
+	for _, k := range []int{1, 2, 4} {
+		knnEqual(t, "empty query", legacyKNN(empty, many, k), KNN(empty, many, k))
+		knnEqual(t, "empty train", legacyKNN(many, empty, k), KNN(many, empty, k))
+		knnEqual(t, "single train", legacyKNN(many, one, k), KNN(many, one, k))
+		knnEqual(t, "single query", legacyKNN(one, many, k), KNN(one, many, k))
+	}
+	// Duplicate descriptors: every distance ties, order falls back to
+	// TrainIdx everywhere.
+	dup := floatSet([]float32{1, 1}, []float32{1, 1}, []float32{1, 1}, []float32{1, 1})
+	knnEqual(t, "all ties", legacyKNN(dup, dup, 3), KNN(dup, dup, 3))
+}
+
+func TestGoodMatchCountMatchesLegacyRandomized(t *testing.T) {
+	r := rng.New(97)
+	for trial := 0; trial < 40; trial++ {
+		nq, nt := r.Intn(10), r.Intn(12)
+		vocab := 2 + r.Intn(5)
+		fq := randomFloatSet(r, nq, 8, vocab)
+		ft := randomFloatSet(r, nt, 8, vocab)
+		bq := randomBinarySet(r, nq, 4, vocab)
+		bt := randomBinarySet(r, nt, 4, vocab)
+		if trial%2 == 0 {
+			fq.Pack()
+			ft.Pack()
+			bq.Pack()
+			bt.Pack()
+		}
+		for _, ratio := range []float64{0.5, 0.75, 1.0} {
+			if got, want := GoodMatchCount(fq, ft, ratio), legacyGoodMatchCount(fq, ft, ratio); got != want {
+				t.Errorf("trial %d ratio %v float: %d != %d", trial, ratio, got, want)
+			}
+			if got, want := GoodMatchCount(bq, bt, ratio), legacyGoodMatchCount(bq, bt, ratio); got != want {
+				t.Errorf("trial %d ratio %v binary: %d != %d", trial, ratio, got, want)
+			}
+		}
+	}
+}
+
+func TestGoodMatchCountAllocationFree(t *testing.T) {
+	r := rng.New(12)
+	fq := randomFloatSet(r, 20, 16, 7).Pack()
+	ft := randomFloatSet(r, 25, 16, 7).Pack()
+	bq := randomBinarySet(r, 20, 8, 200).Pack()
+	bt := randomBinarySet(r, 25, 8, 200).Pack()
+	if n := testing.AllocsPerRun(50, func() { GoodMatchCount(fq, ft, 0.5) }); n != 0 {
+		t.Errorf("float GoodMatchCount allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(50, func() { GoodMatchCount(bq, bt, 0.5) }); n != 0 {
+		t.Errorf("binary GoodMatchCount allocates %v per run", n)
+	}
+}
+
+func TestKDTreeSetSharesPackedStorage(t *testing.T) {
+	r := rng.New(31)
+	s := randomFloatSet(r, 40, 8, 100).Pack()
+	tree := NewKDTreeSet(s)
+	if tree == nil {
+		t.Fatal("nil tree from packed set")
+	}
+	q := make([]float32, 8)
+	for j := range q {
+		q[j] = float32(r.Intn(100))
+	}
+	bf := KNN(floatSet(q), s, 3)[0]
+	kd := tree.Search(q, 3, 0)
+	for i := range kd {
+		if math.Float32bits(kd[i].Distance) != math.Float32bits(bf[i].Distance) {
+			t.Errorf("rank %d: kd %v vs bf %v", i, kd[i].Distance, bf[i].Distance)
+		}
+	}
+	if NewKDTreeSet(&features.Set{}) != nil {
+		t.Error("empty set should build nil tree")
+	}
+	if NewKDTreeSet(randomBinarySet(r, 3, 4, 9)) != nil {
+		t.Error("binary set should build nil tree")
 	}
 }
 

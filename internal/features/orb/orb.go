@@ -141,7 +141,7 @@ func extract(g *imaging.Gray, p Params, pattern *brief.Pattern) *features.Set {
 			out.Binary = append(out.Binary, descs[i])
 		}
 	}
-	return out
+	return out.Pack()
 }
 
 // harrisResponse computes det(M) - k tr(M)^2 over a 7x7 window of Sobel

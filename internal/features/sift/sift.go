@@ -93,7 +93,7 @@ func Extract(g *imaging.Gray, params Params) *features.Set {
 		set.Keypoints = append(set.Keypoints, kp)
 		set.Float = append(set.Float, desc)
 	}
-	return set
+	return set.Pack()
 }
 
 // internalKp is a keypoint in octave coordinates before remapping.

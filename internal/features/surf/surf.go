@@ -56,7 +56,7 @@ func (r *responseLayer) at(gx, gy int) float32 {
 // Extract detects and describes SURF features on the grayscale image.
 func Extract(g *imaging.Gray, params Params) *features.Set {
 	p := params.withDefaults()
-	integral := imaging.NewIntegral(g)
+	integral := imaging.NewIntegralSum(g)
 
 	layers := buildResponseLayers(integral, g.W, g.H, p)
 	kps := findExtrema(layers, p)
@@ -74,7 +74,7 @@ func Extract(g *imaging.Gray, params Params) *features.Set {
 		})
 		set.Float = append(set.Float, desc)
 	}
-	return set
+	return set.Pack()
 }
 
 type surfKp struct {
@@ -85,30 +85,111 @@ type surfKp struct {
 	sign     bool // laplacian sign
 }
 
-// hessianAt computes the normalised fast-Hessian response and Laplacian
-// sign at pixel (c, r) for the given filter size.
-func hessianAt(it *imaging.Integral, r, c, filter int) (float32, bool) {
+// hessianFilter carries the per-filter-size constants of the fast
+// Hessian, hoisted out of the dense per-cell sweep.
+type hessianFilter struct {
+	filter   int
+	lobe     int
+	halfLobe int
+	border   int
+	inv      float64
+}
+
+func newHessianFilter(filter int) hessianFilter {
 	lobe := filter / 3
-	border := (filter - 1) / 2
-	inv := 1.0 / float64(filter*filter)
-
-	box := func(row, col, rows, cols int) float64 {
-		return it.BoxSum(col, row, col+cols, row+rows)
+	return hessianFilter{
+		filter:   filter,
+		lobe:     lobe,
+		halfLobe: lobe / 2,
+		border:   (filter - 1) / 2,
+		inv:      1.0 / float64(filter*filter),
 	}
-	dxx := box(r-lobe+1, c-border, 2*lobe-1, filter) -
-		3*box(r-lobe+1, c-lobe/2, 2*lobe-1, lobe)
-	dyy := box(r-border, c-lobe+1, filter, 2*lobe-1) -
-		3*box(r-lobe/2, c-lobe+1, lobe, 2*lobe-1)
-	dxy := box(r-lobe, c+1, lobe, lobe) +
-		box(r+1, c-lobe, lobe, lobe) -
-		box(r-lobe, c-lobe, lobe, lobe) -
-		box(r+1, c+1, lobe, lobe)
+}
 
-	dxx *= inv
-	dyy *= inv
-	dxy *= inv
+// box is BoxSum with (row, col, rows, cols) ordering.
+func box(it *imaging.Integral, row, col, rows, cols int) float64 {
+	return it.BoxSum(col, row, col+cols, row+rows)
+}
+
+// hessianAt computes the normalised fast-Hessian response and Laplacian
+// sign at pixel (c, r) for the given filter.
+func hessianAt(it *imaging.Integral, r, c int, hf hessianFilter) (float32, bool) {
+	lobe, border := hf.lobe, hf.border
+	dxx := box(it, r-lobe+1, c-border, 2*lobe-1, hf.filter) -
+		3*box(it, r-lobe+1, c-hf.halfLobe, 2*lobe-1, lobe)
+	dyy := box(it, r-border, c-lobe+1, hf.filter, 2*lobe-1) -
+		3*box(it, r-hf.halfLobe, c-lobe+1, lobe, 2*lobe-1)
+	dxy := box(it, r-lobe, c+1, lobe, lobe) +
+		box(it, r+1, c-lobe, lobe, lobe) -
+		box(it, r-lobe, c-lobe, lobe, lobe) -
+		box(it, r+1, c+1, lobe, lobe)
+
+	dxx *= hf.inv
+	dyy *= hf.inv
+	dxy *= hf.inv
 	resp := dxx*dyy - 0.81*dxy*dxy
 	return float32(resp), dxx+dyy >= 0
+}
+
+// denseRow fills one grid row of fast-Hessian responses. The vertical
+// clamps depend only on the row, so the (clamped) integral-table row
+// bases are hoisted out of the column loop; every cell whose horizontal
+// extent lies inside the image takes a branch-free path, and only the
+// x-border cells fall back to hessianAt. Both paths evaluate the same
+// lookup-and-combine expressions in the same order, so the responses
+// are bit-identical to calling hessianAt everywhere.
+func (hf hessianFilter) denseRow(it *imaging.Integral, r, step, gw int, resp []float32, lap []bool) {
+	lobe, border := hf.lobe, hf.border
+	// First and last x-clamp-free columns: every box's x range stays
+	// inside [0, W] iff c-border >= 0 and c+border+1 <= W.
+	cLo, cHi := border, it.W-border-1
+	clampY := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > it.H {
+			return it.H
+		}
+		return v
+	}
+	gx := 0
+	for ; gx < gw && gx*step < cLo; gx++ {
+		resp[gx], lap[gx] = hessianAt(it, r, gx*step, hf)
+	}
+	{
+		st := it.W + 1
+		sum := it.Sum
+		// Clamped integral-table row bases for the five y spans.
+		yA0, yA1 := clampY(r-lobe+1)*st, clampY(r+lobe)*st // dxx boxes
+		yB0, yB1 := clampY(r-border)*st, clampY(r-border+hf.filter)*st
+		yC0, yC1 := clampY(r-hf.halfLobe)*st, clampY(r-hf.halfLobe+lobe)*st
+		yD0, yD1 := clampY(r-lobe)*st, clampY(r)*st // dxy upper boxes
+		yE0, yE1 := clampY(r+1)*st, clampY(r+lobe+1)*st
+		for ; gx < gw; gx++ {
+			c := gx * step
+			if c > cHi {
+				break
+			}
+			x0, x1 := c-border, c+border+1
+			dxx := (sum[yA1+x1] - sum[yA0+x1] - sum[yA1+x0] + sum[yA0+x0]) -
+				3*(sum[yA1+c-hf.halfLobe+lobe]-sum[yA0+c-hf.halfLobe+lobe]-sum[yA1+c-hf.halfLobe]+sum[yA0+c-hf.halfLobe])
+			x0, x1 = c-lobe+1, c+lobe
+			dyy := (sum[yB1+x1] - sum[yB0+x1] - sum[yB1+x0] + sum[yB0+x0]) -
+				3*(sum[yC1+x1]-sum[yC0+x1]-sum[yC1+x0]+sum[yC0+x0])
+			dxy := (sum[yD1+c+lobe+1] - sum[yD0+c+lobe+1] - sum[yD1+c+1] + sum[yD0+c+1]) +
+				(sum[yE1+c] - sum[yE0+c] - sum[yE1+c-lobe] + sum[yE0+c-lobe]) -
+				(sum[yD1+c] - sum[yD0+c] - sum[yD1+c-lobe] + sum[yD0+c-lobe]) -
+				(sum[yE1+c+lobe+1] - sum[yE0+c+lobe+1] - sum[yE1+c+1] + sum[yE0+c+1])
+			dxx *= hf.inv
+			dyy *= hf.inv
+			dxy *= hf.inv
+			resp[gx] = float32(dxx*dyy - 0.81*dxy*dxy)
+			lap[gx] = dxx+dyy >= 0
+		}
+	}
+	for ; gx < gw; gx++ {
+		resp[gx], lap[gx] = hessianAt(it, r, gx*step, hf)
+	}
 }
 
 func buildResponseLayers(it *imaging.Integral, w, h int, p Params) [][]*responseLayer {
@@ -130,13 +211,12 @@ func buildResponseLayers(it *imaging.Integral, w, h int, p Params) [][]*response
 				responses: make([]float32, gw*gh),
 				laplacian: make([]bool, gw*gh),
 			}
+			hf := newHessianFilter(filter)
 			for gy := 0; gy < gh; gy++ {
-				for gx := 0; gx < gw; gx++ {
-					r, c := gy*step, gx*step
-					resp, lap := hessianAt(it, r, c, filter)
-					layer.responses[gy*gw+gx] = resp
-					layer.laplacian[gy*gw+gx] = lap
-				}
+				r := gy * step
+				hf.denseRow(it, r, step, gw,
+					layer.responses[gy*gw:(gy+1)*gw],
+					layer.laplacian[gy*gw:(gy+1)*gw])
 			}
 			oct = append(oct, layer)
 		}
@@ -277,14 +357,14 @@ func orientation(it *imaging.Integral, kp surfKp) float32 {
 	type resp struct {
 		angle, gx, gy float64
 	}
-	var samples []resp
+	samples := make([]resp, 0, 113) // 113 grid points satisfy dx*dx+dy*dy < 36
 	haarSize := 4 * s
 	for dy := -6; dy <= 6; dy++ {
 		for dx := -6; dx <= 6; dx++ {
 			if dx*dx+dy*dy >= 36 {
 				continue
 			}
-			gw := gauss2d(float64(dx), float64(dy), 2.5)
+			gw := orientGauss[(dy+6)*13+(dx+6)]
 			rx := gw * haarX(it, x0+dx*s, y0+dy*s, haarSize)
 			ry := gw * haarY(it, x0+dx*s, y0+dy*s, haarSize)
 			if rx == 0 && ry == 0 {
@@ -305,7 +385,13 @@ func orientation(it *imaging.Integral, kp surfKp) float32 {
 	for ang := 0.0; ang < 2*math.Pi; ang += 0.15 {
 		var sx, sy float64
 		for _, sm := range samples {
-			d := math.Mod(sm.angle-ang+2*math.Pi, 2*math.Pi)
+			// d = Mod(angle-ang+2pi, 2pi) via conditional subtraction:
+			// for 2pi <= d < 2*2pi the subtraction is exact (Sterbenz),
+			// so this matches math.Mod bit for bit on this range.
+			d := sm.angle - ang + 2*math.Pi
+			for d >= 2*math.Pi {
+				d -= 2 * math.Pi
+			}
 			if d < window {
 				sx += sm.gx
 				sy += sm.gy
@@ -325,6 +411,19 @@ func orientation(it *imaging.Integral, kp surfKp) float32 {
 func gauss2d(x, y, sigma float64) float64 {
 	return math.Exp(-(x*x + y*y) / (2 * sigma * sigma))
 }
+
+// orientGauss caches gauss2d(dx, dy, 2.5) for the 13x13 orientation
+// window — the weights depend only on the integer offsets, so the table
+// holds exactly the values the per-keypoint calls produced.
+var orientGauss = func() []float64 {
+	t := make([]float64, 13*13)
+	for dy := -6; dy <= 6; dy++ {
+		for dx := -6; dx <= 6; dx++ {
+			t[(dy+6)*13+(dx+6)] = gauss2d(float64(dx), float64(dy), 2.5)
+		}
+	}
+	return t
+}()
 
 // describe computes the 64-d SURF descriptor: 4x4 subregions of a 20s
 // window, each summarising 5x5 Haar samples as [sum dx, sum |dx|,

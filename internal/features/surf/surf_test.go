@@ -135,3 +135,37 @@ func TestTinyImageDoesNotPanic(t *testing.T) {
 		t.Errorf("tiny image keypoints = %d", set.Len())
 	}
 }
+
+// TestDenseRowMatchesHessianAt pins the hoisted clamp-free response
+// sweep to the per-cell reference across every layer configuration the
+// extractor builds, including rows and columns where clamping engages.
+func TestDenseRowMatchesHessianAt(t *testing.T) {
+	g := imaging.NewGray(48, 40)
+	s := uint32(17)
+	for i := range g.Pix {
+		s = s*1664525 + 1013904223
+		g.Pix[i] = byte(s >> 24)
+	}
+	it := imaging.NewIntegralSum(g)
+	p := Params{}.withDefaults()
+	layers := buildResponseLayers(it, g.W, g.H, p)
+	if len(layers) == 0 {
+		t.Fatal("no response layers built")
+	}
+	for o, oct := range layers {
+		for li, layer := range oct {
+			hf := newHessianFilter(layer.filter)
+			for gy := 0; gy < layer.height; gy++ {
+				for gx := 0; gx < layer.width; gx++ {
+					want, wantLap := hessianAt(it, gy*layer.step, gx*layer.step, hf)
+					got := layer.responses[gy*layer.width+gx]
+					gotLap := layer.laplacian[gy*layer.width+gx]
+					if math.Float32bits(want) != math.Float32bits(got) || wantLap != gotLap {
+						t.Fatalf("octave %d layer %d cell (%d,%d): %v/%v, want %v/%v",
+							o, li, gx, gy, got, gotLap, want, wantLap)
+					}
+				}
+			}
+		}
+	}
+}

@@ -29,54 +29,200 @@ func GaussianKernel(sigma float64, radius int) []float32 {
 }
 
 // ConvolveSeparable applies the 1-D kernel horizontally then vertically
-// with replicate border handling, returning a new raster.
+// with replicate border handling, returning a new raster. The two
+// passes are fused through a ring buffer of horizontally-convolved
+// rows, so the full intermediate raster of ConvolveH(...).ConvolveV(...)
+// is never materialised; each pass runs the same per-row kernels, so
+// the output is bit-identical to the unfused composition.
 func (f *FloatGray) ConvolveSeparable(kernel []float32) *FloatGray {
-	return f.ConvolveH(kernel).ConvolveV(kernel)
+	r := len(kernel) / 2
+	k := len(kernel)
+	out := NewFloatGray(f.W, f.H)
+	w, h := f.W, f.H
+	if w == 0 || h == 0 {
+		return out
+	}
+	// ring holds the last k horizontally-convolved rows; row j lives at
+	// slot j%k, and the window [y-r, y+r] never exceeds k rows.
+	ring := make([]float32, k*w)
+	srcs := make([][]float32, k)
+	computed := -1
+	for y := 0; y < h; y++ {
+		// The window's last tap reads row y+(k-1)-r (== y+r for odd
+		// kernels); using k-1-r keeps even-length kernels from
+		// computing an extra row whose ring slot would collide with
+		// the window's first row.
+		need := y + (k - 1 - r)
+		if need > h-1 {
+			need = h - 1
+		}
+		for computed < need {
+			computed++
+			dst := ring[(computed%k)*w : (computed%k)*w+w]
+			convRowH(dst, f.Pix[computed*w:(computed+1)*w], kernel, r)
+		}
+		for i := range kernel {
+			sy := y + i - r
+			if sy < 0 {
+				sy = 0
+			} else if sy >= h {
+				sy = h - 1
+			}
+			srcs[i] = ring[(sy%k)*w : (sy%k)*w+w]
+		}
+		convAccumV(out.Pix[y*w:(y+1)*w], srcs, kernel)
+	}
+	return out
 }
 
 // ConvolveH applies the 1-D kernel along rows with replicate borders.
+// Interior pixels run a branch-free window loop; only the <= radius
+// border columns pay for clamping. Per-pixel tap accumulation order is
+// unchanged (ascending kernel index), so results are bit-identical to
+// the naive per-tap clamped loop.
 func (f *FloatGray) ConvolveH(kernel []float32) *FloatGray {
 	r := len(kernel) / 2
 	out := NewFloatGray(f.W, f.H)
+	w := f.W
 	for y := 0; y < f.H; y++ {
-		row := f.Pix[y*f.W : (y+1)*f.W]
-		for x := 0; x < f.W; x++ {
-			var acc float32
-			for k := -r; k <= r; k++ {
-				sx := x + k
-				if sx < 0 {
-					sx = 0
-				} else if sx >= f.W {
-					sx = f.W - 1
-				}
-				acc += row[sx] * kernel[k+r]
-			}
-			out.Pix[y*f.W+x] = acc
-		}
+		convRowH(out.Pix[y*w:(y+1)*w], f.Pix[y*w:(y+1)*w], kernel, r)
 	}
 	return out
 }
 
+// convRowH convolves one row into dst. Interior pixels run eight
+// independent accumulator chains per step to keep the FP units busy;
+// each pixel still sums its taps in ascending kernel order, so the
+// result matches the naive per-tap clamped loop bit for bit.
+func convRowH(dst, row, kernel []float32, r int) {
+	w := len(row)
+	lo, hi := r, w-r
+	if hi < lo {
+		hi = lo
+	}
+	for x := 0; x < lo && x < w; x++ {
+		dst[x] = convClampedTap(row, kernel, x, r)
+	}
+	x := lo
+	for ; x+8 <= hi; x += 8 {
+		base := x - r
+		var a0, a1, a2, a3, a4, a5, a6, a7 float32
+		for k, kv := range kernel {
+			win := row[base+k : base+k+8]
+			a0 += win[0] * kv
+			a1 += win[1] * kv
+			a2 += win[2] * kv
+			a3 += win[3] * kv
+			a4 += win[4] * kv
+			a5 += win[5] * kv
+			a6 += win[6] * kv
+			a7 += win[7] * kv
+		}
+		dst[x] = a0
+		dst[x+1] = a1
+		dst[x+2] = a2
+		dst[x+3] = a3
+		dst[x+4] = a4
+		dst[x+5] = a5
+		dst[x+6] = a6
+		dst[x+7] = a7
+	}
+	for ; x < hi; x++ {
+		win := row[x-r : x-r+len(kernel)]
+		var acc float32
+		for k, kv := range kernel {
+			acc += win[k] * kv
+		}
+		dst[x] = acc
+	}
+	for x := hi; x < w; x++ {
+		dst[x] = convClampedTap(row, kernel, x, r)
+	}
+}
+
+// convClampedTap is the replicate-border tap loop shared by the border
+// columns of ConvolveH. The taps split into a left-clamped run, an
+// in-range run and a right-clamped run — each tap contributes the same
+// product in the same (ascending k) order as the branchy per-tap clamp.
+func convClampedTap(row, kernel []float32, x, r int) float32 {
+	var acc float32
+	w := len(row)
+	k := 0
+	for kEnd := min(r-x, len(kernel)); k < kEnd; k++ {
+		acc += row[0] * kernel[k]
+	}
+	for kEnd := min(w-x+r, len(kernel)); k < kEnd; k++ {
+		acc += row[x+k-r] * kernel[k]
+	}
+	for ; k < len(kernel); k++ {
+		acc += row[w-1] * kernel[k]
+	}
+	return acc
+}
+
 // ConvolveV applies the 1-D kernel along columns with replicate borders.
+// The sweep is row-major — for every output row the contributing source
+// rows are streamed sequentially — which preserves the exact per-pixel
+// tap accumulation order (ascending kernel index, so results are
+// bit-identical to the naive column walk) while touching memory in
+// cache order.
 func (f *FloatGray) ConvolveV(kernel []float32) *FloatGray {
 	r := len(kernel) / 2
 	out := NewFloatGray(f.W, f.H)
-	for y := 0; y < f.H; y++ {
-		for x := 0; x < f.W; x++ {
-			var acc float32
-			for k := -r; k <= r; k++ {
-				sy := y + k
-				if sy < 0 {
-					sy = 0
-				} else if sy >= f.H {
-					sy = f.H - 1
-				}
-				acc += f.Pix[sy*f.W+x] * kernel[k+r]
+	w, h := f.W, f.H
+	srcs := make([][]float32, len(kernel))
+	for y := 0; y < h; y++ {
+		orow := out.Pix[y*w : (y+1)*w]
+		for k := range kernel {
+			sy := y + k - r
+			if sy < 0 {
+				sy = 0
+			} else if sy >= h {
+				sy = h - 1
 			}
-			out.Pix[y*f.W+x] = acc
+			srcs[k] = f.Pix[sy*w : sy*w+w]
 		}
+		convAccumV(orow, srcs, kernel)
 	}
 	return out
+}
+
+// convAccumV writes the vertical tap accumulation of srcs (one source
+// row per kernel tap) into dst. Blocks of eight columns accumulate in
+// registers across all taps (ascending kernel order per pixel, as in
+// the naive column walk) and store each output exactly once.
+func convAccumV(dst []float32, srcs [][]float32, kernel []float32) {
+	w := len(dst)
+	x := 0
+	for ; x+8 <= w; x += 8 {
+		var a0, a1, a2, a3, a4, a5, a6, a7 float32
+		for k, kv := range kernel {
+			src := srcs[k][x : x+8]
+			a0 += src[0] * kv
+			a1 += src[1] * kv
+			a2 += src[2] * kv
+			a3 += src[3] * kv
+			a4 += src[4] * kv
+			a5 += src[5] * kv
+			a6 += src[6] * kv
+			a7 += src[7] * kv
+		}
+		dst[x] = a0
+		dst[x+1] = a1
+		dst[x+2] = a2
+		dst[x+3] = a3
+		dst[x+4] = a4
+		dst[x+5] = a5
+		dst[x+6] = a6
+		dst[x+7] = a7
+	}
+	for ; x < w; x++ {
+		var acc float32
+		for k, kv := range kernel {
+			acc += srcs[k][x] * kv
+		}
+		dst[x] = acc
+	}
 }
 
 // GaussianBlur returns f blurred with an isotropic Gaussian of the given
@@ -120,25 +266,52 @@ func (m *Image) GaussianBlur(sigma float64) *Image {
 }
 
 // Sobel computes horizontal and vertical derivative rasters using the
-// standard 3x3 Sobel operators.
+// standard 3x3 Sobel operators. Interior pixels index the three source
+// rows directly (the border ring keeps the clamped path); the derivative
+// expressions are identical in both paths, so the output matches the
+// fully clamped loop bit for bit.
 func (f *FloatGray) Sobel() (gx, gy *FloatGray) {
 	gx = NewFloatGray(f.W, f.H)
 	gy = NewFloatGray(f.W, f.H)
-	for y := 0; y < f.H; y++ {
-		for x := 0; x < f.W; x++ {
-			p00 := f.AtClamped(x-1, y-1)
-			p10 := f.AtClamped(x, y-1)
-			p20 := f.AtClamped(x+1, y-1)
-			p01 := f.AtClamped(x-1, y)
-			p21 := f.AtClamped(x+1, y)
-			p02 := f.AtClamped(x-1, y+1)
-			p12 := f.AtClamped(x, y+1)
-			p22 := f.AtClamped(x+1, y+1)
-			gx.Pix[y*f.W+x] = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
-			gy.Pix[y*f.W+x] = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+	w, h := f.W, f.H
+	for y := 0; y < h; y++ {
+		if y > 0 && y < h-1 && w > 2 {
+			up := f.Pix[(y-1)*w : y*w]
+			mid := f.Pix[y*w : (y+1)*w]
+			dn := f.Pix[(y+1)*w : (y+2)*w]
+			gxRow := gx.Pix[y*w : (y+1)*w]
+			gyRow := gy.Pix[y*w : (y+1)*w]
+			for x := 1; x < w-1; x++ {
+				p00, p10, p20 := up[x-1], up[x], up[x+1]
+				p01, p21 := mid[x-1], mid[x+1]
+				p02, p12, p22 := dn[x-1], dn[x], dn[x+1]
+				gxRow[x] = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+				gyRow[x] = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+			}
+			sobelClamped(f, gx, gy, 0, y)
+			sobelClamped(f, gx, gy, w-1, y)
+			continue
+		}
+		for x := 0; x < w; x++ {
+			sobelClamped(f, gx, gy, x, y)
 		}
 	}
 	return gx, gy
+}
+
+// sobelClamped evaluates both Sobel operators at one (possibly border)
+// pixel with replicate clamping.
+func sobelClamped(f, gx, gy *FloatGray, x, y int) {
+	p00 := f.AtClamped(x-1, y-1)
+	p10 := f.AtClamped(x, y-1)
+	p20 := f.AtClamped(x+1, y-1)
+	p01 := f.AtClamped(x-1, y)
+	p21 := f.AtClamped(x+1, y)
+	p02 := f.AtClamped(x-1, y+1)
+	p12 := f.AtClamped(x, y+1)
+	p22 := f.AtClamped(x+1, y+1)
+	gx.Pix[y*f.W+x] = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+	gy.Pix[y*f.W+x] = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
 }
 
 // Subtract returns f - o element-wise; the rasters must be equally sized.
@@ -147,8 +320,9 @@ func (f *FloatGray) Subtract(o *FloatGray) *FloatGray {
 		panic("imaging: Subtract size mismatch")
 	}
 	out := NewFloatGray(f.W, f.H)
-	for i := range f.Pix {
-		out.Pix[i] = f.Pix[i] - o.Pix[i]
+	a, b, dst := f.Pix, o.Pix[:len(f.Pix)], out.Pix[:len(f.Pix)]
+	for i := range a {
+		dst[i] = a[i] - b[i]
 	}
 	return out
 }

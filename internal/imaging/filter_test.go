@@ -320,3 +320,219 @@ func TestDrawImageWithKey(t *testing.T) {
 		t.Error("clipped draw missing")
 	}
 }
+
+// --- Bit-exactness of the optimised kernels against naive references ---
+
+// naiveConvolveH/V are the original per-pixel clamped tap loops the
+// optimised kernels must reproduce bit for bit.
+func naiveConvolveH(f *FloatGray, kernel []float32) *FloatGray {
+	r := len(kernel) / 2
+	out := NewFloatGray(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		row := f.Pix[y*f.W : (y+1)*f.W]
+		for x := 0; x < f.W; x++ {
+			var acc float32
+			for k := -r; k <= r; k++ {
+				sx := x + k
+				if sx < 0 {
+					sx = 0
+				} else if sx >= f.W {
+					sx = f.W - 1
+				}
+				acc += row[sx] * kernel[k+r]
+			}
+			out.Pix[y*f.W+x] = acc
+		}
+	}
+	return out
+}
+
+func naiveConvolveV(f *FloatGray, kernel []float32) *FloatGray {
+	r := len(kernel) / 2
+	out := NewFloatGray(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			var acc float32
+			for k := -r; k <= r; k++ {
+				sy := y + k
+				if sy < 0 {
+					sy = 0
+				} else if sy >= f.H {
+					sy = f.H - 1
+				}
+				acc += f.Pix[sy*f.W+x] * kernel[k+r]
+			}
+			out.Pix[y*f.W+x] = acc
+		}
+	}
+	return out
+}
+
+func naiveSobel(f *FloatGray) (gx, gy *FloatGray) {
+	gx = NewFloatGray(f.W, f.H)
+	gy = NewFloatGray(f.W, f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			p00 := f.AtClamped(x-1, y-1)
+			p10 := f.AtClamped(x, y-1)
+			p20 := f.AtClamped(x+1, y-1)
+			p01 := f.AtClamped(x-1, y)
+			p21 := f.AtClamped(x+1, y)
+			p02 := f.AtClamped(x-1, y+1)
+			p12 := f.AtClamped(x, y+1)
+			p22 := f.AtClamped(x+1, y+1)
+			gx.Pix[y*f.W+x] = (p20 + 2*p21 + p22) - (p00 + 2*p01 + p02)
+			gy.Pix[y*f.W+x] = (p02 + 2*p12 + p22) - (p00 + 2*p10 + p20)
+		}
+	}
+	return gx, gy
+}
+
+func randomRaster(w, h int, seed uint32) *FloatGray {
+	f := NewFloatGray(w, h)
+	s := seed
+	for i := range f.Pix {
+		s = s*1664525 + 1013904223
+		f.Pix[i] = float32(s>>8) / float32(1<<24)
+	}
+	return f
+}
+
+func rastersBitEqual(t *testing.T, label string, want, got *FloatGray) {
+	t.Helper()
+	if want.W != got.W || want.H != got.H {
+		t.Fatalf("%s: size %dx%d != %dx%d", label, got.W, got.H, want.W, want.H)
+	}
+	for i := range want.Pix {
+		if math.Float32bits(want.Pix[i]) != math.Float32bits(got.Pix[i]) {
+			t.Fatalf("%s: pixel %d = %v, want %v", label, i, got.Pix[i], want.Pix[i])
+		}
+	}
+}
+
+func TestConvolveBitIdenticalToNaive(t *testing.T) {
+	sizes := [][2]int{{1, 1}, {3, 3}, {4, 6}, {7, 5}, {16, 16}, {33, 9}, {64, 64}}
+	for _, sz := range sizes {
+		f := randomRaster(sz[0], sz[1], uint32(77+sz[0]*31+sz[1]))
+		for _, radius := range []int{0, 1, 2, 5, 9, 20} {
+			kernel := GaussianKernel(float64(radius)/3+0.2, radius)
+			label := "conv " + itoa(sz[0]) + "x" + itoa(sz[1]) + " r" + itoa(radius)
+			rastersBitEqual(t, label+" H", naiveConvolveH(f, kernel), f.ConvolveH(kernel))
+			rastersBitEqual(t, label+" V", naiveConvolveV(f, kernel), f.ConvolveV(kernel))
+		}
+	}
+}
+
+func TestConvolveSeparableFusionBitIdentical(t *testing.T) {
+	// The fused ring-buffer pass must equal the unfused H-then-V
+	// composition exactly.
+	for _, sz := range [][2]int{{1, 1}, {2, 3}, {5, 5}, {9, 16}, {64, 48}} {
+		f := randomRaster(sz[0], sz[1], uint32(101+sz[0]*7+sz[1]))
+		for _, radius := range []int{0, 1, 3, 7, 15} {
+			kernel := GaussianKernel(float64(radius)/3+0.3, radius)
+			want := f.ConvolveH(kernel).ConvolveV(kernel)
+			got := f.ConvolveSeparable(kernel)
+			label := "sep " + itoa(sz[0]) + "x" + itoa(sz[1]) + " r" + itoa(radius)
+			rastersBitEqual(t, label, want, got)
+		}
+		// Even-length kernels shift the window asymmetrically; the
+		// fused ring sizing must not clobber the window's first row.
+		for _, kernel := range [][]float32{
+			{0.25, 0.25, 0.25, 0.25},
+			{0.5, 0.5},
+			{0.1, 0.2, 0.3, 0.2, 0.1, 0.1},
+		} {
+			want := f.ConvolveH(kernel).ConvolveV(kernel)
+			got := f.ConvolveSeparable(kernel)
+			label := "sep even-k" + itoa(len(kernel)) + " " + itoa(sz[0]) + "x" + itoa(sz[1])
+			rastersBitEqual(t, label, want, got)
+		}
+	}
+}
+
+func TestSobelBitIdenticalToNaive(t *testing.T) {
+	for _, sz := range [][2]int{{1, 1}, {2, 2}, {3, 3}, {5, 4}, {17, 23}, {64, 64}} {
+		f := randomRaster(sz[0], sz[1], uint32(5+sz[0]+sz[1]*13))
+		wantX, wantY := naiveSobel(f)
+		gotX, gotY := f.Sobel()
+		label := "sobel " + itoa(sz[0]) + "x" + itoa(sz[1])
+		rastersBitEqual(t, label+" gx", wantX, gotX)
+		rastersBitEqual(t, label+" gy", wantY, gotY)
+	}
+}
+
+func TestBoxSumClampMatchesReference(t *testing.T) {
+	g := NewGray(13, 9)
+	s := uint32(3)
+	for i := range g.Pix {
+		s = s*1664525 + 1013904223
+		g.Pix[i] = byte(s >> 24)
+	}
+	it := NewIntegral(g)
+	ref := func(x0, y0, x1, y1 int) float64 {
+		clamp := func(v, hi int) int {
+			if v < 0 {
+				return 0
+			}
+			if v > hi {
+				return hi
+			}
+			return v
+		}
+		x0, x1 = clamp(x0, it.W), clamp(x1, it.W)
+		y0, y1 = clamp(y0, it.H), clamp(y1, it.H)
+		if x1 < x0 {
+			x1 = x0
+		}
+		if y1 < y0 {
+			y1 = y0
+		}
+		sum := it.Sum
+		stride := it.W + 1
+		return sum[y1*stride+x1] - sum[y0*stride+x1] - sum[y1*stride+x0] + sum[y0*stride+x0]
+	}
+	coords := []int{-20, -5, -1, 0, 1, 4, 8, 9, 12, 13, 14, 40}
+	for _, x0 := range coords {
+		for _, y0 := range coords {
+			for _, x1 := range coords {
+				for _, y1 := range coords {
+					if got, want := it.BoxSum(x0, y0, x1, y1), ref(x0, y0, x1, y1); got != want {
+						t.Fatalf("BoxSum(%d,%d,%d,%d) = %v, want %v", x0, y0, x1, y1, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNewIntegralSumMatchesNewIntegral(t *testing.T) {
+	g := NewGray(21, 17)
+	s := uint32(9)
+	for i := range g.Pix {
+		s = s*1664525 + 1013904223
+		g.Pix[i] = byte(s >> 24)
+	}
+	full, sumOnly := NewIntegral(g), NewIntegralSum(g)
+	for i := range full.Sum {
+		if full.Sum[i] != sumOnly.Sum[i] {
+			t.Fatalf("Sum[%d] = %v, want %v", i, sumOnly.Sum[i], full.Sum[i])
+		}
+	}
+	if sumOnly.SqSum != nil {
+		t.Error("NewIntegralSum built SqSum")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -6,9 +6,10 @@ import (
 )
 
 // Descriptor is the §3.3 pipeline: extract SIFT, SURF or ORB features
-// from the query, brute-force match against every gallery view, apply
-// Lowe's ratio test, and predict the view with the most surviving
-// matches. The paper's reported configuration uses ratio 0.5.
+// from the query, match against the gallery-level flat descriptor index
+// (DescriptorIndex), apply Lowe's ratio test, and predict the view with
+// the most surviving matches. The paper's reported configuration uses
+// ratio 0.5.
 type Descriptor struct {
 	Kind   DescriptorKind
 	Ratio  float64 // ratio-test threshold (paper tests 0.75 and 0.5)
@@ -23,11 +24,33 @@ func NewDescriptor(kind DescriptorKind, ratio float64) *Descriptor {
 // Name implements Pipeline.
 func (p *Descriptor) Name() string { return p.Kind.String() }
 
-// Classify implements Pipeline. Gallery descriptors should have been
-// prepared with Gallery.PrepareDescriptors; unprepared views are
-// extracted on the fly through the gallery's mutex-guarded cache, so
-// concurrent Classify calls against a shared gallery are safe.
+// Classify implements Pipeline. The per-view good-match counts come
+// from one scan of the flat gallery index per query descriptor; the
+// count scratch is pooled, so steady-state matching allocates nothing
+// per query. An unprepared gallery builds its index on first use
+// through the mutex-guarded cache, so concurrent Classify calls against
+// a shared gallery are safe. Results are identical to brute-force
+// per-view matching (classifyPerView).
 func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
+	q := ExtractDescriptors(img, p.Kind, p.Params)
+	ix := g.descriptorIndex(p.Kind, p.Params)
+	countsPtr := ix.getCounts()
+	counts := *countsPtr
+	ix.GoodMatchCounts(q, p.Ratio, counts)
+	best := Prediction{Index: -1, Score: -1}
+	for i := range counts {
+		if score := float64(counts[i]); score > best.Score {
+			best = Prediction{Class: g.ClassOf(i), Index: i, Score: score}
+		}
+	}
+	ix.putCounts(countsPtr)
+	return best
+}
+
+// classifyPerView is the legacy brute-force path — an independent 2-NN
+// match per gallery view — retained as the reference implementation the
+// flat index is verified against in the equivalence tests.
+func (p *Descriptor) classifyPerView(img *imaging.Image, g *Gallery) Prediction {
 	q := ExtractDescriptors(img, p.Kind, p.Params)
 	cached := g.descriptorSnapshot(p.Kind)
 	best := Prediction{Index: -1, Score: -1}
@@ -44,8 +67,9 @@ func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
 	return best
 }
 
-// Prepare implements Preparer: extracting every gallery descriptor up
-// front across the pool keeps lock traffic out of the per-query loop.
+// Prepare implements Preparer: extracting every gallery descriptor and
+// building the flat index up front across the pool keeps lock traffic
+// and one-shot index construction out of the per-query loop.
 func (p *Descriptor) Prepare(g *Gallery, workers int) {
 	g.PrepareDescriptorsWorkers(p.Kind, p.Params, workers)
 }

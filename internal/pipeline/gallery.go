@@ -65,7 +65,8 @@ type View struct {
 type Gallery struct {
 	Views []View
 
-	mu sync.RWMutex // guards lazy Desc writes during concurrent Classify
+	mu  sync.RWMutex // guards lazy Desc/idx writes during concurrent Classify
+	idx map[DescriptorKind]*DescriptorIndex
 }
 
 // NewGallery preprocesses every sample of the reference set (§3.2
@@ -78,7 +79,10 @@ func NewGallery(s *dataset.Set) *Gallery { return NewGalleryWorkers(s, 0) }
 // function of its sample, so the gallery is identical view-for-view
 // regardless of the worker count.
 func NewGalleryWorkers(s *dataset.Set, workers int) *Gallery {
-	g := &Gallery{Views: make([]View, s.Len())}
+	g := &Gallery{
+		Views: make([]View, s.Len()),
+		idx:   map[DescriptorKind]*DescriptorIndex{},
+	}
 	parallel.ForEach(workers, s.Len(), func(i int) {
 		sm := s.Samples[i]
 		pre := contour.Preprocess(sm.Image)
@@ -149,6 +153,45 @@ func (g *Gallery) PrepareDescriptorsWorkers(kind DescriptorKind, p DescriptorPar
 	parallel.ForEach(workers, len(g.Views), func(i int) {
 		g.descriptorOf(i, kind, p)
 	})
+	g.descriptorIndex(kind, p)
+}
+
+// descriptorIndex returns the gallery-level flat index of the given
+// kind, building (and caching) it on first use. Index construction is a
+// pure function of the cached descriptor sets, so two racing builders
+// produce identical indexes and the first store wins.
+func (g *Gallery) descriptorIndex(kind DescriptorKind, p DescriptorParams) *DescriptorIndex {
+	g.mu.RLock()
+	ix := g.idx[kind]
+	g.mu.RUnlock()
+	if ix != nil {
+		return ix
+	}
+	sets := make([]*features.Set, len(g.Views))
+	for i := range g.Views {
+		sets[i] = g.descriptorOf(i, kind, p)
+	}
+	ix = NewDescriptorIndex(sets)
+	g.mu.Lock()
+	if cur := g.idx[kind]; cur != nil {
+		ix = cur
+	} else {
+		g.idx[kind] = ix
+	}
+	g.mu.Unlock()
+	return ix
+}
+
+// IndexStats reports the flat index shape for the given kind without
+// building it: total indexed descriptors and views covered (zero values
+// when the index has not been built yet).
+func (g *Gallery) IndexStats(kind DescriptorKind) (descriptors, views int) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if ix := g.idx[kind]; ix != nil {
+		return ix.Len(), ix.NumViews
+	}
+	return 0, 0
 }
 
 // descriptorSnapshot returns every view's cached descriptor set of the

@@ -1,0 +1,303 @@
+package pipeline
+
+import (
+	"math"
+	"sync"
+
+	"snmatch/internal/features"
+)
+
+// DescriptorIndex is a gallery-level flat index for §3.3 descriptor
+// matching: every view's descriptors are concatenated into one
+// contiguous matrix with per-view offsets, so classifying a query scans
+// each query descriptor once across the whole gallery and accumulates
+// per-view good-match counts — instead of running an independent 2-NN
+// matcher per view over pointer-chased row slices. Results are exactly
+// those of per-view match.GoodMatchCount: the 2-NN search and Lowe's
+// ratio test are evaluated within each view's row range, distances stay
+// in the squared (or integer Hamming) domain, and the square root is
+// taken only for the two winners per (query descriptor, view) pair.
+//
+// The index is immutable once built; Classify-side scratch (the
+// per-view count buffer) comes from an internal sync.Pool so steady
+// state matching allocates nothing per query.
+type DescriptorIndex struct {
+	Binary   bool
+	NumViews int
+
+	// Starts[v]..Starts[v+1] is the descriptor row range of view v.
+	Starts []int
+
+	// Float layout (row-major, stride Dim), with per-row Euclidean
+	// norms (square roots of the packed squared norms) for the
+	// norm-difference lower bound.
+	Dim       int
+	Floats    []float32
+	RootNorms []float32
+
+	// Binary layout: word-packed rows of stride WordsPerRow.
+	WordsPerRow int
+	Words       []uint64
+
+	// prune enables the norm-difference early-exit in the float
+	// kernel. It is switched off at build time when the gallery's
+	// norms barely vary (e.g. unit-normalised SIFT/SURF descriptors),
+	// where the test could never fire and would only cost a branch.
+	prune bool
+
+	counts sync.Pool // *[]int32 scratch, one per concurrent classifier
+}
+
+// pruneMargin absorbs the relative rounding of the float32 distance
+// accumulation (<= dim * 2^-23, ~1.5e-5 at dim 128): a candidate is
+// only skipped when its — separately error-deflated — lower bound
+// exceeds the current second-best by more than that. Together with the
+// absolute deflation below, skipped candidates can never have beaten
+// the second-best, keeping the kernel bit-identical to the unpruned
+// scan.
+const pruneMargin = 1 - 1e-4
+
+// normErrScale bounds the relative error of a computed row norm
+// (float32 sum of dim squares, then sqrt: <= ~dim * 2^-25 + 2^-24,
+// taken at 2^-22 per unit dim for an ~8x safety factor). The norm
+// difference rq - rn cancels catastrophically, so its absolute error —
+// up to (rq + rn) * normErrScale * dim — must be subtracted from the
+// bound before squaring rather than folded into a relative margin.
+const normErrScale = 1.0 / (1 << 22)
+
+// NewDescriptorIndex concatenates the views' descriptor sets (all of
+// one representation; nil or empty sets contribute empty ranges).
+func NewDescriptorIndex(sets []*features.Set) *DescriptorIndex {
+	ix := &DescriptorIndex{NumViews: len(sets), Starts: make([]int, len(sets)+1)}
+	total := 0
+	for _, s := range sets {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		total += s.Len()
+		if s.IsBinary() {
+			ix.Binary = true
+		}
+	}
+	off := 0
+	for v, s := range sets {
+		ix.Starts[v] = off
+		if s != nil {
+			off += s.Len()
+		}
+	}
+	ix.Starts[len(sets)] = off
+
+	if ix.Binary {
+		for _, s := range sets {
+			if s == nil || s.Len() == 0 {
+				continue
+			}
+			p := s.Pack().Packed
+			if ix.WordsPerRow == 0 {
+				ix.WordsPerRow = p.WordsPerRow
+				ix.Words = make([]uint64, total*p.WordsPerRow)
+			}
+			if p.WordsPerRow != ix.WordsPerRow || !s.IsBinary() {
+				panic("pipeline: inconsistent descriptor sets in index")
+			}
+		}
+		off = 0
+		for _, s := range sets {
+			if s == nil || s.Len() == 0 {
+				continue
+			}
+			p := s.Packed
+			copy(ix.Words[off*ix.WordsPerRow:], p.Words)
+			off += s.Len()
+		}
+		return ix
+	}
+
+	for _, s := range sets {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		p := s.Pack().Packed
+		if ix.Dim == 0 {
+			ix.Dim = p.Dim
+			ix.Floats = make([]float32, total*p.Dim)
+			ix.RootNorms = make([]float32, total)
+		}
+		if p.Dim != ix.Dim || s.IsBinary() {
+			panic("pipeline: inconsistent descriptor sets in index")
+		}
+	}
+	off = 0
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, s := range sets {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		p := s.Packed
+		copy(ix.Floats[off*ix.Dim:], p.Floats)
+		for i := 0; i < p.N; i++ {
+			r := sqrt32(p.Norms[i])
+			ix.RootNorms[off+i] = r
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+		off += s.Len()
+	}
+	// Unit-normalised galleries (SIFT, SURF) have no norm spread for
+	// the bound to exploit; keep the plain scan there.
+	ix.prune = off > 0 && hi-lo > 0.05*hi
+	return ix
+}
+
+// Len returns the total number of indexed descriptors.
+func (ix *DescriptorIndex) Len() int { return ix.Starts[ix.NumViews] }
+
+// getCounts borrows a per-view count buffer from the pool. Contents
+// are unspecified — GoodMatchCounts zeroes its output itself.
+func (ix *DescriptorIndex) getCounts() *[]int32 {
+	if v := ix.counts.Get(); v != nil {
+		return v.(*[]int32)
+	}
+	s := make([]int32, ix.NumViews)
+	return &s
+}
+
+// putCounts returns a buffer to the pool.
+func (ix *DescriptorIndex) putCounts(s *[]int32) { ix.counts.Put(s) }
+
+// GoodMatchCounts accumulates, for every gallery view, the number of
+// query descriptors whose within-view 2-NN pass Lowe's ratio test —
+// exactly match.GoodMatchCount(query, view, ratio) per view, computed
+// in one scan of the flat matrix per query descriptor. counts must have
+// NumViews entries and is overwritten.
+func (ix *DescriptorIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	if query.Len() == 0 || ix.Len() == 0 {
+		return
+	}
+	if query.IsBinary() != ix.Binary {
+		panic("match: mixed descriptor representations")
+	}
+	qp := query.Pack().Packed
+	if ix.Binary {
+		ix.binaryCounts(qp, ratio, counts)
+	} else {
+		ix.floatCounts(qp, ratio, counts)
+	}
+}
+
+func (ix *DescriptorIndex) floatCounts(qp *features.Packed, ratio float64, counts []int32) {
+	if qp.Dim != ix.Dim {
+		panic("pipeline: query descriptor width does not match index")
+	}
+	dim := ix.Dim
+	normErr := float32(dim) * normErrScale
+	for qi := 0; qi < qp.N; qi++ {
+		q := qp.FloatRow(qi)
+		rq := sqrt32(qp.Norms[qi])
+		for v := 0; v < ix.NumViews; v++ {
+			start, end := ix.Starts[v], ix.Starts[v+1]
+			if end-start < 2 {
+				continue // a view needs two neighbours for the ratio test
+			}
+			s1, s2 := inf32, inf32
+			if ix.prune {
+				for ti := start; ti < end; ti++ {
+					rn := ix.RootNorms[ti]
+					lb := rq - rn
+					if lb < 0 {
+						lb = -lb
+					}
+					lb -= (rq + rn) * normErr // deflate by the absolute norm error
+					if lb > 0 && lb*lb*pruneMargin >= s2 {
+						continue
+					}
+					d := features.L2Squared(q, ix.Floats[ti*dim:(ti+1)*dim])
+					if d < s1 {
+						s2, s1 = s1, d
+					} else if d < s2 {
+						s2 = d
+					}
+				}
+			} else {
+				// Four rows per step: independent accumulator chains,
+				// identical per-row arithmetic, updates applied in
+				// ascending train order.
+				ti := start
+				for ; ti+4 <= end; ti += 4 {
+					d0, d1, d2, d3 := features.L2Squared4(q,
+						ix.Floats[ti*dim:(ti+1)*dim],
+						ix.Floats[(ti+1)*dim:(ti+2)*dim],
+						ix.Floats[(ti+2)*dim:(ti+3)*dim],
+						ix.Floats[(ti+3)*dim:(ti+4)*dim])
+					s1, s2 = update2(s1, s2, d0)
+					s1, s2 = update2(s1, s2, d1)
+					s1, s2 = update2(s1, s2, d2)
+					s1, s2 = update2(s1, s2, d3)
+				}
+				for ; ti < end; ti++ {
+					d := features.L2Squared(q, ix.Floats[ti*dim:(ti+1)*dim])
+					s1, s2 = update2(s1, s2, d)
+				}
+			}
+			if float64(sqrt32(s1)) < ratio*float64(sqrt32(s2)) {
+				counts[v]++
+			}
+		}
+	}
+}
+
+func (ix *DescriptorIndex) binaryCounts(qp *features.Packed, ratio float64, counts []int32) {
+	if qp.WordsPerRow != ix.WordsPerRow {
+		panic("pipeline: query descriptor width does not match index")
+	}
+	wpr := ix.WordsPerRow
+	for qi := 0; qi < qp.N; qi++ {
+		q := qp.WordRow(qi)
+		for v := 0; v < ix.NumViews; v++ {
+			start, end := ix.Starts[v], ix.Starts[v+1]
+			if end-start < 2 {
+				continue
+			}
+			s1, s2 := math.MaxInt, math.MaxInt
+			for ti := start; ti < end; ti++ {
+				d := features.HammingWords(q, ix.Words[ti*wpr:(ti+1)*wpr])
+				if d < s1 {
+					s2, s1 = s1, d
+				} else if d < s2 {
+					s2 = d
+				}
+			}
+			if float64(float32(s1)) < ratio*float64(float32(s2)) {
+				counts[v]++
+			}
+		}
+	}
+}
+
+// update2 folds one squared distance into the running best/second-best.
+func update2(s1, s2, d float32) (float32, float32) {
+	if d < s1 {
+		return d, s1
+	}
+	if d < s2 {
+		return s1, d
+	}
+	return s1, s2
+}
+
+var inf32 = float32(math.Inf(1))
+
+func sqrt32(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(v)))
+}

@@ -1,0 +1,252 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/features"
+	"snmatch/internal/features/match"
+	"snmatch/internal/rng"
+)
+
+// randFloatSet draws integer-valued components so distances are exact
+// and small vocabularies produce genuine ties; spread>1 vocabularies
+// give the norm spread that arms the index's pruned kernel.
+func randFloatSet(r *rng.RNG, n, dim, vocab int) *features.Set {
+	s := &features.Set{}
+	for i := 0; i < n; i++ {
+		d := make([]float32, dim)
+		for j := range d {
+			d[j] = float32(r.Intn(vocab))
+		}
+		s.Float = append(s.Float, d)
+		s.Keypoints = append(s.Keypoints, features.Keypoint{})
+	}
+	return s
+}
+
+func randBinarySet(r *rng.RNG, n, bytes int) *features.Set {
+	s := &features.Set{}
+	for i := 0; i < n; i++ {
+		d := make([]byte, bytes)
+		for j := range d {
+			d[j] = byte(r.Intn(256))
+		}
+		s.Binary = append(s.Binary, d)
+		s.Keypoints = append(s.Keypoints, features.Keypoint{})
+	}
+	return s
+}
+
+// TestDescriptorIndexMatchesPerViewCounts is the index's exactness
+// contract: one flat scan must reproduce the per-view brute-force
+// GoodMatchCount for every view — including empty views, single
+// descriptor views (below the ratio test's two-neighbour minimum), tie
+// heavy small vocabularies, and the norm-difference pruned float path.
+func TestDescriptorIndexMatchesPerViewCounts(t *testing.T) {
+	r := rng.New(41)
+	for trial := 0; trial < 25; trial++ {
+		nViews := 1 + r.Intn(8)
+		binary := trial%2 == 1
+		vocab := 2 + r.Intn(9) // wide vocab range arms pruning on some trials
+		sets := make([]*features.Set, nViews)
+		for v := range sets {
+			n := r.Intn(7) // includes empty and single-descriptor views
+			if binary {
+				sets[v] = randBinarySet(r, n, 4)
+			} else {
+				sets[v] = randFloatSet(r, n, 6, vocab)
+			}
+		}
+		var query *features.Set
+		if binary {
+			query = randBinarySet(r, r.Intn(8), 4)
+		} else {
+			query = randFloatSet(r, r.Intn(8), 6, vocab)
+		}
+		ix := NewDescriptorIndex(sets)
+		counts := make([]int32, nViews)
+		for _, ratio := range []float64{0.5, 0.75, 1.0} {
+			ix.GoodMatchCounts(query, ratio, counts)
+			for v, s := range sets {
+				want := int32(match.GoodMatchCount(query, s, ratio))
+				if counts[v] != want {
+					t.Fatalf("trial %d (binary=%v prune=%v) view %d ratio %v: %d != %d",
+						trial, binary, ix.prune, v, ratio, counts[v], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDescriptorIndexPruneExactAtLargeNorms stresses the pruned kernel
+// where the norm-difference computation is least accurate: high
+// dimension and large, clustered magnitudes (norms in the thousands,
+// partially non-representable squared sums), mixed with near-origin
+// rows so pruning fires aggressively. Counts must still equal the
+// never-pruning per-view reference exactly.
+func TestDescriptorIndexPruneExactAtLargeNorms(t *testing.T) {
+	r := rng.New(131)
+	mixedSet := func(n int) *features.Set {
+		s := &features.Set{}
+		for i := 0; i < n; i++ {
+			d := make([]float32, 128)
+			base := float32(0)
+			if r.Intn(2) == 1 {
+				base = 500
+			}
+			for j := range d {
+				d[j] = base + float32(r.Intn(16))
+			}
+			s.Float = append(s.Float, d)
+			s.Keypoints = append(s.Keypoints, features.Keypoint{})
+		}
+		return s
+	}
+	for trial := 0; trial < 10; trial++ {
+		sets := make([]*features.Set, 4)
+		for v := range sets {
+			sets[v] = mixedSet(2 + r.Intn(6))
+		}
+		ix := NewDescriptorIndex(sets)
+		if !ix.prune {
+			t.Fatal("mixed-magnitude gallery did not arm pruning")
+		}
+		query := mixedSet(6)
+		counts := make([]int32, len(sets))
+		for _, ratio := range []float64{0.5, 0.8, 1.0} {
+			ix.GoodMatchCounts(query, ratio, counts)
+			for v, s := range sets {
+				if want := int32(match.GoodMatchCount(query, s, ratio)); counts[v] != want {
+					t.Fatalf("trial %d view %d ratio %v: pruned %d != reference %d",
+						trial, v, ratio, counts[v], want)
+				}
+			}
+		}
+	}
+}
+
+func TestDescriptorIndexPruneArmsOnSpreadNorms(t *testing.T) {
+	r := rng.New(7)
+	spread := []*features.Set{randFloatSet(r, 10, 6, 9), randFloatSet(r, 10, 6, 9)}
+	if ix := NewDescriptorIndex(spread); !ix.prune {
+		t.Error("wide-norm gallery did not arm pruning")
+	}
+	// Unit-normalised rows must keep the plain kernel.
+	unit := &features.Set{}
+	for i := 0; i < 8; i++ {
+		d := make([]float32, 4)
+		d[i%4] = 1
+		unit.Float = append(unit.Float, d)
+		unit.Keypoints = append(unit.Keypoints, features.Keypoint{})
+	}
+	if ix := NewDescriptorIndex([]*features.Set{unit}); ix.prune {
+		t.Error("unit-norm gallery armed pruning")
+	}
+}
+
+func TestDescriptorIndexEmptyCases(t *testing.T) {
+	r := rng.New(3)
+	// Empty gallery.
+	ix := NewDescriptorIndex(nil)
+	ix.GoodMatchCounts(randFloatSet(r, 3, 6, 5), 0.5, nil)
+	// All-empty views.
+	ix = NewDescriptorIndex([]*features.Set{{}, {}})
+	counts := make([]int32, 2)
+	ix.GoodMatchCounts(randFloatSet(r, 3, 6, 5), 0.5, counts)
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Errorf("empty views counted: %v", counts)
+	}
+	// Empty query.
+	ix = NewDescriptorIndex([]*features.Set{randFloatSet(r, 4, 6, 5)})
+	counts = counts[:1]
+	counts[0] = 9
+	ix.GoodMatchCounts(&features.Set{}, 0.5, counts)
+	if counts[0] != 0 {
+		t.Errorf("empty query counted: %v", counts)
+	}
+}
+
+func TestDescriptorIndexCountsAllocationFree(t *testing.T) {
+	r := rng.New(19)
+	sets := make([]*features.Set, 6)
+	for v := range sets {
+		sets[v] = randFloatSet(r, 12, 16, 7)
+	}
+	ix := NewDescriptorIndex(sets)
+	query := randFloatSet(r, 10, 16, 7).Pack()
+	counts := make([]int32, len(sets))
+	if n := testing.AllocsPerRun(50, func() { ix.GoodMatchCounts(query, 0.5, counts) }); n != 0 {
+		t.Errorf("float GoodMatchCounts allocates %v per run", n)
+	}
+	bsets := make([]*features.Set, 6)
+	for v := range bsets {
+		bsets[v] = randBinarySet(r, 12, 4)
+	}
+	bix := NewDescriptorIndex(bsets)
+	bquery := randBinarySet(r, 10, 4).Pack()
+	if n := testing.AllocsPerRun(50, func() { bix.GoodMatchCounts(bquery, 0.5, counts) }); n != 0 {
+		t.Errorf("binary GoodMatchCounts allocates %v per run", n)
+	}
+}
+
+// TestClassifyFlatMatchesPerView pins the flat-index Classify to the
+// legacy per-view brute-force path for all three descriptor families.
+func TestClassifyFlatMatchesPerView(t *testing.T) {
+	small := NewGallery(&dataset.Set{Name: "small", Samples: sns1.Samples[:12]})
+	queries := sns2.Samples[:6]
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		p := NewDescriptor(kind, 0.5)
+		for _, q := range queries {
+			want := p.classifyPerView(q.Image, small)
+			got := p.Classify(q.Image, small)
+			if want != got {
+				t.Errorf("%s: flat %+v != per-view %+v", kind, got, want)
+			}
+		}
+	}
+}
+
+// TestRunParallelDescriptorKindsMatchSerial sweeps the determinism
+// contract at workers 1/4/16 for every descriptor family: the pooled
+// flat-index sweep must equal the serial sweep exactly.
+func TestRunParallelDescriptorKindsMatchSerial(t *testing.T) {
+	queries := &dataset.Set{Name: "q", Samples: sns2.Samples[:8]}
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		small := NewGallery(&dataset.Set{Name: "small", Samples: sns1.Samples[:10]})
+		p := NewDescriptor(kind, 0.5)
+		serialPred, _ := Run(p, queries, small)
+		for _, w := range poolSizes {
+			pred, _ := RunParallel(NewDescriptor(kind, 0.5), queries, small, w)
+			classesEqual(t, kind.String(), serialPred, pred)
+		}
+	}
+}
+
+// TestDescriptorScratchPoolUnderConcurrency hammers one shared index's
+// sync.Pool scratch from many goroutines (run with -race in CI): all
+// workers must see consistent counts.
+func TestDescriptorScratchPoolUnderConcurrency(t *testing.T) {
+	small := NewGallery(&dataset.Set{Name: "shared", Samples: sns1.Samples[:10]})
+	p := NewDescriptor(ORB, 0.75)
+	p.Prepare(small, 4)
+	queries := sns2.Samples[:6]
+	want := make([]Prediction, len(queries))
+	for i, q := range queries {
+		want[i] = p.Classify(q.Image, small)
+	}
+	var wg sync.WaitGroup
+	for worker := 0; worker < 12; worker++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, q := range queries {
+				if got := p.Classify(q.Image, small); got != want[i] {
+					t.Errorf("concurrent classify %d: %+v != %+v", i, got, want[i])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

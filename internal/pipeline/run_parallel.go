@@ -43,13 +43,16 @@ type Preparer interface {
 func RunParallel(p Pipeline, queries *dataset.Set, g *Gallery, workers int) (pred, truth []synth.Class) {
 	n := queries.Len()
 	w := parallel.Clamp(workers, n)
-	if w <= 1 {
-		return Run(p, queries, g)
-	}
 	// Prep work is sized by the gallery, not the query set, so it gets
 	// the raw request; each Prepare clamps against its own item count.
+	// The serial fallback prepares too: hoisting descriptor extraction
+	// and flat-index construction out of the first Classify keeps the
+	// per-query path identical at every worker count.
 	if prep, ok := p.(Preparer); ok {
 		prep.Prepare(g, workers)
+	}
+	if w <= 1 {
+		return Run(p, queries, g)
 	}
 	pred = make([]synth.Class, n)
 	truth = make([]synth.Class, n)
