@@ -7,9 +7,12 @@ package snmatch
 // the pipelines and regenerates the result shapes.
 
 import (
+	"bytes"
+	"context"
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"snmatch/internal/contour"
 	"snmatch/internal/dataset"
@@ -22,6 +25,8 @@ import (
 	"snmatch/internal/nn"
 	"snmatch/internal/pipeline"
 	"snmatch/internal/rng"
+	"snmatch/internal/serve"
+	"snmatch/internal/serve/snapshot"
 	"snmatch/internal/synth"
 )
 
@@ -272,6 +277,103 @@ func BenchmarkGalleryPrepareParallel(b *testing.B) {
 	b.Run("serial", run(1))
 	b.Run("workers=4", run(4))
 	b.Run("workers=cpu", run(0))
+}
+
+// --- Serving benches (sharded gallery + snapshot + batcher) ---
+
+// BenchmarkServeThroughput measures steady-state serving throughput of
+// the single-query path — one SIFT query scanned across N index shards
+// in parallel — over the SNS2 query set, reporting queries/sec per
+// shard count. Results are bit-identical at every shard count, so the
+// qps column is a pure scaling curve.
+func BenchmarkServeThroughput(b *testing.B) {
+	s := getBenchSuite(b)
+	p := pipeline.NewDescriptor(pipeline.SIFT, 0.5)
+	p.Prepare(s.GallerySNS1, 0)
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run("shards="+itoa(shards), func(b *testing.B) {
+			sg := pipeline.NewShardedGallery(s.GallerySNS1, shards)
+			sg.Classify(p, s.SNS2.Samples[0].Image) // build the shard split outside the timing
+			b.ResetTimer()
+			start := time.Now()
+			n := 0
+			for i := 0; i < b.N; i++ {
+				for _, q := range s.SNS2.Samples {
+					sg.Classify(p, q.Image)
+					n++
+				}
+			}
+			b.ReportMetric(float64(n)/time.Since(start).Seconds(), "qps")
+		})
+	}
+}
+
+// BenchmarkServeBatcher pushes concurrent queries through the request
+// batcher (the daemon's coalescing path) and reports aggregate
+// queries/sec — the serving-throughput number the ROADMAP's scaling
+// story tracks.
+func BenchmarkServeBatcher(b *testing.B) {
+	s := getBenchSuite(b)
+	p := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	p.Prepare(s.GallerySNS1, 0)
+	sg := pipeline.NewShardedGallery(s.GallerySNS1, 4)
+	bt := serve.NewBatcher(sg, p, serve.Config{MaxBatch: 16, BatchWait: time.Millisecond, QueueCap: 4096})
+	defer bt.Close()
+	ctx := context.Background()
+	img := s.SNS2.Samples[0].Image
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := bt.Submit(ctx, img); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "qps")
+}
+
+// BenchmarkSnapshot measures gallery snapshot save and load against the
+// cold-start preparation they replace.
+func BenchmarkSnapshot(b *testing.B) {
+	s := getBenchSuite(b)
+	params := pipeline.DefaultDescriptorParams()
+	for _, k := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
+		s.GallerySNS1.PrepareDescriptors(k, params)
+	}
+	snap := &snapshot.Snapshot{
+		Name:    "sns1",
+		Meta:    snapshot.Meta{Dataset: "sns1", Size: s.Scale.ImageSize, Seed: s.Scale.Seed},
+		Gallery: s.GallerySNS1,
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, snap); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			if err := snapshot.Write(&w, snap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := snapshot.Read(bytes.NewReader(buf.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold-prepare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := pipeline.NewGallery(s.SNS1)
+			for _, k := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
+				g.PrepareDescriptors(k, params)
+			}
+		}
+	})
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

@@ -18,14 +18,18 @@ import (
 	"os"
 	"time"
 
+	"snmatch/internal/cliutil"
 	"snmatch/internal/experiments"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/serve/snapshot"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "medium", "experiment scale: quick, medium or full")
 	skipNeural := flag.Bool("skip-neural", false, "skip the Table 4 neural experiment")
 	outPath := flag.String("out", "", "also write the report to this file")
-	workers := flag.Int("workers", 0, "classification worker pool size (0 = one per CPU)")
+	snapPath := flag.String("snapshot", "", "SNS1 gallery snapshot: load it when the file exists (skipping gallery prep), otherwise save the prepared gallery there after prewarm")
+	workers := cliutil.Workers(flag.CommandLine)
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -44,7 +48,7 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scaleFlag)
 	}
-	scale.Workers = *workers
+	scale.Workers = cliutil.ResolveWorkers(*workers)
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {
@@ -58,8 +62,28 @@ func main() {
 
 	start := time.Now()
 	fmt.Fprintf(out, "snmatch experiment suite — scale %q\n", *scaleFlag)
+
+	// A snapshot replaces the cold-start gallery preparation: it is
+	// loaded before the suite is assembled so the gallery's
+	// preprocessing pass is skipped entirely, and its descriptor
+	// indexes arrive prebuilt for the Table 3/9 sweeps. The provenance
+	// check pins the snapshot to this scale's render parameters — a
+	// gallery from another size or seed would silently change every
+	// table.
+	snapMeta := snapshot.Meta{Dataset: "sns1", Size: scale.ImageSize, Seed: scale.Seed}
+	var snapGallery *pipeline.Gallery
+	if *snapPath != "" {
+		snap, err := cliutil.LoadSnapshotIfExists(*snapPath, snapMeta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if snap != nil {
+			snapGallery = snap.Gallery
+			fmt.Fprintf(out, "loaded prepared SNS1 gallery %q from %s (no re-extraction)\n", snap.Name, *snapPath)
+		}
+	}
 	fmt.Fprintf(out, "building datasets...\n")
-	suite := experiments.NewSuite(scale)
+	suite := experiments.NewSuiteWithGallery(scale, snapGallery)
 
 	sectionStart := time.Now()
 	section := func(title string) {
@@ -80,6 +104,12 @@ func main() {
 	section("Table 3: descriptor cumulative accuracy (SNS2 v. SNS1, ratio 0.5)")
 	fmt.Fprintln(out, "prewarming descriptor indexes...")
 	suite.PrewarmDescriptors()
+	if *snapPath != "" && snapGallery == nil {
+		if err := cliutil.SaveSnapshot(*snapPath, snapMeta, suite.GallerySNS1); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "saved prepared SNS1 gallery to %s for future runs\n", *snapPath)
+	}
 	t3 := suite.Table3(0.5)
 	fmt.Fprint(out, experiments.FormatTable3(t3))
 

@@ -15,12 +15,15 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
+	"snmatch/internal/cliutil"
 	"snmatch/internal/dataset"
 	"snmatch/internal/eval"
 	"snmatch/internal/histogram"
 	"snmatch/internal/moments"
 	"snmatch/internal/pipeline"
+	"snmatch/internal/serve/snapshot"
 	"snmatch/internal/synth"
 )
 
@@ -37,6 +40,8 @@ func main() {
 		cmdStats(os.Args[2:])
 	case "classify":
 		cmdClassify(os.Args[2:])
+	case "snapshot":
+		cmdSnapshot(os.Args[2:])
 	default:
 		usage()
 	}
@@ -46,9 +51,63 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   snrecog sheet -dir DIR [-size N] [-seed N]     render class sample sheets
   snrecog stats [-cap N]                         print Table 1 statistics
-  snrecog classify -class NAME [-pipeline P] [-mode shapenet|nyu] [-model N] [-view N] [-workers N]
-      pipelines: random, shape, color, hybrid, sift, surf, orb`)
+  snrecog classify -class NAME [-pipeline P] [-mode shapenet|nyu] [-model N] [-view N] [-workers N] [-snapshot FILE]
+      pipelines: random, shape, color, hybrid, sift, surf, orb
+  snrecog snapshot -out FILE [-set sns1|sns2] [-descriptors sift,surf,orb] [-size N] [-seed N] [-name NAME]
+      prepare a gallery once and persist it for snserve / -snapshot reuse`)
 	os.Exit(2)
+}
+
+// cmdSnapshot builds a fully prepared gallery and persists it: the
+// one-off cost (rendering, descriptor extraction, index construction)
+// is paid here so every later `classify -snapshot` or snserve boot
+// skips it.
+func cmdSnapshot(args []string) {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	out := fs.String("out", "", "output snapshot path (required)")
+	set := fs.String("set", "sns1", "gallery dataset: sns1 or sns2")
+	descs := fs.String("descriptors", "sift,surf,orb", "descriptor families to prepare")
+	size := fs.Int("size", 64, "image side in pixels")
+	seed := fs.Uint64("seed", 1, "render seed")
+	name := fs.String("name", "", "registry name stored in the snapshot (default: the set name)")
+	workers := cliutil.Workers(fs)
+	fs.Parse(args)
+	if *out == "" {
+		log.Fatal("snapshot: -out is required")
+	}
+	w := cliutil.ResolveWorkers(*workers)
+	kinds, err := cliutil.ParseDescriptorKinds(*descs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *name == "" {
+		*name = *set
+	}
+
+	start := time.Now()
+	g, err := cliutil.BuildPreparedGallery(*set, *size, *seed, kinds, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, k := range kinds {
+		nd, nv := g.IndexStats(k)
+		fmt.Printf("prepared %s: %d descriptors across %d views\n", k, nd, nv)
+	}
+	snap := &snapshot.Snapshot{
+		Name:    *name,
+		Meta:    snapshot.Meta{Dataset: *set, Size: *size, Seed: *seed},
+		Gallery: g,
+	}
+	if err := snapshot.Save(*out, snap); err != nil {
+		log.Fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: gallery %q, %d views, %d bytes (prepared in %s)\n",
+		*out, *name, g.Len(), st.Size(), time.Since(start).Round(time.Millisecond))
 }
 
 func cmdSheet(args []string) {
@@ -100,8 +159,10 @@ func cmdClassify(args []string) {
 	view := fs.Int("view", 0, "query view index")
 	size := fs.Int("size", 64, "image side in pixels")
 	seed := fs.Uint64("seed", 1, "render seed")
-	workers := fs.Int("workers", 0, "worker pool size for gallery prep and batch classification (0 = one per CPU)")
+	snapPath := fs.String("snapshot", "", "gallery snapshot: load it when the file exists, otherwise build, prepare and save it")
+	workers := cliutil.Workers(fs)
 	fs.Parse(args)
+	w := cliutil.ResolveWorkers(*workers)
 
 	cls, err := synth.ParseClass(*clsName)
 	if err != nil {
@@ -132,13 +193,36 @@ func cmdClassify(args []string) {
 		log.Fatalf("unknown pipeline %q", *pipeName)
 	}
 
-	fmt.Println("building SNS1 gallery...")
 	cfg := dataset.Config{Size: *size, Seed: *seed}
-	gallery := pipeline.NewGalleryWorkers(dataset.BuildSNS1(cfg), *workers)
+	meta := snapshot.Meta{Dataset: "sns1", Size: *size, Seed: *seed}
+	var gallery *pipeline.Gallery
+	if *snapPath != "" {
+		start := time.Now()
+		snap, err := cliutil.LoadSnapshotIfExists(*snapPath, meta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if snap != nil {
+			gallery = snap.Gallery
+			fmt.Printf("loaded gallery %q from %s in %s (no re-extraction)\n",
+				snap.Name, *snapPath, time.Since(start).Round(time.Millisecond))
+		}
+	}
+	snapLoaded := gallery != nil
+	if gallery == nil {
+		fmt.Println("building SNS1 gallery...")
+		gallery = pipeline.NewGalleryWorkers(dataset.BuildSNS1(cfg), w)
+	}
 
 	query := synth.RenderView(cls, *model, *view, mode, synth.Params{Size: *size, Seed: *seed})
 	if prep, ok := p.(pipeline.Preparer); ok {
-		prep.Prepare(gallery, *workers)
+		prep.Prepare(gallery, w)
+	}
+	if *snapPath != "" && !snapLoaded {
+		if err := cliutil.SaveSnapshot(*snapPath, meta, gallery); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved prepared gallery to %s for future runs\n", *snapPath)
 	}
 	if d, ok := p.(*pipeline.Descriptor); ok {
 		nd, nv := gallery.IndexStats(d.Kind)
@@ -156,7 +240,7 @@ func cmdClassify(args []string) {
 
 	// Context: how often is this pipeline right on a 30-query sample?
 	qs := dataset.BuildNYUSubset(dataset.Config{Size: *size, Seed: *seed + 9}, 3)
-	preds, truth := pipeline.NewBatchClassifier(p, *workers).Run(qs, gallery)
+	preds, truth := pipeline.NewBatchClassifier(p, w).Run(qs, gallery)
 	fmt.Printf("sample accuracy over %d fresh queries: %.2f\n",
 		qs.Len(), eval.Evaluate(truth, preds).Cumulative)
 }

@@ -1,0 +1,133 @@
+// Command snserve is the recognition daemon: it loads (or builds)
+// prepared galleries, shards their flat matching indexes, and serves
+// classification over HTTP with request batching and bounded admission.
+//
+// Usage:
+//
+//	snserve -snapshot sns1.snap [-snapshot more.snap] [-addr :8080] [-shards 4]
+//	snserve -build sns1 [-size 64] [-descriptors sift,surf,orb]   # no snapshot: render + extract at boot
+//
+// Endpoints:
+//
+//	POST /classify?gallery=NAME&pipeline=P   raw PNG body, or JSON {"images": [base64 PNG, ...]}
+//	GET  /galleries                          registered galleries and their prepared indexes
+//	GET  /healthz                            liveness + admission stats
+//
+// SIGINT/SIGTERM drain in-flight requests and exit cleanly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"snmatch/internal/cliutil"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/serve"
+	"snmatch/internal/serve/snapshot"
+)
+
+// snapshotList collects repeated -snapshot flags.
+type snapshotList []string
+
+func (s *snapshotList) String() string     { return strings.Join(*s, ",") }
+func (s *snapshotList) Set(v string) error { *s = append(*s, v); return nil }
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("snserve: ")
+
+	var snaps snapshotList
+	fs := flag.CommandLine
+	fs.Var(&snaps, "snapshot", "gallery snapshot to serve (repeatable)")
+	build := fs.String("build", "", "build a gallery at boot instead: sns1 or sns2")
+	descs := fs.String("descriptors", "sift,surf,orb", "descriptor families to prepare for a built gallery")
+	size := fs.Int("size", 64, "render size for a built gallery")
+	seed := fs.Uint64("seed", 1, "render seed for a built gallery")
+	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 4, "index shards scanned in parallel per query")
+	maxBatch := fs.Int("batch", 16, "max queries coalesced into one batch")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "coalescing window after the first queued query")
+	maxInFlight := fs.Int("max-inflight", 256, "admission bound on concurrent /classify requests")
+	ratio := fs.Float64("ratio", 0.5, "descriptor ratio-test threshold")
+	workers := cliutil.Workers(fs)
+	flag.Parse()
+	w := cliutil.ResolveWorkers(*workers)
+
+	reg := serve.NewRegistry()
+	for _, path := range snaps {
+		start := time.Now()
+		snap, err := snapshot.Load(path)
+		if err != nil {
+			log.Fatalf("load %s: %v", path, err)
+		}
+		if err := reg.Add(snap.Name, pipeline.NewShardedGallery(snap.Gallery, *shards)); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded gallery %q from %s: %d views (dataset %q, size %d, seed %d) in %s (no re-extraction)",
+			snap.Name, path, snap.Gallery.Len(), snap.Meta.Dataset, snap.Meta.Size, snap.Meta.Seed,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if *build != "" {
+		name, g := buildGallery(*build, *size, *seed, *descs, w)
+		if err := reg.Add(name, pipeline.NewShardedGallery(g, *shards)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if reg.Len() == 0 {
+		log.Fatal("nothing to serve: pass -snapshot and/or -build (e.g. -build sns1)")
+	}
+
+	srv := serve.New(reg, serve.Config{
+		Workers:     w,
+		MaxBatch:    *maxBatch,
+		BatchWait:   *batchWait,
+		MaxInFlight: *maxInFlight,
+		Ratio:       *ratio,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d galleries on %s (shards=%d batch=%d wait=%s inflight=%d)",
+		reg.Len(), *addr, *shards, *maxBatch, *batchWait, *maxInFlight)
+
+	select {
+	case err := <-done:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down...")
+	shutdownCtx, stop := context.WithTimeout(context.Background(), 10*time.Second)
+	defer stop()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	srv.Close()
+	log.Print("bye")
+}
+
+// buildGallery renders and prepares a gallery at boot — the snapshotless
+// path for development; production boots should load snapshots.
+func buildGallery(set string, size int, seed uint64, descs string, workers int) (string, *pipeline.Gallery) {
+	kinds, err := cliutil.ParseDescriptorKinds(descs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	g, err := cliutil.BuildPreparedGallery(set, size, seed, kinds, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("built gallery %q: %d views prepared in %s", set, g.Len(), time.Since(start).Round(time.Millisecond))
+	return set, g
+}

@@ -1,0 +1,33 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestWorkersFlagRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	w := Workers(fs)
+	if err := fs.Parse([]string{"-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if *w != 3 {
+		t.Fatalf("parsed %d, want 3", *w)
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0},
+		{-7, 0},
+		{1, 1},
+		{MaxWorkers(), MaxWorkers()},
+		{MaxWorkers() + 1, MaxWorkers()},
+		{1 << 20, MaxWorkers()},
+	}
+	for _, c := range cases {
+		if got := ResolveWorkers(c.in); got != c.want {
+			t.Fatalf("ResolveWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -78,15 +78,25 @@ type Suite struct {
 
 // NewSuite builds the datasets once. Gallery preparation fans out over
 // the Scale's worker pool.
-func NewSuite(s Scale) *Suite {
+func NewSuite(s Scale) *Suite { return NewSuiteWithGallery(s, nil) }
+
+// NewSuiteWithGallery is NewSuite with a pre-prepared SNS1 gallery —
+// e.g. one loaded from a snapshot. The query datasets are still
+// rendered, but the gallery preprocessing pass (contours, Hu moments,
+// histograms) is skipped entirely; callers must ensure the gallery was
+// built from this scale's SNS1 configuration. A nil gallery builds one.
+func NewSuiteWithGallery(s Scale, g *pipeline.Gallery) *Suite {
 	cfg := s.config()
 	sns1 := dataset.BuildSNS1(cfg)
+	if g == nil {
+		g = pipeline.NewGalleryWorkers(sns1, s.Workers)
+	}
 	return &Suite{
 		Scale:       s,
 		SNS1:        sns1,
 		SNS2:        dataset.BuildSNS2(cfg),
 		NYU:         dataset.BuildNYU(cfg),
-		GallerySNS1: pipeline.NewGalleryWorkers(sns1, s.Workers),
+		GallerySNS1: g,
 	}
 }
 

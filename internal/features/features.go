@@ -35,7 +35,11 @@ type Packed struct {
 	// Binary layout: row i occupies Words[i*WordsPerRow : (i+1)*WordsPerRow],
 	// little-endian packed from the byte descriptor and zero-padded, so
 	// XOR+popcount over words equals the byte-wise Hamming distance.
+	// RowBytes is the original byte width of a binary descriptor (0 for
+	// float sets); it is what UnpackWords needs to strip the zero padding
+	// when a packed block is restored from a snapshot.
 	WordsPerRow int
+	RowBytes    int
 	Words       []uint64
 }
 
@@ -77,6 +81,7 @@ func (s *Set) Pack() *Set {
 		if len(s.Binary) > 0 {
 			nb = len(s.Binary[0])
 		}
+		p.RowBytes = nb
 		p.WordsPerRow = (nb + 7) / 8
 		p.Words = make([]uint64, p.N*p.WordsPerRow)
 		for i, row := range s.Binary {
@@ -106,6 +111,45 @@ func packWords(dst []uint64, src []byte) {
 		}
 		dst[w] = v
 	}
+}
+
+// UnpackWords is the inverse of the word packing performed by Pack: it
+// writes len(dst) bytes of the little-endian packed row back out,
+// discarding the zero padding beyond the original byte width.
+func UnpackWords(dst []byte, src []uint64) {
+	for i := range dst {
+		dst[i] = byte(src[i/8] >> (8 * (i % 8)))
+	}
+}
+
+// RestoreSet rebuilds a Set from a keypoint slice and a packed
+// descriptor block, the two pieces a gallery snapshot stores. Float rows
+// alias the packed matrix (so no storage is duplicated); binary rows are
+// unpacked from the words using the recorded RowBytes. The result is
+// interchangeable with the extractor-produced original: Pack is a no-op
+// on it and every matcher path sees bit-identical descriptors.
+func RestoreSet(kps []Keypoint, p *Packed) *Set {
+	s := &Set{Keypoints: kps, Packed: p}
+	if p == nil || p.N == 0 {
+		if p != nil && (p.RowBytes > 0 || p.Words != nil) {
+			s.Binary = [][]byte{} // binary extractors return a non-nil empty row set
+		}
+		return s
+	}
+	if p.WordsPerRow > 0 || p.RowBytes > 0 {
+		s.Binary = make([][]byte, p.N)
+		for i := 0; i < p.N; i++ {
+			row := make([]byte, p.RowBytes)
+			UnpackWords(row, p.WordRow(i))
+			s.Binary[i] = row
+		}
+		return s
+	}
+	s.Float = make([][]float32, p.N)
+	for i := 0; i < p.N; i++ {
+		s.Float[i] = p.FloatRow(i)
+	}
+	return s
 }
 
 // L2Squared returns the squared Euclidean distance between two float

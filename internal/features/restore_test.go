@@ -1,0 +1,66 @@
+package features
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestUnpackWordsInverse pins UnpackWords as the exact inverse of the
+// word packing Pack performs, including non-multiple-of-8 row widths.
+func TestUnpackWordsInverse(t *testing.T) {
+	for _, nb := range []int{1, 3, 8, 11, 32} {
+		row := make([]byte, nb)
+		for i := range row {
+			row[i] = byte(i*37 + 11)
+		}
+		s := (&Set{Keypoints: []Keypoint{{}}, Binary: [][]byte{row}}).Pack()
+		got := make([]byte, nb)
+		UnpackWords(got, s.Packed.WordRow(0))
+		if !reflect.DeepEqual(got, row) {
+			t.Fatalf("nb=%d: unpacked %v != original %v", nb, got, row)
+		}
+	}
+}
+
+// TestRestoreSetRoundTrip checks that a Set rebuilt from its keypoints
+// and packed block is indistinguishable from the original: same rows,
+// same representation, and Pack is a no-op on it.
+func TestRestoreSetRoundTrip(t *testing.T) {
+	bin := &Set{
+		Keypoints: []Keypoint{{X: 1, Y: 2}, {X: 3, Angle: 0.5}},
+		Binary:    [][]byte{{1, 2, 3, 250}, {9, 8, 7, 6}},
+	}
+	bin.Pack()
+	rb := RestoreSet(bin.Keypoints, bin.Packed)
+	if !rb.IsBinary() || !reflect.DeepEqual(rb.Binary, bin.Binary) || !reflect.DeepEqual(rb.Keypoints, bin.Keypoints) {
+		t.Fatalf("binary restore mismatch: %+v", rb)
+	}
+	if rb.Pack().Packed != bin.Packed {
+		t.Fatal("Pack rebuilt an already-packed restored set")
+	}
+
+	fl := &Set{
+		Keypoints: []Keypoint{{X: 1}, {X: 2}, {X: 3}},
+		Float:     [][]float32{{1, 2}, {3, 4}, {5, 6.5}},
+	}
+	fl.Pack()
+	rf := RestoreSet(fl.Keypoints, fl.Packed)
+	if rf.IsBinary() || len(rf.Float) != 3 {
+		t.Fatalf("float restore mismatch: %+v", rf)
+	}
+	for i := range fl.Float {
+		if !reflect.DeepEqual(rf.Float[i], fl.Float[i]) {
+			t.Fatalf("float row %d: %v != %v", i, rf.Float[i], fl.Float[i])
+		}
+	}
+
+	// Empty sets keep their representation.
+	eb := RestoreSet(nil, (&Set{Binary: [][]byte{}}).Pack().Packed)
+	if !eb.IsBinary() || eb.Len() != 0 {
+		t.Fatalf("empty binary restore lost its representation: %+v", eb)
+	}
+	ef := RestoreSet(nil, (&Set{}).Pack().Packed)
+	if ef.IsBinary() || ef.Len() != 0 {
+		t.Fatalf("empty float restore gained a representation: %+v", ef)
+	}
+}

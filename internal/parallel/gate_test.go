@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateCapacity(t *testing.T) {
+	g := NewGate(2)
+	if g.Cap() != 2 || g.InUse() != 0 {
+		t.Fatalf("fresh gate: cap=%d inUse=%d", g.Cap(), g.InUse())
+	}
+	if !g.TryEnter() || !g.TryEnter() {
+		t.Fatal("gate refused entry below capacity")
+	}
+	if g.TryEnter() {
+		t.Fatal("gate admitted past capacity")
+	}
+	if g.InUse() != 2 {
+		t.Fatalf("InUse=%d, want 2", g.InUse())
+	}
+	g.Leave()
+	if !g.TryEnter() {
+		t.Fatal("gate refused entry after a Leave")
+	}
+	g.Leave()
+	g.Leave()
+}
+
+func TestGateMinCapacity(t *testing.T) {
+	g := NewGate(0)
+	if g.Cap() != 1 {
+		t.Fatalf("capacity 0 clamps to 1, got %d", g.Cap())
+	}
+}
+
+func TestGateLeaveWithoutEnterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced Leave did not panic")
+		}
+	}()
+	NewGate(1).Leave()
+}
+
+func TestGateEnterContextCancel(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Enter(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Enter on full gate: %v, want DeadlineExceeded", err)
+	}
+	g.Leave()
+	if err := g.Enter(context.Background()); err != nil {
+		t.Fatalf("Enter after Leave: %v", err)
+	}
+	g.Leave()
+}
+
+// TestGateBoundsConcurrency hammers the gate from many goroutines and
+// asserts the in-section count never exceeds capacity.
+func TestGateBoundsConcurrency(t *testing.T) {
+	const capacity, workers, rounds = 3, 16, 200
+	g := NewGate(capacity)
+	var inside, peak, admitted int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if !g.TryEnter() {
+					continue
+				}
+				n := atomic.AddInt64(&inside, 1)
+				for {
+					p := atomic.LoadInt64(&peak)
+					if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+						break
+					}
+				}
+				atomic.AddInt64(&admitted, 1)
+				atomic.AddInt64(&inside, -1)
+				g.Leave()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > capacity {
+		t.Fatalf("observed %d concurrent holders, capacity %d", peak, capacity)
+	}
+	if admitted == 0 {
+		t.Fatal("no admissions at all")
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("gate left with %d slots held", g.InUse())
+	}
+}

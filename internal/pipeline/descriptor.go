@@ -34,9 +34,19 @@ func (p *Descriptor) Name() string { return p.Kind.String() }
 func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
 	q := ExtractDescriptors(img, p.Kind, p.Params)
 	ix := g.descriptorIndex(p.Kind, p.Params)
+	return classifyCounts(g, ix, func(counts []int32) {
+		ix.GoodMatchCounts(q, p.Ratio, counts)
+	})
+}
+
+// classifyCounts runs one good-match-count fill over pooled scratch and
+// selects the winning view — the shared tail of flat and sharded
+// descriptor classification, kept in one place so the first-best
+// tie-break and Score semantics cannot drift between the two paths.
+func classifyCounts(g *Gallery, ix *DescriptorIndex, fill func(counts []int32)) Prediction {
 	countsPtr := ix.getCounts()
 	counts := *countsPtr
-	ix.GoodMatchCounts(q, p.Ratio, counts)
+	fill(counts)
 	best := Prediction{Index: -1, Score: -1}
 	for i := range counts {
 		if score := float64(counts[i]); score > best.Score {

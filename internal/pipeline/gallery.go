@@ -182,6 +182,47 @@ func (g *Gallery) descriptorIndex(kind DescriptorKind, p DescriptorParams) *Desc
 	return ix
 }
 
+// DescriptorIndexFor exposes the flat matching index to the serving and
+// snapshot layers: it returns the cached index for the kind, building it
+// (and any missing descriptor sets) on first use.
+func (g *Gallery) DescriptorIndexFor(kind DescriptorKind, p DescriptorParams) *DescriptorIndex {
+	return g.descriptorIndex(kind, p)
+}
+
+// Indexes returns the descriptor indexes built so far, keyed by kind —
+// what a snapshot persists. The map is a copy; the indexes are shared
+// (they are immutable once built).
+func (g *Gallery) Indexes() map[DescriptorKind]*DescriptorIndex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[DescriptorKind]*DescriptorIndex, len(g.idx))
+	for k, ix := range g.idx {
+		out[k] = ix
+	}
+	return out
+}
+
+// RestoreGallery reassembles a Gallery from deserialized views and
+// prebuilt indexes — the snapshot loader's constructor. Views keep
+// whatever descriptor sets they carry (nil Desc maps are initialised so
+// lazy extraction still works for kinds the snapshot did not cover), and
+// the index cache is seeded so no re-extraction happens for persisted
+// kinds.
+func RestoreGallery(views []View, idx map[DescriptorKind]*DescriptorIndex) *Gallery {
+	g := &Gallery{Views: views, idx: map[DescriptorKind]*DescriptorIndex{}}
+	for i := range g.Views {
+		if g.Views[i].Desc == nil {
+			g.Views[i].Desc = map[DescriptorKind]*features.Set{}
+		}
+	}
+	for k, ix := range idx {
+		if ix != nil {
+			g.idx[k] = ix
+		}
+	}
+	return g
+}
+
 // IndexStats reports the flat index shape for the given kind without
 // building it: total indexed descriptors and views covered (zero values
 // when the index has not been built yet).

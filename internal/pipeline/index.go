@@ -176,7 +176,19 @@ func (ix *DescriptorIndex) putCounts(s *[]int32) { ix.counts.Put(s) }
 // in one scan of the flat matrix per query descriptor. counts must have
 // NumViews entries and is overwritten.
 func (ix *DescriptorIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
-	for i := range counts {
+	ix.GoodMatchCountsRange(query, ratio, counts, 0, ix.NumViews)
+}
+
+// GoodMatchCountsRange is GoodMatchCounts restricted to the views in
+// [v0, v1): exactly counts[v0:v1] is overwritten, entries outside the
+// range are untouched. Because the 2-NN search and ratio test are
+// evaluated independently per view, the numbers written for a view are
+// identical at every range split — which is what lets a sharded scan
+// write disjoint ranges concurrently and still match the full scan bit
+// for bit. Concurrent callers must pass a query whose Packed mirror is
+// already built (extractors do; hand-assembled sets need Set.Pack).
+func (ix *DescriptorIndex) GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int) {
+	for i := v0; i < v1; i++ {
 		counts[i] = 0
 	}
 	if query.Len() == 0 || ix.Len() == 0 {
@@ -187,13 +199,13 @@ func (ix *DescriptorIndex) GoodMatchCounts(query *features.Set, ratio float64, c
 	}
 	qp := query.Pack().Packed
 	if ix.Binary {
-		ix.binaryCounts(qp, ratio, counts)
+		ix.binaryCounts(qp, ratio, counts, v0, v1)
 	} else {
-		ix.floatCounts(qp, ratio, counts)
+		ix.floatCounts(qp, ratio, counts, v0, v1)
 	}
 }
 
-func (ix *DescriptorIndex) floatCounts(qp *features.Packed, ratio float64, counts []int32) {
+func (ix *DescriptorIndex) floatCounts(qp *features.Packed, ratio float64, counts []int32, v0, v1 int) {
 	if qp.Dim != ix.Dim {
 		panic("pipeline: query descriptor width does not match index")
 	}
@@ -202,7 +214,7 @@ func (ix *DescriptorIndex) floatCounts(qp *features.Packed, ratio float64, count
 	for qi := 0; qi < qp.N; qi++ {
 		q := qp.FloatRow(qi)
 		rq := sqrt32(qp.Norms[qi])
-		for v := 0; v < ix.NumViews; v++ {
+		for v := v0; v < v1; v++ {
 			start, end := ix.Starts[v], ix.Starts[v+1]
 			if end-start < 2 {
 				continue // a view needs two neighbours for the ratio test
@@ -254,14 +266,14 @@ func (ix *DescriptorIndex) floatCounts(qp *features.Packed, ratio float64, count
 	}
 }
 
-func (ix *DescriptorIndex) binaryCounts(qp *features.Packed, ratio float64, counts []int32) {
+func (ix *DescriptorIndex) binaryCounts(qp *features.Packed, ratio float64, counts []int32, v0, v1 int) {
 	if qp.WordsPerRow != ix.WordsPerRow {
 		panic("pipeline: query descriptor width does not match index")
 	}
 	wpr := ix.WordsPerRow
 	for qi := 0; qi < qp.N; qi++ {
 		q := qp.WordRow(qi)
-		for v := 0; v < ix.NumViews; v++ {
+		for v := v0; v < v1; v++ {
 			start, end := ix.Starts[v], ix.Starts[v+1]
 			if end-start < 2 {
 				continue

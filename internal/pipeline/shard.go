@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"sync"
+
+	"snmatch/internal/features"
+	"snmatch/internal/imaging"
+	"snmatch/internal/parallel"
+)
+
+// ShardedIndex splits a flat DescriptorIndex into contiguous view ranges
+// at its Starts boundaries, so one query can be scanned by several
+// workers at once. Shards never cut through a view: the within-view 2-NN
+// search and ratio test are evaluated by exactly one shard with exactly
+// the arithmetic of the full scan, and every shard writes a disjoint
+// range of the shared per-view count buffer — so sharded results are bit
+// identical to the unsharded index at every shard count.
+//
+// Shard boundaries are balanced by descriptor rows (the scan cost), not
+// by view count: galleries with uneven views per class still split into
+// near-equal work.
+type ShardedIndex struct {
+	ix    *DescriptorIndex
+	spans []parallel.Span // non-empty view ranges partitioning [0, NumViews)
+}
+
+// NewShardedIndex shards ix into at most `shards` row-balanced view
+// ranges (shards <= 1 keeps the whole index as one shard; a shard count
+// beyond the view count degrades to one view per shard).
+func NewShardedIndex(ix *DescriptorIndex, shards int) *ShardedIndex {
+	sx := &ShardedIndex{ix: ix}
+	nv := ix.NumViews
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nv {
+		shards = nv
+	}
+	if nv == 0 || shards <= 1 {
+		if nv > 0 {
+			sx.spans = []parallel.Span{{Start: 0, End: nv}}
+		}
+		return sx
+	}
+	// Cut s (1 <= s < shards) lands on the first view whose start row
+	// reaches the s-th row quantile; Starts is nondecreasing, so the
+	// bounds are too, and together with 0 and NumViews they partition
+	// the view range. Coinciding cuts (a view larger than a quantile)
+	// collapse to fewer, still-disjoint shards.
+	rows := ix.Len()
+	bounds := make([]int, 0, shards+1)
+	bounds = append(bounds, 0)
+	v := 0
+	for s := 1; s < shards; s++ {
+		target := rows * s / shards
+		for v < nv && ix.Starts[v] < target {
+			v++
+		}
+		bounds = append(bounds, v)
+	}
+	bounds = append(bounds, nv)
+	for i := 0; i+1 < len(bounds); i++ {
+		if bounds[i+1] > bounds[i] {
+			sx.spans = append(sx.spans, parallel.Span{Start: bounds[i], End: bounds[i+1]})
+		}
+	}
+	return sx
+}
+
+// NumShards returns the number of non-empty shards.
+func (sx *ShardedIndex) NumShards() int { return len(sx.spans) }
+
+// Index returns the underlying flat index.
+func (sx *ShardedIndex) Index() *DescriptorIndex { return sx.ix }
+
+// Spans returns a copy of the shard view ranges.
+func (sx *ShardedIndex) Spans() []parallel.Span {
+	out := make([]parallel.Span, len(sx.spans))
+	copy(out, sx.spans)
+	return out
+}
+
+// GoodMatchCounts fills the per-view good-match counts exactly like
+// DescriptorIndex.GoodMatchCounts, scanning the shards concurrently on
+// the worker pool (one worker per shard). counts must have NumViews
+// entries and is overwritten.
+func (sx *ShardedIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
+	if len(sx.spans) <= 1 {
+		sx.ix.GoodMatchCounts(query, ratio, counts)
+		return
+	}
+	query.Pack() // build the packed mirror before the fan-out shares it
+	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) {
+		sp := sx.spans[s]
+		sx.ix.GoodMatchCountsRange(query, ratio, counts, sp.Start, sp.End)
+	})
+}
+
+// ShardedGallery pairs a prepared Gallery with per-kind sharded indexes,
+// the unit the serving registry hands out: descriptor queries fan out
+// across the shards for low latency, every other pipeline classifies
+// against the wrapped gallery unchanged.
+type ShardedGallery struct {
+	G      *Gallery
+	Shards int // requested shard count (<= 1 disables the fan-out)
+
+	mu      sync.RWMutex
+	sharded map[DescriptorKind]*ShardedIndex
+}
+
+// NewShardedGallery wraps g for sharded serving.
+func NewShardedGallery(g *Gallery, shards int) *ShardedGallery {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedGallery{G: g, Shards: shards, sharded: map[DescriptorKind]*ShardedIndex{}}
+}
+
+// ShardedIndexFor returns the sharded view of the gallery's flat index
+// for the given kind, building (and caching) both on first use. Like the
+// flat index cache it is safe under concurrent Classify traffic: the
+// split is a pure function of the index, so racing builders agree.
+func (s *ShardedGallery) ShardedIndexFor(kind DescriptorKind, p DescriptorParams) *ShardedIndex {
+	s.mu.RLock()
+	sx := s.sharded[kind]
+	s.mu.RUnlock()
+	if sx != nil {
+		return sx
+	}
+	sx = NewShardedIndex(s.G.DescriptorIndexFor(kind, p), s.Shards)
+	s.mu.Lock()
+	if cur := s.sharded[kind]; cur != nil {
+		sx = cur
+	} else {
+		s.sharded[kind] = sx
+	}
+	s.mu.Unlock()
+	return sx
+}
+
+// Classify routes one query through the sharded engine: descriptor
+// pipelines extract once and scan all shards in parallel, every other
+// pipeline runs its ordinary single-threaded Classify. Predictions are
+// bit-identical to the unsharded pipeline at every shard count.
+func (s *ShardedGallery) Classify(p Pipeline, img *imaging.Image) Prediction {
+	d, ok := p.(*Descriptor)
+	if !ok {
+		return p.Classify(img, s.G)
+	}
+	q := ExtractDescriptors(img, d.Kind, d.Params)
+	sx := s.ShardedIndexFor(d.Kind, d.Params)
+	return classifyCounts(s.G, sx.Index(), func(counts []int32) {
+		sx.GoodMatchCounts(q, d.Ratio, counts)
+	})
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"snmatch/internal/imaging"
+	"snmatch/internal/parallel"
+	"snmatch/internal/pipeline"
+)
+
+// ErrOverloaded is returned by Submit when the batcher's queue is full;
+// the HTTP layer maps it to 503 so clients back off instead of piling
+// onto an already-saturated pool.
+var ErrOverloaded = errors.New("serve: classification queue full")
+
+// errClosed is returned for submissions after Close.
+var errClosed = errors.New("serve: batcher closed")
+
+// Result is one classified query with its serving metadata.
+type Result struct {
+	Pred    pipeline.Prediction
+	Batched int           // size of the batch this query rode in
+	Latency time.Duration // enqueue-to-prediction time
+}
+
+type job struct {
+	img      *imaging.Image
+	enqueued time.Time
+	done     chan Result
+}
+
+// Batcher coalesces concurrent classification requests against one
+// (gallery, pipeline) pair into batches: the first queued query opens a
+// batch, which closes after maxWait or at maxBatch queries, whichever
+// comes first. A single-query batch fans its one scan out across the
+// gallery shards (latency); a multi-query batch classifies queries in
+// parallel on the pool with one flat scan each (throughput). Both paths
+// are bit-identical to the serial unsharded pipeline.
+type Batcher struct {
+	sg      *pipeline.ShardedGallery
+	p       pipeline.Pipeline
+	workers int
+
+	maxBatch int
+	maxWait  time.Duration
+
+	queue  chan *job
+	stop   chan struct{}
+	closed chan struct{}
+}
+
+// NewBatcher builds a standalone batcher over one (gallery, pipeline)
+// pair using the config's batching knobs — the embeddable form of what
+// the HTTP server creates per served route. Callers must Close it.
+func NewBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, cfg Config) *Batcher {
+	cfg = cfg.withDefaults()
+	return newBatcher(sg, p, cfg.Workers, cfg.MaxBatch, cfg.QueueCap, cfg.BatchWait)
+}
+
+// newBatcher starts the collection loop. queueCap bounds admission:
+// submissions beyond it fail fast with ErrOverloaded.
+func newBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, workers, maxBatch, queueCap int, maxWait time.Duration) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if queueCap < maxBatch {
+		queueCap = maxBatch
+	}
+	b := &Batcher{
+		sg:       sg,
+		p:        p,
+		workers:  workers,
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		queue:    make(chan *job, queueCap),
+		stop:     make(chan struct{}),
+		closed:   make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Submit enqueues one query and waits for its prediction. It fails fast
+// with ErrOverloaded when the queue is full, and returns the context's
+// error if the caller gives up while queued (the query is still
+// classified; its result is discarded).
+func (b *Batcher) Submit(ctx context.Context, img *imaging.Image) (Result, error) {
+	return b.submit(ctx, img, false)
+}
+
+// SubmitWait is Submit with a blocking enqueue: a full queue waits for
+// the drain (or the context) instead of refusing. The HTTP layer uses
+// it so a JSON batch larger than the queue bound streams through the
+// batcher rather than deterministically failing — overall admission
+// stays bounded by the server's gate, not by each batcher's queue.
+func (b *Batcher) SubmitWait(ctx context.Context, img *imaging.Image) (Result, error) {
+	return b.submit(ctx, img, true)
+}
+
+func (b *Batcher) submit(ctx context.Context, img *imaging.Image, wait bool) (Result, error) {
+	select {
+	case <-b.stop:
+		return Result{}, errClosed
+	default:
+	}
+	j := &job{img: img, enqueued: time.Now(), done: make(chan Result, 1)}
+	if wait {
+		select {
+		case b.queue <- j:
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		case <-b.stop:
+			return Result{}, errClosed
+		}
+	} else {
+		select {
+		case b.queue <- j:
+		default:
+			return Result{}, ErrOverloaded
+		}
+	}
+	select {
+	case res := <-j.done:
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	case <-b.closed:
+		// The loop exited; it drains the queue before closing, so a
+		// result may still have landed. Jobs that raced past the stop
+		// check and were enqueued after the drain are refused.
+		select {
+		case res := <-j.done:
+			return res, nil
+		default:
+			return Result{}, errClosed
+		}
+	}
+}
+
+// Close stops the collection loop after it drains the queued jobs.
+func (b *Batcher) Close() {
+	close(b.stop)
+	<-b.closed
+}
+
+func (b *Batcher) loop() {
+	defer close(b.closed)
+	for {
+		select {
+		case j := <-b.queue:
+			b.collect(j)
+		case <-b.stop:
+			// Drain stragglers that won the race against Submit's stop
+			// check, then exit.
+			for {
+				select {
+				case j := <-b.queue:
+					b.run([]*job{j})
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect grows a batch around the first job until maxWait elapses or
+// the batch is full, then classifies it.
+func (b *Batcher) collect(first *job) {
+	batch := append(make([]*job, 0, b.maxBatch), first)
+	if b.maxWait > 0 && b.maxBatch > 1 {
+		timer := time.NewTimer(b.maxWait)
+		defer timer.Stop()
+	fill:
+		for len(batch) < b.maxBatch {
+			select {
+			case j := <-b.queue:
+				batch = append(batch, j)
+			case <-timer.C:
+				break fill
+			case <-b.stop:
+				break fill
+			}
+		}
+	} else {
+		// No coalescing window: just take whatever is already queued.
+	fillNow:
+		for len(batch) < b.maxBatch {
+			select {
+			case j := <-b.queue:
+				batch = append(batch, j)
+			default:
+				break fillNow
+			}
+		}
+	}
+	b.run(batch)
+}
+
+func (b *Batcher) run(batch []*job) {
+	n := len(batch)
+	if n == 1 {
+		j := batch[0]
+		pred := b.sg.Classify(b.p, j.img)
+		j.done <- Result{Pred: pred, Batched: 1, Latency: time.Since(j.enqueued)}
+		return
+	}
+	preds := make([]pipeline.Prediction, n)
+	parallel.ForEach(b.workers, n, func(i int) {
+		preds[i] = b.p.Classify(batch[i].img, b.sg.G)
+	})
+	now := time.Now()
+	for i, j := range batch {
+		j.done <- Result{Pred: preds[i], Batched: n, Latency: now.Sub(j.enqueued)}
+	}
+}

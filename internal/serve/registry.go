@@ -1,0 +1,90 @@
+// Package serve is the recognition serving layer: a registry of
+// prepared, sharded galleries, a request batcher that coalesces
+// concurrent classification traffic into pooled batches, and the HTTP
+// handlers the snserve daemon exposes. It turns the batch reproduction
+// into a long-lived service: galleries are prepared (or snapshot-loaded)
+// once, then queried many times.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"snmatch/internal/pipeline"
+)
+
+// Registry maps gallery names to sharded galleries for multi-gallery
+// serving. It is safe for concurrent use; galleries can be registered
+// while traffic is being served.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*pipeline.ShardedGallery
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: map[string]*pipeline.ShardedGallery{}}
+}
+
+// Add registers (or replaces) a gallery under name.
+func (r *Registry) Add(name string, g *pipeline.ShardedGallery) error {
+	if name == "" {
+		return fmt.Errorf("serve: gallery name must not be empty")
+	}
+	if g == nil || g.G == nil {
+		return fmt.Errorf("serve: gallery %q is nil", name)
+	}
+	r.mu.Lock()
+	r.m[name] = g
+	r.mu.Unlock()
+	return nil
+}
+
+// Get returns the gallery registered under name.
+func (r *Registry) Get(name string) (*pipeline.ShardedGallery, bool) {
+	r.mu.RLock()
+	g, ok := r.m[name]
+	r.mu.RUnlock()
+	return g, ok
+}
+
+// Resolve returns the gallery for a request: the named one, or — when
+// the request names none — the sole registered gallery. The returned
+// name is always the registry key.
+func (r *Registry) Resolve(name string) (string, *pipeline.ShardedGallery, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if name == "" {
+		if len(r.m) == 1 {
+			for n, g := range r.m {
+				return n, g, nil
+			}
+		}
+		return "", nil, fmt.Errorf("serve: request must name a gallery (%d registered)", len(r.m))
+	}
+	g, ok := r.m[name]
+	if !ok {
+		return "", nil, fmt.Errorf("serve: unknown gallery %q", name)
+	}
+	return name, g, nil
+}
+
+// Names returns the registered gallery names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.m))
+	for n := range r.m {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered galleries.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}

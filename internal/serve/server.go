@@ -1,0 +1,377 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"image/png"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"snmatch/internal/histogram"
+	"snmatch/internal/imaging"
+	"snmatch/internal/moments"
+	"snmatch/internal/parallel"
+	"snmatch/internal/pipeline"
+)
+
+// Config sizes the serving layer. Zero values select the defaults.
+type Config struct {
+	Workers     int           // classification pool size (<= 0: one per CPU)
+	MaxBatch    int           // max queries coalesced into one batch (default 16)
+	QueueCap    int           // per-batcher queue bound (default 4x MaxBatch)
+	BatchWait   time.Duration // coalescing window after the first query (default 2ms)
+	MaxInFlight int           // admission bound on concurrent /classify requests (default 256)
+	Ratio       float64       // descriptor ratio-test threshold (default 0.5, the paper's)
+	MaxBodyMB   int           // request body cap in MiB (default 32)
+	MaxImages   int           // images accepted per JSON batch request (default 64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.MaxBatch
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = 2 * time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.Ratio <= 0 {
+		c.Ratio = 0.5
+	}
+	if c.MaxBodyMB <= 0 {
+		c.MaxBodyMB = 32
+	}
+	if c.MaxImages <= 0 {
+		c.MaxImages = 64
+	}
+	return c
+}
+
+// ParsePipeline resolves a request's pipeline name to a serving-safe
+// pipeline. Only stateless pipelines are servable (the random baseline
+// and the neural scorer hold per-instance mutable state).
+func ParsePipeline(name string, ratio float64) (pipeline.Pipeline, error) {
+	switch strings.ToLower(name) {
+	case "sift":
+		return pipeline.NewDescriptor(pipeline.SIFT, ratio), nil
+	case "surf":
+		return pipeline.NewDescriptor(pipeline.SURF, ratio), nil
+	case "orb":
+		return pipeline.NewDescriptor(pipeline.ORB, ratio), nil
+	case "hybrid", "":
+		return pipeline.DefaultHybrid(pipeline.WeightedSum), nil
+	case "shape":
+		return pipeline.ShapeOnly{Method: moments.MatchI3}, nil
+	case "color":
+		return pipeline.ColorOnly{Metric: histogram.Hellinger}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown pipeline %q (want sift, surf, orb, hybrid, shape or color)", name)
+}
+
+// Server is the HTTP serving frontend: bounded admission at the door,
+// one lazily-created Batcher per (gallery, pipeline) pair behind it.
+type Server struct {
+	reg   *Registry
+	cfg   Config
+	gate  *parallel.Gate
+	start time.Time
+
+	mu       sync.Mutex
+	batchers map[string]*Batcher
+	closed   bool
+}
+
+// New wires a server over the registry.
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		reg:      reg,
+		cfg:      cfg,
+		gate:     parallel.NewGate(cfg.MaxInFlight),
+		start:    time.Now(),
+		batchers: map[string]*Batcher{},
+	}
+}
+
+// Handler returns the daemon's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/galleries", s.handleGalleries)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// Close stops every batcher after draining its queue. In-flight
+// http.Server traffic should be shut down first.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	bs := make([]*Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.batchers = map[string]*Batcher{}
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.Close()
+	}
+}
+
+// batcherFor returns the batcher serving (gallery, pipeline), creating
+// it on first use. A cached batcher is only reused while it still
+// serves the registry's current gallery: when Registry.Add replaces a
+// gallery under the same name, the stale batcher is retired (drained in
+// the background) and a fresh one takes over.
+func (s *Server) batcherFor(name string, sg *pipeline.ShardedGallery, pipeName string, p pipeline.Pipeline) (*Batcher, error) {
+	key := name + "\x00" + strings.ToLower(pipeName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if b := s.batchers[key]; b != nil {
+		if b.sg == sg {
+			return b, nil
+		}
+		go b.Close() // gallery was replaced; drain the stale batcher off-path
+	}
+	b := newBatcher(sg, p, s.cfg.Workers, s.cfg.MaxBatch, s.cfg.QueueCap, s.cfg.BatchWait)
+	s.batchers[key] = b
+	return b, nil
+}
+
+// PredictionJSON is one /classify result entry.
+type PredictionJSON struct {
+	Class     string  `json:"class"`
+	ClassID   int     `json:"class_id"`
+	View      int     `json:"view"`
+	Score     float64 `json:"score"`
+	Batched   int     `json:"batched"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// ClassifyResponse is the /classify response document.
+type ClassifyResponse struct {
+	Gallery     string           `json:"gallery"`
+	Pipeline    string           `json:"pipeline"`
+	Predictions []PredictionJSON `json:"predictions"`
+}
+
+// classifyRequest is the JSON batch payload: PNG images, base64-encoded.
+type classifyRequest struct {
+	Images []string `json:"images"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a PNG body or a JSON image batch")
+		return
+	}
+	if !s.gate.TryEnter() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server at admission capacity")
+		return
+	}
+	defer s.gate.Leave()
+
+	name, sg, err := s.reg.Resolve(r.URL.Query().Get("gallery"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	pipeName := r.URL.Query().Get("pipeline")
+	if pipeName == "" {
+		pipeName = "hybrid"
+	}
+	p, err := ParsePipeline(pipeName, s.cfg.Ratio)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// MaxBytesReader (unlike a plain LimitReader) surfaces an oversized
+	// body as its own error type, so huge uploads get an honest 413
+	// instead of a misleading decode-failure 400.
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBodyMB)<<20)
+	imgs, err := decodeImages(r, s.cfg.MaxImages)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("serve: request body exceeds the %d MiB limit", s.cfg.MaxBodyMB))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	b, err := s.batcherFor(name, sg, pipeName, p)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp := ClassifyResponse{Gallery: name, Pipeline: p.Name(), Predictions: make([]PredictionJSON, len(imgs))}
+	var firstErr error
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	for i, img := range imgs {
+		wg.Add(1)
+		go func(i int, img *imaging.Image) {
+			defer wg.Done()
+			res, err := b.SubmitWait(r.Context(), img)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			resp.Predictions[i] = PredictionJSON{
+				Class:     res.Pred.Class.String(),
+				ClassID:   int(res.Pred.Class),
+				View:      res.Pred.Index,
+				Score:     res.Pred.Score,
+				Batched:   res.Batched,
+				LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+			}
+		}(i, img)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(firstErr, ErrOverloaded) || errors.Is(firstErr, errClosed) {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, firstErr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeImages parses the request body (already wrapped in a
+// MaxBytesReader by the handler): a raw PNG for single queries, or a
+// JSON {"images": [base64-png, ...]} batch. The batch size is capped:
+// the admission gate counts requests, so per-request work must be
+// bounded too or one huge batch could hold thousands of decoded images
+// and submit goroutines while occupying a single gate slot.
+func decodeImages(r *http.Request, maxImages int) ([]*imaging.Image, error) {
+	body := r.Body
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = ct[:i]
+	}
+	switch strings.ToLower(strings.TrimSpace(ct)) { // MIME types are case-insensitive
+	case "application/json":
+		var req classifyRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("serve: bad JSON body: %w", err)
+		}
+		if len(req.Images) == 0 {
+			return nil, fmt.Errorf("serve: JSON body carries no images")
+		}
+		if len(req.Images) > maxImages {
+			return nil, fmt.Errorf("serve: batch of %d images exceeds the per-request cap of %d; split the batch", len(req.Images), maxImages)
+		}
+		imgs := make([]*imaging.Image, len(req.Images))
+		for i, b64 := range req.Images {
+			raw, err := base64.StdEncoding.DecodeString(b64)
+			if err != nil {
+				return nil, fmt.Errorf("serve: image %d: bad base64: %w", i, err)
+			}
+			img, err := decodePNG(bytes.NewReader(raw))
+			if err != nil {
+				return nil, fmt.Errorf("serve: image %d: %w", i, err)
+			}
+			imgs[i] = img
+		}
+		return imgs, nil
+	default: // image/png or unlabelled single image
+		img, err := decodePNG(body)
+		if err != nil {
+			return nil, err
+		}
+		return []*imaging.Image{img}, nil
+	}
+}
+
+func decodePNG(r io.Reader) (*imaging.Image, error) {
+	std, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decode png: %w", err)
+	}
+	return imaging.FromStdImage(std), nil
+}
+
+// GalleryInfo is one /galleries entry.
+type GalleryInfo struct {
+	Name        string         `json:"name"`
+	Views       int            `json:"views"`
+	Shards      int            `json:"shards"`
+	Descriptors map[string]int `json:"descriptors"` // prepared kinds -> indexed descriptor rows
+}
+
+func (s *Server) handleGalleries(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET lists galleries")
+		return
+	}
+	names := s.reg.Names()
+	out := struct {
+		Galleries []GalleryInfo `json:"galleries"`
+	}{Galleries: make([]GalleryInfo, 0, len(names))}
+	for _, n := range names {
+		sg, ok := s.reg.Get(n)
+		if !ok {
+			continue
+		}
+		info := GalleryInfo{Name: n, Views: sg.G.Len(), Shards: sg.Shards, Descriptors: map[string]int{}}
+		for _, k := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
+			if nd, _ := sg.G.IndexStats(k); nd > 0 {
+				info.Descriptors[k.String()] = nd
+			}
+		}
+		out.Galleries = append(out.Galleries, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET probes health")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"galleries": s.reg.Len(),
+		"in_flight": s.gate.InUse(),
+		"capacity":  s.gate.Cap(),
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"image/png"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/imaging"
+	"snmatch/internal/pipeline"
+)
+
+var (
+	fixtureOnce    sync.Once
+	fixtureGallery *pipeline.Gallery
+	fixtureQueries *dataset.Set
+)
+
+// fixture builds one small ORB-prepared gallery shared across tests
+// (extraction dominates test time; the gallery is immutable under
+// serving traffic).
+func fixture(t testing.TB) (*pipeline.Gallery, *dataset.Set) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		cfg := dataset.Config{Size: 40, Seed: 6}
+		fixtureGallery = pipeline.NewGallery(dataset.BuildSNS1(cfg))
+		fixtureGallery.PrepareDescriptors(pipeline.ORB, pipeline.DefaultDescriptorParams())
+		fixtureQueries = dataset.BuildSNS2(cfg)
+	})
+	return fixtureGallery, fixtureQueries
+}
+
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	g, _ := fixture(t)
+	reg := NewRegistry()
+	if err := reg.Add("sns1", pipeline.NewShardedGallery(g, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func pngBytes(t testing.TB, img *imaging.Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img.ToStdImage()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func postClassify(t *testing.T, url, contentType string, body []byte) (*http.Response, ClassifyResponse) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out ClassifyResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// TestClassifySinglePNG posts one raw PNG and checks the prediction
+// matches the direct pipeline exactly.
+func TestClassifySinglePNG(t *testing.T) {
+	g, queries := fixture(t)
+	_, ts := newTestServer(t, Config{})
+	q := queries.Samples[0]
+	want := pipeline.NewDescriptor(pipeline.ORB, 0.5).Classify(q.Image, g)
+
+	resp, out := postClassify(t, ts.URL+"/classify?pipeline=orb", "image/png", pngBytes(t, q.Image))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Predictions) != 1 {
+		t.Fatalf("got %d predictions", len(out.Predictions))
+	}
+	p := out.Predictions[0]
+	if p.Class != want.Class.String() || p.View != want.Index || p.Score != want.Score {
+		t.Fatalf("served %+v, direct %+v", p, want)
+	}
+	if out.Gallery != "sns1" || out.Pipeline != "ORB" {
+		t.Fatalf("metadata %q/%q", out.Gallery, out.Pipeline)
+	}
+	if p.LatencyMS < 0 || p.Batched < 1 {
+		t.Fatalf("bad serving metadata %+v", p)
+	}
+}
+
+// TestClassifyJSONBatch posts a JSON batch and checks order-preserving,
+// pipeline-exact predictions.
+func TestClassifyJSONBatch(t *testing.T) {
+	g, queries := fixture(t)
+	_, ts := newTestServer(t, Config{})
+	d := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	var req classifyRequest
+	var want []pipeline.Prediction
+	for i := 0; i < 5; i++ {
+		q := queries.Samples[i]
+		req.Images = append(req.Images, base64.StdEncoding.EncodeToString(pngBytes(t, q.Image)))
+		want = append(want, d.Classify(q.Image, g))
+	}
+	body, _ := json.Marshal(req)
+	resp, out := postClassify(t, ts.URL+"/classify?gallery=sns1&pipeline=orb", "application/json", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(out.Predictions) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(out.Predictions), len(want))
+	}
+	for i, p := range out.Predictions {
+		if p.Class != want[i].Class.String() || p.View != want[i].Index || p.Score != want[i].Score {
+			t.Fatalf("prediction %d: served %+v, direct %+v", i, p, want[i])
+		}
+	}
+}
+
+// TestClassifyBatchLargerThanQueue sends a JSON batch far bigger than
+// the batcher's queue bound: submissions must stream through the queue
+// (blocking, not shedding), so the whole batch classifies instead of
+// deterministically failing with 503 on an idle server.
+func TestClassifyBatchLargerThanQueue(t *testing.T) {
+	g, queries := fixture(t)
+	_, ts := newTestServer(t, Config{MaxBatch: 2, QueueCap: 2})
+	d := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	var req classifyRequest
+	var want []pipeline.Prediction
+	for i := 0; i < 10; i++ {
+		q := queries.Samples[i%len(queries.Samples)]
+		req.Images = append(req.Images, base64.StdEncoding.EncodeToString(pngBytes(t, q.Image)))
+		want = append(want, d.Classify(q.Image, g))
+	}
+	body, _ := json.Marshal(req)
+	resp, out := postClassify(t, ts.URL+"/classify?pipeline=orb", "application/json", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("10-image batch over a 2-slot queue: status %d", resp.StatusCode)
+	}
+	for i, p := range out.Predictions {
+		if p.Class != want[i].Class.String() || p.Score != want[i].Score {
+			t.Fatalf("prediction %d: served %+v, direct %+v", i, p, want[i])
+		}
+	}
+}
+
+// TestClassifyBatchOverImageCap checks the per-request image bound: the
+// admission gate counts requests, so a single oversized JSON batch must
+// be refused up front with 400 rather than admitted as unbounded work.
+func TestClassifyBatchOverImageCap(t *testing.T) {
+	_, queries := fixture(t)
+	_, ts := newTestServer(t, Config{MaxImages: 2})
+	img := base64.StdEncoding.EncodeToString(pngBytes(t, queries.Samples[0].Image))
+	body, _ := json.Marshal(classifyRequest{Images: []string{img, img, img}})
+	resp, _ := postClassify(t, ts.URL+"/classify?pipeline=orb", "application/json", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("3-image batch over a 2-image cap: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClassifyBodyTooLarge sends a body over the configured byte limit
+// and expects an honest 413, not a decode-failure 400.
+func TestClassifyBodyTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyMB: 1})
+	// A 2 MiB JSON document: the decoder must read past the 1 MiB cap
+	// (raw junk would fail PNG sniffing before ever reaching the limit).
+	body, _ := json.Marshal(classifyRequest{Images: []string{strings.Repeat("A", 2<<20)}})
+	resp, _ := postClassify(t, ts.URL+"/classify?pipeline=orb", "application/json", body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("2 MiB body over a 1 MiB cap: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestClassifyContentTypeCaseInsensitive sends the JSON batch with an
+// upper-cased MIME type, which RFC 2045 requires servers to accept.
+func TestClassifyContentTypeCaseInsensitive(t *testing.T) {
+	_, queries := fixture(t)
+	_, ts := newTestServer(t, Config{})
+	img := base64.StdEncoding.EncodeToString(pngBytes(t, queries.Samples[0].Image))
+	body, _ := json.Marshal(classifyRequest{Images: []string{img}})
+	resp, out := postClassify(t, ts.URL+"/classify?pipeline=orb", "Application/JSON; charset=utf-8", body)
+	if resp.StatusCode != http.StatusOK || len(out.Predictions) != 1 {
+		t.Fatalf("upper-cased content type: status %d, %d predictions", resp.StatusCode, len(out.Predictions))
+	}
+}
+
+// TestClassifyConcurrentCoalescing floods the server with concurrent
+// single-image requests through a wide coalescing window and checks
+// every response is still exact — the transparency contract of the
+// batcher.
+func TestClassifyConcurrentCoalescing(t *testing.T) {
+	g, queries := fixture(t)
+	_, ts := newTestServer(t, Config{MaxBatch: 8, BatchWait: 20 * time.Millisecond})
+	d := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	batched := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := queries.Samples[i%len(queries.Samples)]
+			want := d.Classify(q.Image, g)
+			resp, err := http.Post(ts.URL+"/classify?pipeline=orb", "image/png", bytes.NewReader(pngBytes(t, q.Image)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("request %d: status %d", i, resp.StatusCode)
+				return
+			}
+			var out ClassifyResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			p := out.Predictions[0]
+			if p.Class != want.Class.String() || p.View != want.Index || p.Score != want.Score {
+				errs <- fmt.Errorf("request %d: served %+v, direct %+v", i, p, want)
+				return
+			}
+			batched[i] = p.Batched
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	max := 0
+	for _, b := range batched {
+		if b > max {
+			max = b
+		}
+	}
+	if max < 1 {
+		t.Fatal("no request reported a batch size")
+	}
+	t.Logf("largest coalesced batch: %d", max)
+}
+
+func TestClassifyErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	q := fixtureQueries.Samples[0]
+	cases := []struct {
+		name, url, ct string
+		body          []byte
+		status        int
+	}{
+		{"unknown gallery", "/classify?gallery=nope", "image/png", pngBytes(t, q.Image), http.StatusNotFound},
+		{"unknown pipeline", "/classify?pipeline=resnet", "image/png", pngBytes(t, q.Image), http.StatusBadRequest},
+		{"bad png", "/classify?pipeline=orb", "image/png", []byte("not a png"), http.StatusBadRequest},
+		{"empty json", "/classify?pipeline=orb", "application/json", []byte(`{"images":[]}`), http.StatusBadRequest},
+		{"bad base64", "/classify?pipeline=orb", "application/json", []byte(`{"images":["%%"]}`), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := postClassify(t, ts.URL+c.url, c.ct, c.body)
+		if resp.StatusCode != c.status {
+			t.Fatalf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+	getResp, err := http.Get(ts.URL + "/classify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /classify: status %d", getResp.StatusCode)
+	}
+}
+
+func TestGalleriesAndHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/galleries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Galleries []GalleryInfo `json:"galleries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(doc.Galleries) != 1 || doc.Galleries[0].Name != "sns1" || doc.Galleries[0].Shards != 4 {
+		t.Fatalf("galleries: %+v", doc.Galleries)
+	}
+	if doc.Galleries[0].Views != fixtureGallery.Len() || doc.Galleries[0].Descriptors["ORB"] == 0 {
+		t.Fatalf("gallery info: %+v", doc.Galleries[0])
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["galleries"] != float64(1) {
+		t.Fatalf("healthz: %+v", health)
+	}
+}
+
+// TestAdmissionOverload fills the admission gate by hand and checks the
+// server sheds with 503 + Retry-After instead of queueing.
+func TestAdmissionOverload(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1})
+	if !s.gate.TryEnter() {
+		t.Fatal("could not take the only admission slot")
+	}
+	defer s.gate.Leave()
+	resp, _ := postClassify(t, ts.URL+"/classify?pipeline=orb", "image/png", pngBytes(t, fixtureQueries.Samples[0].Image))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+}
+
+// TestBatcherSubmitDirect exercises the batcher API without HTTP:
+// overload shedding and post-Close refusal.
+func TestBatcherSubmitDirect(t *testing.T) {
+	g, queries := fixture(t)
+	sg := pipeline.NewShardedGallery(g, 2)
+	p := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	b := newBatcher(sg, p, 2, 2, 2, time.Millisecond)
+	res, err := b.Submit(context.Background(), queries.Samples[0].Image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := p.Classify(queries.Samples[0].Image, g); res.Pred != want {
+		t.Fatalf("batcher %+v, direct %+v", res.Pred, want)
+	}
+	b.Close()
+	if _, err := b.Submit(context.Background(), queries.Samples[0].Image); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}

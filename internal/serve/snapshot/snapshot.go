@@ -1,0 +1,555 @@
+// Package snapshot persists prepared recognition galleries: a versioned
+// little-endian binary codec over every piece of state a gallery needs
+// to classify without re-rendering or re-extracting — views (image,
+// class, model, view id), Hu moments, colour histograms, the packed
+// descriptor blocks of every extracted family with their keypoints, and
+// the set of prepared flat-index kinds (the indexes themselves are
+// rebuilt deterministically from the packed blocks on load, so the
+// descriptor bytes are stored once). The contract is round-trip
+// exactness: a loaded gallery produces bit-identical predictions to the
+// gallery that was saved, for every pipeline.
+//
+// Layout:
+//
+//	magic   8 bytes "SNSNAP\r\n"
+//	version uint32 (currently 1)
+//	payload length-prefixed fields (see encode/decode below)
+//	crc32   IEEE checksum of the payload
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"snmatch/internal/features"
+	"snmatch/internal/histogram"
+	"snmatch/internal/imaging"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/synth"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+var magic = [8]byte{'S', 'N', 'S', 'N', 'A', 'P', '\r', '\n'}
+
+// Errors the loader distinguishes. ErrVersion is wrapped with the
+// got/want pair; use errors.Is.
+var (
+	ErrBadMagic = errors.New("snapshot: bad magic (not a gallery snapshot)")
+	ErrVersion  = errors.New("snapshot: unsupported format version")
+	ErrCorrupt  = errors.New("snapshot: corrupt payload")
+)
+
+// descKinds fixes the on-disk descriptor family order.
+var descKinds = []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB}
+
+// Meta records the provenance of a persisted gallery: the dataset it
+// was built from and the render parameters. Loaders validate it against
+// their own configuration (Meta.Check) so a mismatched snapshot fails
+// loudly instead of producing silently wrong predictions.
+type Meta struct {
+	Dataset string // dataset identifier, e.g. "sns1"
+	Size    int    // render size in pixels
+	Seed    uint64 // render seed
+}
+
+// Check compares this (loaded) provenance against the caller's
+// expectation. Every field is compared — there are no skip sentinels,
+// because 0 is a seed a user can legitimately pass — so callers must
+// fill the complete expected Meta.
+func (m Meta) Check(want Meta) error {
+	if m.Dataset != want.Dataset {
+		return fmt.Errorf("snapshot: gallery was built from dataset %q, this run needs %q", m.Dataset, want.Dataset)
+	}
+	if m.Size != want.Size {
+		return fmt.Errorf("snapshot: gallery was rendered at size %d, this run needs %d", m.Size, want.Size)
+	}
+	if m.Seed != want.Seed {
+		return fmt.Errorf("snapshot: gallery was rendered with seed %d, this run needs %d", m.Seed, want.Seed)
+	}
+	return nil
+}
+
+// Snapshot is a named, provenance-stamped prepared gallery — the unit
+// the codec reads and writes.
+type Snapshot struct {
+	Name    string
+	Meta    Meta
+	Gallery *pipeline.Gallery
+}
+
+// Write serializes the snapshot. The gallery must be quiescent (no
+// concurrent extraction); the binaries save only after preparation
+// completes.
+func Write(w io.Writer, s *Snapshot) error {
+	g := s.Gallery
+	var e enc
+	e.str(s.Name)
+	e.str(s.Meta.Dataset)
+	e.i64(int64(s.Meta.Size))
+	e.u64(s.Meta.Seed)
+	e.u32(uint32(len(g.Views)))
+	for i := range g.Views {
+		encodeView(&e, &g.Views[i])
+	}
+	// The flat indexes are not serialized: NewDescriptorIndex is a pure,
+	// deterministic function of the per-view packed sets already stored
+	// above (including the prune decision, derived from the norm
+	// spread), so persisting them would double the descriptor bytes on
+	// disk. Only the prepared kinds are recorded; Read rebuilds each
+	// index bit-identically from the restored sets.
+	idx := g.Indexes()
+	present := make([]pipeline.DescriptorKind, 0, len(descKinds))
+	for _, k := range descKinds {
+		if idx[k] != nil {
+			present = append(present, k)
+		}
+	}
+	e.u8(uint8(len(present)))
+	for _, k := range present {
+		e.u8(uint8(k))
+	}
+
+	var hdr [12]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	if _, err := w.Write(e.b); err != nil {
+		return fmt.Errorf("snapshot: write payload: %w", err)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(e.b))
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("snapshot: write checksum: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	if len(raw) < 16 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than any snapshot", ErrCorrupt, len(raw))
+	}
+	if [8]byte(raw[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(raw[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, supported version %d", ErrVersion, v, Version)
+	}
+	payload := raw[12 : len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: checksum %08x, recorded %08x", ErrCorrupt, got, want)
+	}
+
+	d := &dec{b: payload}
+	out := &Snapshot{}
+	out.Name = d.str()
+	out.Meta.Dataset = d.str()
+	out.Meta.Size = int(d.i64())
+	out.Meta.Seed = d.u64()
+	nv := int(d.u32())
+	if d.err == nil && nv > len(d.b) { // cheap sanity bound before allocating
+		d.fail("view count %d exceeds payload", nv)
+	}
+	var views []pipeline.View
+	if d.err == nil {
+		views = make([]pipeline.View, nv)
+		for i := range views {
+			decodeView(d, &views[i])
+			if d.err != nil {
+				break
+			}
+		}
+	}
+	var indexKinds []pipeline.DescriptorKind
+	if d.err == nil {
+		for n := int(d.u8()); n > 0 && d.err == nil; n-- {
+			indexKinds = append(indexKinds, pipeline.DescriptorKind(d.u8()))
+		}
+	}
+	if d.err == nil && d.off != len(d.b) {
+		d.fail("%d trailing bytes", len(d.b)-d.off)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	// Rebuild the flat indexes from the restored sets — a deterministic
+	// reconstruction of exactly what the saved gallery held. An index
+	// kind lacking a view's descriptor set cannot have existed at save
+	// time, so it marks a corrupt file.
+	idx := map[pipeline.DescriptorKind]*pipeline.DescriptorIndex{}
+	for _, k := range indexKinds {
+		sets := make([]*features.Set, len(views))
+		for i := range views {
+			s := views[i].Desc[k]
+			if s == nil {
+				return nil, fmt.Errorf("%w: index kind %s recorded but view %d has no %s descriptors", ErrCorrupt, k, i, k)
+			}
+			sets[i] = s
+		}
+		idx[k] = pipeline.NewDescriptorIndex(sets)
+	}
+	out.Gallery = pipeline.RestoreGallery(views, idx)
+	return out, nil
+}
+
+// Save writes the snapshot to path atomically (temp file + rename).
+func Save(path string, s *Snapshot) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	tmp := f.Name()
+	if err := Write(f, s); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: load: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// --- view encoding ---
+
+func encodeView(e *enc, v *pipeline.View) {
+	e.i64(int64(v.Sample.Class))
+	e.i64(int64(v.Sample.Model))
+	e.i64(int64(v.Sample.View))
+	if img := v.Sample.Image; img != nil {
+		e.u8(1)
+		e.u32(uint32(img.W))
+		e.u32(uint32(img.H))
+		e.bytes(img.Pix)
+	} else {
+		e.u8(0)
+	}
+	for _, h := range v.Hu {
+		e.f64(h)
+	}
+	if h := v.Hist; h != nil {
+		e.u8(1)
+		e.u32(uint32(h.Bins))
+		e.f64s(h.Counts)
+	} else {
+		e.u8(0)
+	}
+	present := make([]pipeline.DescriptorKind, 0, len(descKinds))
+	for _, k := range descKinds {
+		if v.Desc[k] != nil {
+			present = append(present, k)
+		}
+	}
+	e.u8(uint8(len(present)))
+	for _, k := range present {
+		e.u8(uint8(k))
+		encodeSet(e, v.Desc[k])
+	}
+}
+
+func decodeView(d *dec, v *pipeline.View) {
+	v.Sample.Class = synth.Class(d.i64())
+	v.Sample.Model = int(d.i64())
+	v.Sample.View = int(d.i64())
+	if d.u8() == 1 {
+		w, h := int(d.u32()), int(d.u32())
+		pix := d.bytes()
+		if d.err == nil {
+			if w <= 0 || h <= 0 || len(pix) != 3*w*h {
+				d.fail("image %dx%d with %d pixel bytes", w, h, len(pix))
+				return
+			}
+			v.Sample.Image = &imaging.Image{W: w, H: h, Pix: pix}
+		}
+	}
+	for i := range v.Hu {
+		v.Hu[i] = d.f64()
+	}
+	if d.u8() == 1 {
+		bins := int(d.u32())
+		counts := d.f64s()
+		if d.err == nil {
+			if bins < 1 || bins > 256 || len(counts) != bins*bins*bins {
+				d.fail("histogram bins %d with %d cells", bins, len(counts))
+				return
+			}
+			v.Hist = &histogram.Hist{Bins: bins, Counts: counts}
+		}
+	}
+	v.Desc = map[pipeline.DescriptorKind]*features.Set{}
+	for n := int(d.u8()); n > 0 && d.err == nil; n-- {
+		k := pipeline.DescriptorKind(d.u8())
+		if s := decodeSet(d); d.err == nil {
+			v.Desc[k] = s
+		}
+	}
+}
+
+// --- descriptor set encoding ---
+
+func b2u8(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func encodeSet(e *enc, s *features.Set) {
+	p := s.Pack().Packed
+	// The representation flag disambiguates empty sets: an empty binary
+	// set and an empty float set have identical packed shapes but must
+	// restore to their original representation.
+	e.u8(b2u8(s.IsBinary()))
+	e.u32(uint32(len(s.Keypoints)))
+	for _, kp := range s.Keypoints {
+		e.f32(kp.X)
+		e.f32(kp.Y)
+		e.f32(kp.Size)
+		e.f32(kp.Angle)
+		e.f32(kp.Response)
+		e.i64(int64(kp.Octave))
+	}
+	e.u32(uint32(p.N))
+	e.u32(uint32(p.Dim))
+	e.u32(uint32(p.RowBytes))
+	e.u32(uint32(p.WordsPerRow))
+	e.f32s(p.Floats)
+	e.f32s(p.Norms)
+	e.u64s(p.Words)
+}
+
+func decodeSet(d *dec) *features.Set {
+	isBinary := d.u8() == 1
+	nk := int(d.u32())
+	if d.err != nil || nk*8 > len(d.b)-d.off {
+		d.fail("keypoint count %d exceeds payload", nk)
+		return nil
+	}
+	var kps []features.Keypoint
+	if nk > 0 { // decode empty as nil for exact round trips
+		kps = make([]features.Keypoint, nk)
+	}
+	for i := range kps {
+		kps[i].X = d.f32()
+		kps[i].Y = d.f32()
+		kps[i].Size = d.f32()
+		kps[i].Angle = d.f32()
+		kps[i].Response = d.f32()
+		kps[i].Octave = int(d.i64())
+	}
+	p := &features.Packed{
+		N:        int(d.u32()),
+		Dim:      int(d.u32()),
+		RowBytes: int(d.u32()),
+	}
+	p.WordsPerRow = int(d.u32())
+	p.Floats = d.f32s()
+	p.Norms = d.f32s()
+	p.Words = d.u64s()
+	if d.err != nil {
+		return nil
+	}
+	if isBinary && p.Words == nil {
+		p.Words = []uint64{} // Pack always materialises Words for binary sets
+	}
+	if p.N != nk || len(p.Floats) != p.N*p.Dim || len(p.Norms) != boolN(p.Dim > 0, p.N) ||
+		len(p.Words) != p.N*p.WordsPerRow {
+		d.fail("packed block shape mismatch (N=%d dim=%d wpr=%d)", p.N, p.Dim, p.WordsPerRow)
+		return nil
+	}
+	return features.RestoreSet(kps, p)
+}
+
+func boolN(cond bool, n int) int {
+	if cond {
+		return n
+	}
+	return 0
+}
+
+// --- primitive little-endian encoder/decoder ---
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f32(v float32) {
+	e.u32(math.Float32bits(v))
+}
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *enc) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) bytes(v []byte) {
+	e.u32(uint32(len(v)))
+	e.b = append(e.b, v...)
+}
+func (e *enc) f32s(v []float32) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u32(math.Float32bits(x))
+	}
+}
+func (e *enc) f64s(v []float64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(math.Float64bits(x))
+	}
+}
+func (e *enc) u64s(v []uint64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(x)
+	}
+}
+
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+}
+
+func (d *dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b)-d.off {
+		d.fail("truncated at offset %d (need %d bytes, have %d)", d.off, n, len(d.b)-d.off)
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) u8() uint8 {
+	v := d.take(1)
+	if v == nil {
+		return 0
+	}
+	return v[0]
+}
+func (d *dec) u32() uint32 {
+	v := d.take(4)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(v)
+}
+func (d *dec) u64() uint64 {
+	v := d.take(8)
+	if v == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f32() float32 { return math.Float32frombits(d.u32()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *dec) str() string {
+	n := int(d.u32())
+	return string(d.take(n))
+}
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if n == 0 {
+		return nil // nil and empty encode identically; decode to nil for exact round trips
+	}
+	v := d.take(n)
+	if v == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out
+}
+func (d *dec) f32s() []float32 {
+	n := int(d.u32())
+	if n == 0 {
+		return nil // nil and empty encode identically; decode to nil for exact round trips
+	}
+	raw := d.take(n * 4)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out
+}
+func (d *dec) f64s() []float64 {
+	n := int(d.u32())
+	if n == 0 {
+		return nil // nil and empty encode identically; decode to nil for exact round trips
+	}
+	raw := d.take(n * 8)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}
+func (d *dec) u64s() []uint64 {
+	n := int(d.u32())
+	if n == 0 {
+		return nil // nil and empty encode identically; decode to nil for exact round trips
+	}
+	raw := d.take(n * 8)
+	if raw == nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return out
+}
