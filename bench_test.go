@@ -308,6 +308,36 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryExtract isolates query-side descriptor extraction — the
+// dominant cost of single-query serving — per descriptor family, fresh
+// (a heap allocation per intermediate, the pre-PR-4 behaviour) vs
+// pooled (a warm per-worker ExtractCtx, the serving hot path). Outputs
+// are bit-identical; -benchmem shows the pooled path's ~0 allocs/op.
+func BenchmarkQueryExtract(b *testing.B) {
+	s := getBenchSuite(b)
+	img := s.SNS2.Samples[0].Image
+	params := pipeline.DefaultDescriptorParams()
+	for _, kind := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
+		b.Run(kind.String()+"/fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pipeline.ExtractDescriptors(img, kind, params)
+			}
+		})
+		b.Run(kind.String()+"/pooled", func(b *testing.B) {
+			ctx := pipeline.NewExtractCtx()
+			pipeline.ExtractDescriptorsCtx(img, kind, params, ctx) // warm the arena
+			ctx.Reset()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pipeline.ExtractDescriptorsCtx(img, kind, params, ctx)
+				ctx.Reset()
+			}
+		})
+	}
+}
+
 // BenchmarkServeBatcher pushes concurrent queries through the request
 // batcher (the daemon's coalescing path) and reports aggregate
 // queries/sec — the serving-throughput number the ROADMAP's scaling

@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-bench REGEX] [-benchtime 3x] [-count 3] [-out BENCH_2.json] [-note "..."]
+//	go run ./cmd/bench [-bench REGEX] [-benchtime 3x] [-count 3] [-out BENCH_4.json] [-note "..."] [-compare BENCH_3.json]
 //
-// Multiple -count repetitions are averaged per benchmark.
+// Multiple -count repetitions are averaged per benchmark. With
+// -compare, the new numbers are diffed against a prior snapshot and a
+// per-benchmark ns/op + allocs/op delta table is printed — the
+// regression view a perf PR pastes into its description.
 package main
 
 import (
@@ -50,13 +53,14 @@ type Report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	benchRe := flag.String("bench", "BenchmarkRunParallelDescriptor|BenchmarkGoodMatchCount|BenchmarkRunParallel$|BenchmarkServeThroughput|BenchmarkServeBatcher|BenchmarkSnapshot",
+	benchRe := flag.String("bench", "BenchmarkRunParallelDescriptor|BenchmarkGoodMatchCount|BenchmarkRunParallel$|BenchmarkServeThroughput|BenchmarkServeBatcher|BenchmarkSnapshot|BenchmarkQueryExtract",
 		"benchmark regex passed to go test -bench")
 	benchTime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 3, "go test -count repetitions (averaged)")
-	outPath := flag.String("out", "BENCH_3.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_4.json", "output JSON path")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	comparePath := flag.String("compare", "", "prior BENCH_<n>.json to diff the new numbers against")
 	flag.Parse()
 
 	args := []string{
@@ -116,6 +120,72 @@ func main() {
 		fmt.Println()
 	}
 	fmt.Printf("wrote %s (%d benchmarks, %s)\n", *outPath, len(results), elapsed.Round(time.Second))
+
+	if *comparePath != "" {
+		prior, err := loadReport(*comparePath)
+		if err != nil {
+			log.Fatalf("compare: %v", err)
+		}
+		printComparison(prior, report)
+	}
+}
+
+// loadReport reads a previously written BENCH_<n>.json.
+func loadReport(path string) (Report, error) {
+	var r Report
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// printComparison diffs the new report against a prior snapshot:
+// per-benchmark ns/op and allocs/op with relative deltas, plus the
+// benchmarks that appear on only one side. Positive deltas are
+// regressions (slower / more allocations).
+func printComparison(old, cur Report) {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	fmt.Printf("\ncomparison vs %s:\n", old.ID)
+	fmt.Printf("%-60s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	overlap := 0
+	for _, r := range cur.Results {
+		o, ok := oldBy[r.Name]
+		if !ok {
+			fmt.Printf("%-60s %14s %14.0f %8s %12s %12.0f  (new)\n",
+				r.Name, "-", r.Metrics["ns/op"], "-", "-", r.Metrics["allocs/op"])
+			continue
+		}
+		overlap++
+		delete(oldBy, r.Name)
+		oldNs, newNs := o.Metrics["ns/op"], r.Metrics["ns/op"]
+		delta := "-"
+		if oldNs > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(newNs-oldNs)/oldNs)
+		}
+		fmt.Printf("%-60s %14.0f %14.0f %8s %12.0f %12.0f\n",
+			r.Name, oldNs, newNs, delta, o.Metrics["allocs/op"], r.Metrics["allocs/op"])
+	}
+	if len(oldBy) > 0 {
+		gone := make([]string, 0, len(oldBy))
+		for name := range oldBy {
+			gone = append(gone, name)
+		}
+		sort.Strings(gone)
+		for _, name := range gone {
+			fmt.Printf("%-60s  (dropped since %s)\n", name, old.ID)
+		}
+	}
+	if overlap == 0 {
+		fmt.Println("(no overlapping benchmarks)")
+	}
 }
 
 // parseBenchOutput folds standard `go test -bench` lines — name,

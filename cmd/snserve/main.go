@@ -6,6 +6,7 @@
 //
 //	snserve -snapshot sns1.snap [-snapshot more.snap] [-addr :8080] [-shards 4]
 //	snserve -build sns1 [-size 64] [-descriptors sift,surf,orb]   # no snapshot: render + extract at boot
+//	snserve -snapshot sns1.snap -pprof 6060                       # profiling on 127.0.0.1:6060/debug/pprof/
 //
 // Endpoints:
 //
@@ -20,8 +21,10 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers profiling handlers on the default mux, served only on -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +60,7 @@ func main() {
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "coalescing window after the first queued query")
 	maxInFlight := fs.Int("max-inflight", 256, "admission bound on concurrent /classify requests")
 	ratio := fs.Float64("ratio", 0.5, "descriptor ratio-test threshold")
+	pprofPort := fs.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 disables)")
 	workers := cliutil.Workers(fs)
 	flag.Parse()
 	w := cliutil.ResolveWorkers(*workers)
@@ -68,7 +72,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("load %s: %v", path, err)
 		}
-		if err := reg.Add(snap.Name, pipeline.NewShardedGallery(snap.Gallery, *shards)); err != nil {
+		if err := reg.AddWithMeta(snap.Name, pipeline.NewShardedGallery(snap.Gallery, *shards), snap.Meta); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("loaded gallery %q from %s: %d views (dataset %q, size %d, seed %d) in %s (no re-extraction)",
@@ -77,7 +81,8 @@ func main() {
 	}
 	if *build != "" {
 		name, g := buildGallery(*build, *size, *seed, *descs, w)
-		if err := reg.Add(name, pipeline.NewShardedGallery(g, *shards)); err != nil {
+		meta := snapshot.Meta{Dataset: name, Size: *size, Seed: *seed}
+		if err := reg.AddWithMeta(name, pipeline.NewShardedGallery(g, *shards), meta); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -93,6 +98,19 @@ func main() {
 		Ratio:       *ratio,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *pprofPort > 0 {
+		// Profiling stays loopback-only and off the serving mux: the
+		// pprof handlers register on http.DefaultServeMux, which only
+		// this listener exposes.
+		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof: %v", err)
+			}
+		}()
+	}
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()

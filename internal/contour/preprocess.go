@@ -1,6 +1,7 @@
 package contour
 
 import (
+	"snmatch/internal/arena"
 	"snmatch/internal/geom"
 	"snmatch/internal/imaging"
 )
@@ -30,8 +31,17 @@ type PreprocessResult struct {
 // extreme of the relevant polarity: this keeps near-white objects such
 // as paper sheets and painted doors segmentable, which Otsu's bimodal
 // assumption does not.
-func Preprocess(img *imaging.Image) PreprocessResult {
-	g := img.ToGray()
+func Preprocess(img *imaging.Image) PreprocessResult { return PreprocessIn(nil, img) }
+
+// PreprocessIn is Preprocess with the dense intermediates — the gray
+// plane and the binary threshold raster — drawn from the arena, for
+// callers that preprocess many images in a loop (gallery construction,
+// batch classification) and recycle the planes between iterations. The
+// contour structures and the RGB crop stay heap-backed: they are the
+// parts callers retain beyond the arena's reset. Results are identical
+// to Preprocess for every input.
+func PreprocessIn(a *arena.Arena, img *imaging.Image) PreprocessResult {
+	g := img.ToGrayIn(a)
 	// Bright mean implies a white background, so the object is the darker
 	// region and the inverse threshold keeps it as foreground.
 	inverted := MeanIntensity(g) > 127
@@ -39,7 +49,7 @@ func Preprocess(img *imaging.Image) PreprocessResult {
 	if inverted {
 		t = 247
 	}
-	bin := Threshold(g, t, 255, inverted)
+	bin := ThresholdIn(a, g, t, 255, inverted)
 	cs := FindContours(bin)
 	res := PreprocessResult{
 		Gray:     g,

@@ -4,13 +4,22 @@
 // -> contours -> crop to the largest contour).
 package contour
 
-import "snmatch/internal/imaging"
+import (
+	"snmatch/internal/arena"
+	"snmatch/internal/imaging"
+)
 
 // Threshold applies a global binary threshold: pixels strictly greater
 // than thresh become maxval, all others 0. With inverse set, the outputs
 // are swapped (OpenCV's THRESH_BINARY_INV).
 func Threshold(g *imaging.Gray, thresh, maxval uint8, inverse bool) *imaging.Gray {
-	out := imaging.NewGray(g.W, g.H)
+	return ThresholdIn(nil, g, thresh, maxval, inverse)
+}
+
+// ThresholdIn is Threshold with the binary raster drawn from the arena
+// (nil falls back to the heap).
+func ThresholdIn(a *arena.Arena, g *imaging.Gray, thresh, maxval uint8, inverse bool) *imaging.Gray {
+	out := imaging.NewGrayIn(a, g.W, g.H)
 	lo, hi := uint8(0), maxval
 	if inverse {
 		lo, hi = maxval, 0

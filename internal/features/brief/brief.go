@@ -7,6 +7,7 @@ package brief
 import (
 	"math"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/features"
 	"snmatch/internal/imaging"
 	"snmatch/internal/rng"
@@ -56,20 +57,32 @@ func NewPattern(nBits int, seed uint64) *Pattern {
 // with sigma ~2 first); keypoints too close to the border are dropped,
 // and the filtered keypoint list is returned alongside the descriptors.
 func Describe(g *imaging.Gray, kps []features.Keypoint, p *Pattern) ([]features.Keypoint, [][]byte) {
-	return describe(g, kps, p, false)
+	return describe(g, kps, p, false, nil)
 }
 
 // DescribeSteered computes rotation-aware descriptors by rotating the
 // sampling pattern by each keypoint's Angle (rBRIEF).
 func DescribeSteered(g *imaging.Gray, kps []features.Keypoint, p *Pattern) ([]features.Keypoint, [][]byte) {
-	return describe(g, kps, p, true)
+	return describe(g, kps, p, true, nil)
 }
 
-func describe(g *imaging.Gray, kps []features.Keypoint, p *Pattern, steered bool) ([]features.Keypoint, [][]byte) {
+// DescribeSteeredIn is DescribeSteered with the descriptor rows and the
+// result tables drawn from the arena — bit-identical output, valid only
+// until the arena resets. The accumulators are bounded by len(kps), so
+// no state beyond the arena is needed.
+func DescribeSteeredIn(a *arena.Arena, g *imaging.Gray, kps []features.Keypoint, p *Pattern) ([]features.Keypoint, [][]byte) {
+	return describe(g, kps, p, true, a)
+}
+
+func describe(g *imaging.Gray, kps []features.Keypoint, p *Pattern, steered bool, a *arena.Arena) ([]features.Keypoint, [][]byte) {
 	nBytes := (p.Bits() + 7) / 8
 	border := PatchSize/2 + 1
 	var outKps []features.Keypoint
 	var outDesc [][]byte
+	if a != nil {
+		outKps = arena.Cap[features.Keypoint](a, len(kps))
+		outDesc = arena.Cap[[]byte](a, len(kps))
+	}
 	for _, kp := range kps {
 		x, y := int(kp.X+0.5), int(kp.Y+0.5)
 		if x < border || y < border || x >= g.W-border || y >= g.H-border {
@@ -80,7 +93,7 @@ func describe(g *imaging.Gray, kps []features.Keypoint, p *Pattern, steered bool
 			s, c := math.Sincos(float64(kp.Angle))
 			sin, cos = float32(s), float32(c)
 		}
-		desc := make([]byte, nBytes)
+		desc := arena.Slice[byte](a, nBytes)
 		for i := 0; i < p.Bits(); i++ {
 			ax := cos*p.Ax[i] - sin*p.Ay[i]
 			ay := sin*p.Ax[i] + cos*p.Ay[i]

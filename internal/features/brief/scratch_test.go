@@ -1,0 +1,41 @@
+package brief
+
+import (
+	"testing"
+
+	"snmatch/internal/arena"
+	"snmatch/internal/features"
+)
+
+// TestDescribeSteeredInMatchesFresh runs the arena-backed descriptor
+// path against the fresh one on a reused (dirty) arena.
+func TestDescribeSteeredInMatchesFresh(t *testing.T) {
+	g := texturedImage()
+	p := NewPattern(256, 9)
+	kps := []features.Keypoint{
+		{X: 48, Y: 48, Angle: -1},
+		{X: 40, Y: 52, Angle: 1.1},
+		{X: 60, Y: 40, Angle: 4.7},
+		{X: 2, Y: 2, Angle: 0}, // dropped at the border on both paths
+	}
+	a := arena.New()
+	for round := 0; round < 2; round++ {
+		wantKps, wantDesc := DescribeSteered(g, kps, p)
+		gotKps, gotDesc := DescribeSteeredIn(a, g, kps, p)
+		if len(wantKps) != len(gotKps) || len(wantDesc) != len(gotDesc) {
+			t.Fatalf("round %d: kept %d/%d, want %d/%d",
+				round, len(gotKps), len(gotDesc), len(wantKps), len(wantDesc))
+		}
+		for i := range wantKps {
+			if wantKps[i] != gotKps[i] {
+				t.Fatalf("round %d: keypoint %d differs", round, i)
+			}
+			for j := range wantDesc[i] {
+				if wantDesc[i][j] != gotDesc[i][j] {
+					t.Fatalf("round %d: descriptor %d byte %d differs", round, i, j)
+				}
+			}
+		}
+		a.Reset()
+	}
+}

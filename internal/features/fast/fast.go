@@ -4,6 +4,7 @@
 package fast
 
 import (
+	"snmatch/internal/arena"
 	"snmatch/internal/features"
 	"snmatch/internal/imaging"
 )
@@ -20,16 +21,46 @@ var circle16 = [16][2]int{
 // segment test (FAST-9).
 const arcLength = 9
 
+// Scratch recycles the detector's working set — the dense score map
+// (arena-backed) and the keypoint accumulators, whose backing arrays
+// grow to the workload's corner count once and are reused afterwards.
+// A nil *Scratch allocates freshly, exactly like the plain Detect.
+//
+// Results returned through a Scratch are valid only until the next
+// DetectScratch call on it (the accumulators are recycled per call) or
+// until its arena resets, whichever comes first.
+type Scratch struct {
+	A *arena.Arena
+
+	raw, out []features.Keypoint
+}
+
+func (sc *Scratch) arena() *arena.Arena {
+	if sc == nil {
+		return nil
+	}
+	return sc.A
+}
+
 // Detect finds FAST-9 corners with the given intensity threshold. With
 // nonmax set, a 3x3 non-maximum suppression over the corner score is
 // applied. Returned keypoints carry the score in Response.
 func Detect(g *imaging.Gray, threshold int, nonmax bool) []features.Keypoint {
+	return DetectScratch(g, threshold, nonmax, nil)
+}
+
+// DetectScratch is Detect over recycled buffers; it is bit-identical to
+// Detect for every input. See Scratch for the result lifetime.
+func DetectScratch(g *imaging.Gray, threshold int, nonmax bool, sc *Scratch) []features.Keypoint {
 	if threshold < 1 {
 		threshold = 1
 	}
 	w, h := g.W, g.H
-	scores := make([]int32, w*h)
+	scores := arena.Slice[int32](sc.arena(), w*h)
 	var raw []features.Keypoint
+	if sc != nil {
+		raw = sc.raw[:0]
+	}
 
 	for y := 3; y < h-3; y++ {
 		for x := 3; x < w-3; x++ {
@@ -42,10 +73,16 @@ func Detect(g *imaging.Gray, threshold int, nonmax bool) []features.Keypoint {
 			}
 		}
 	}
+	if sc != nil {
+		sc.raw = raw
+	}
 	if !nonmax {
 		return raw
 	}
 	var out []features.Keypoint
+	if sc != nil {
+		out = sc.out[:0]
+	}
 	for _, kp := range raw {
 		x, y := int(kp.X), int(kp.Y)
 		s := scores[y*w+x]
@@ -66,6 +103,9 @@ func Detect(g *imaging.Gray, threshold int, nonmax bool) []features.Keypoint {
 		if maximal {
 			out = append(out, kp)
 		}
+	}
+	if sc != nil {
+		sc.out = out
 	}
 	return out
 }

@@ -1,0 +1,46 @@
+package fast
+
+import (
+	"testing"
+
+	"snmatch/internal/arena"
+	"snmatch/internal/imaging"
+)
+
+func noisyImage(seed uint32, w, h int) *imaging.Gray {
+	g := imaging.NewGray(w, h)
+	s := seed
+	for i := range g.Pix {
+		s = s*1664525 + 1013904223
+		g.Pix[i] = byte(s >> 24)
+	}
+	return g
+}
+
+// TestDetectScratchMatchesDetect reuses one scratch across several
+// images (of changing sizes) and both nonmax modes, requiring exact
+// equality with the fresh detector every time.
+func TestDetectScratchMatchesDetect(t *testing.T) {
+	sc := &Scratch{A: arena.New()}
+	sizes := [][2]int{{48, 48}, {33, 51}, {64, 40}}
+	for round := 0; round < 2; round++ {
+		for _, nonmax := range []bool{false, true} {
+			for seed, wh := range sizes {
+				g := noisyImage(uint32(11+seed), wh[0], wh[1])
+				want := Detect(g, 20, nonmax)
+				got := DetectScratch(g, 20, nonmax, sc)
+				if len(want) != len(got) {
+					t.Fatalf("round %d nonmax=%v size %v: %d corners, want %d",
+						round, nonmax, wh, len(got), len(want))
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("round %d nonmax=%v size %v corner %d: %+v, want %+v",
+							round, nonmax, wh, i, got[i], want[i])
+					}
+				}
+				sc.A.Reset()
+			}
+		}
+	}
+}

@@ -6,6 +6,8 @@ package features
 import (
 	"math"
 	"math/bits"
+
+	"snmatch/internal/arena"
 )
 
 // Keypoint is an interest point in image coordinates of the original
@@ -71,11 +73,17 @@ func (s *Set) IsBinary() bool { return s.Binary != nil }
 // Pack builds the flat descriptor layout. It is idempotent and must be
 // called before the set is shared across goroutines (extractors already
 // do); matchers fall back to the row-slice layout when Packed is nil.
-func (s *Set) Pack() *Set {
+func (s *Set) Pack() *Set { return s.PackIn(nil) }
+
+// PackIn is Pack with the packed header and matrices drawn from the
+// arena — the query-path form whose product lives only until the
+// extraction context resets. A nil arena is exactly Pack.
+func (s *Set) PackIn(a *arena.Arena) *Set {
 	if s.Packed != nil {
 		return s
 	}
-	p := &Packed{N: s.Len()}
+	p := arena.NewOf[Packed](a)
+	p.N = s.Len()
 	if s.IsBinary() {
 		nb := 0
 		if len(s.Binary) > 0 {
@@ -83,14 +91,14 @@ func (s *Set) Pack() *Set {
 		}
 		p.RowBytes = nb
 		p.WordsPerRow = (nb + 7) / 8
-		p.Words = make([]uint64, p.N*p.WordsPerRow)
+		p.Words = arena.Slice[uint64](a, p.N*p.WordsPerRow)
 		for i, row := range s.Binary {
 			packWords(p.Words[i*p.WordsPerRow:(i+1)*p.WordsPerRow], row)
 		}
 	} else if len(s.Float) > 0 {
 		p.Dim = len(s.Float[0])
-		p.Floats = make([]float32, p.N*p.Dim)
-		p.Norms = make([]float32, p.N)
+		p.Floats = arena.Slice[float32](a, p.N*p.Dim)
+		p.Norms = arena.Slice[float32](a, p.N)
 		for i, row := range s.Float {
 			copy(p.Floats[i*p.Dim:], row)
 			p.Norms[i] = L2Squared(row, nil)

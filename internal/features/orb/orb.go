@@ -7,8 +7,9 @@ package orb
 
 import (
 	"math"
-	"sort"
+	"slices"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/features"
 	"snmatch/internal/features/brief"
 	"snmatch/internal/features/fast"
@@ -48,11 +49,64 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
+// Scratch recycles ORB's per-query working set: the pyramid levels,
+// gradient planes, smoothed rasters and descriptor rows come from the
+// arena, the FAST detector runs over its own recycled buffers, the
+// corner accumulator is a reusable spine, and the (deterministic,
+// seed-keyed) BRIEF pattern is computed once and cached across queries.
+// A nil *Scratch allocates freshly, exactly like Extract. One
+// extraction may be in flight per Scratch between arena Resets; the
+// returned Set is invalid after the Reset.
+type Scratch struct {
+	A    *arena.Arena
+	Feat *features.Scratch
+	Fast fast.Scratch
+
+	pts []levelPoint
+
+	pat     *brief.Pattern // heap-backed: survives arena resets
+	patSeed uint64
+}
+
+func (sc *Scratch) arena() *arena.Arena {
+	if sc == nil {
+		return nil
+	}
+	return sc.A
+}
+
+func (sc *Scratch) feat() *features.Scratch {
+	if sc == nil {
+		return nil
+	}
+	return sc.Feat
+}
+
+// pattern returns the BRIEF pattern for the seed, cached on the scratch
+// so warm queries skip the Gaussian pattern draw entirely. The pattern
+// is a pure function of (bits, seed), so the cache cannot change
+// results.
+func (sc *Scratch) pattern(seed uint64) *brief.Pattern {
+	if sc == nil {
+		return brief.NewPattern(256, seed)
+	}
+	if sc.pat == nil || sc.patSeed != seed {
+		sc.pat = brief.NewPattern(256, seed)
+		sc.patSeed = seed
+	}
+	return sc.pat
+}
+
 // Extract detects and describes ORB features on the grayscale image.
 func Extract(g *imaging.Gray, params Params) *features.Set {
+	return ExtractScratch(g, params, nil)
+}
+
+// ExtractScratch is Extract over a recycled extraction context; its
+// output is bit-identical to Extract for every input.
+func ExtractScratch(g *imaging.Gray, params Params, sc *Scratch) *features.Set {
 	p := params.withDefaults()
-	pattern := brief.NewPattern(256, p.Seed)
-	return extract(g, p, pattern)
+	return extract(g, p, sc.pattern(p.Seed), sc)
 }
 
 // levelPoint is a detected corner at a pyramid level before description.
@@ -63,10 +117,11 @@ type levelPoint struct {
 	harris float32
 }
 
-func extract(g *imaging.Gray, p Params, pattern *brief.Pattern) *features.Set {
+func extract(g *imaging.Gray, p Params, pattern *brief.Pattern, sc *Scratch) *features.Set {
+	a := sc.arena()
 	// Build the pyramid.
-	levels := make([]*imaging.Gray, 0, p.NLevels)
-	scales := make([]float64, 0, p.NLevels)
+	levels := arena.Cap[*imaging.Gray](a, p.NLevels)
+	scales := arena.Cap[float64](a, p.NLevels)
 	cur := g
 	scale := 1.0
 	for i := 0; i < p.NLevels; i++ {
@@ -81,46 +136,71 @@ func extract(g *imaging.Gray, p Params, pattern *brief.Pattern) *features.Set {
 		if nw < 8 || nh < 8 {
 			break
 		}
-		cur = g.ResizeBilinear(nw, nh)
+		cur = g.ResizeBilinearIn(a, nw, nh)
 	}
 	if len(levels) == 0 {
 		levels = append(levels, g)
 		scales = append(scales, 1)
 	}
 
-	// Detect per level with Harris ranking.
+	// Detect per level with Harris ranking. The FAST scratch's returned
+	// slice is recycled by the next Detect call, so each level's corners
+	// are folded into pts before the next level runs.
 	var pts []levelPoint
+	var fsc *fast.Scratch
+	if sc != nil {
+		pts = sc.pts[:0]
+		fsc = &sc.Fast
+		if fsc.A == nil {
+			fsc.A = sc.A // FAST shares the extraction arena by default
+		}
+	}
 	for li, lvl := range levels {
-		f := lvl.ToFloat()
-		gx, gy := f.Sobel()
-		kps := fast.Detect(lvl, p.FASTThreshold, true)
+		f := lvl.ToFloatIn(a)
+		gx, gy := f.SobelIn(a)
+		kps := fast.DetectScratch(lvl, p.FASTThreshold, true, fsc)
 		for _, kp := range kps {
 			h := harrisResponse(gx, gy, int(kp.X), int(kp.Y))
 			pts = append(pts, levelPoint{kp: kp, level: li, scale: scales[li], harris: h})
 		}
 	}
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i].harris != pts[j].harris {
-			return pts[i].harris > pts[j].harris
+	if sc != nil {
+		sc.pts = pts
+	}
+	// The comparator is a total order (per-level FAST corners have
+	// unique coordinates), so the unstable sort has exactly one result.
+	slices.SortFunc(pts, func(x, y levelPoint) int {
+		switch {
+		case x.harris != y.harris:
+			if x.harris > y.harris {
+				return -1
+			}
+			return 1
+		case x.level != y.level:
+			return x.level - y.level
+		case x.kp.Y != y.kp.Y:
+			if x.kp.Y < y.kp.Y {
+				return -1
+			}
+			return 1
+		case x.kp.X != y.kp.X:
+			if x.kp.X < y.kp.X {
+				return -1
+			}
+			return 1
 		}
-		if pts[i].level != pts[j].level {
-			return pts[i].level < pts[j].level
-		}
-		if pts[i].kp.Y != pts[j].kp.Y {
-			return pts[i].kp.Y < pts[j].kp.Y
-		}
-		return pts[i].kp.X < pts[j].kp.X
+		return 0
 	})
 	if len(pts) > p.NFeatures {
 		pts = pts[:p.NFeatures]
 	}
 
 	// Orientation by intensity centroid, then steered BRIEF per level.
-	out := &features.Set{Binary: [][]byte{}}
+	out := sc.feat().NewBinarySet()
 	for li, lvl := range levels {
-		smoothed := lvl.GaussianBlur(2)
+		smoothed := lvl.GaussianBlurIn(a, 2)
 		s := scales[li]
-		var lvlKps []features.Keypoint
+		lvlKps := arena.Cap[features.Keypoint](a, len(pts))
 		for _, pt := range pts {
 			if pt.level != li {
 				continue
@@ -131,7 +211,7 @@ func extract(g *imaging.Gray, p Params, pattern *brief.Pattern) *features.Set {
 			kp.Octave = li
 			lvlKps = append(lvlKps, kp)
 		}
-		kept, descs := brief.DescribeSteered(smoothed, lvlKps, pattern)
+		kept, descs := brief.DescribeSteeredIn(a, smoothed, lvlKps, pattern)
 		// Map keypoints back to base-image coordinates.
 		for i, kp := range kept {
 			kp.X = float32(float64(kp.X) * s)
@@ -141,7 +221,7 @@ func extract(g *imaging.Gray, p Params, pattern *brief.Pattern) *features.Set {
 			out.Binary = append(out.Binary, descs[i])
 		}
 	}
-	return out.Pack()
+	return sc.feat().Finish(out)
 }
 
 // harrisResponse computes det(M) - k tr(M)^2 over a 7x7 window of Sobel

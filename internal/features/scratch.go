@@ -1,0 +1,82 @@
+package features
+
+import "snmatch/internal/arena"
+
+// emptyByteRows is the shared zero-length row table handed to recycled
+// binary sets, preserving the extractor contract that a binary set's
+// Binary field is non-nil even when no keypoints survive. Appends copy
+// out of it (capacity 0), so sharing is safe.
+var emptyByteRows = [][]byte{}
+
+// Scratch is the per-worker recycling state for descriptor-set
+// assembly: the arena that backs descriptor rows and packed matrices,
+// plus the append spines (keypoints, float/binary row tables) that grow
+// to a workload's steady-state size once and are then reused for every
+// subsequent extraction. A Scratch is single-owner: exactly one
+// extraction may be in flight between Resets of its arena, and the Set
+// it produced is invalid after that Reset. A nil *Scratch (or a nil
+// Arena) degrades to plain heap allocation, so extractors thread it
+// unconditionally.
+type Scratch struct {
+	A *arena.Arena
+
+	kps  []Keypoint
+	rows [][]float32
+	bins [][]byte
+}
+
+func (sc *Scratch) arena() *arena.Arena {
+	if sc == nil {
+		return nil
+	}
+	return sc.A
+}
+
+// NewFloatSet returns an empty float-descriptor set whose header comes
+// from the arena and whose append spines are the scratch's recycled
+// ones. Callers append keypoints/rows and must hand the set to Finish.
+func (sc *Scratch) NewFloatSet() *Set {
+	if sc == nil {
+		return &Set{}
+	}
+	s := arena.NewOf[Set](sc.A)
+	s.Keypoints = sc.kps[:0]
+	s.Float = sc.rows[:0]
+	return s
+}
+
+// NewBinarySet is NewFloatSet for binary descriptors. The Binary row
+// table is non-nil even while empty, matching the fresh extractors.
+func (sc *Scratch) NewBinarySet() *Set {
+	if sc == nil {
+		return &Set{Binary: [][]byte{}}
+	}
+	s := arena.NewOf[Set](sc.A)
+	s.Keypoints = sc.kps[:0]
+	if sc.bins != nil {
+		s.Binary = sc.bins[:0]
+	} else {
+		s.Binary = emptyByteRows
+	}
+	return s
+}
+
+// Finish packs the assembled set and saves its (possibly grown) append
+// spines back into the scratch so the next extraction reuses them. It
+// must be called exactly once per set produced by NewFloatSet or
+// NewBinarySet; the set stays valid until the scratch's arena resets.
+func (sc *Scratch) Finish(s *Set) *Set {
+	if sc == nil {
+		return s.Pack()
+	}
+	s.PackIn(sc.A)
+	sc.kps = s.Keypoints[:0]
+	if s.IsBinary() {
+		if cap(s.Binary) > 0 {
+			sc.bins = s.Binary[:0]
+		}
+	} else {
+		sc.rows = s.Float[:0]
+	}
+	return s
+}

@@ -8,6 +8,7 @@ package sift
 import (
 	"math"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/features"
 	"snmatch/internal/imaging"
 )
@@ -52,11 +53,46 @@ const (
 	imgBorder      = 5
 )
 
+// Scratch recycles SIFT's per-query working set: every raster of the
+// Gaussian and DoG pyramids, the convolution scratch and descriptor
+// rows come from the arena, and the candidate-keypoint accumulator is a
+// reusable spine that grows to the workload's steady-state size once.
+// A nil *Scratch allocates freshly, exactly like Extract. One
+// extraction may be in flight per Scratch between arena Resets; the
+// returned Set is invalid after the Reset.
+type Scratch struct {
+	A    *arena.Arena
+	Feat *features.Scratch
+
+	kps []internalKp
+}
+
+func (sc *Scratch) arena() *arena.Arena {
+	if sc == nil {
+		return nil
+	}
+	return sc.A
+}
+
+func (sc *Scratch) feat() *features.Scratch {
+	if sc == nil {
+		return nil
+	}
+	return sc.Feat
+}
+
 // Extract detects SIFT keypoints and computes their descriptors.
 func Extract(g *imaging.Gray, params Params) *features.Set {
-	p := params.withDefaults()
+	return ExtractScratch(g, params, nil)
+}
 
-	base := initialImage(g, !p.NoDoubleImage, p.Sigma)
+// ExtractScratch is Extract over a recycled extraction context; its
+// output is bit-identical to Extract for every input.
+func ExtractScratch(g *imaging.Gray, params Params, sc *Scratch) *features.Set {
+	p := params.withDefaults()
+	a := sc.arena()
+
+	base := initialImage(g, !p.NoDoubleImage, p.Sigma, a)
 	minDim := base.W
 	if base.H < minDim {
 		minDim = base.H
@@ -66,22 +102,22 @@ func Extract(g *imaging.Gray, params Params) *features.Set {
 		nOctaves = 1
 	}
 
-	gauss := buildGaussianPyramid(base, nOctaves, p.NOctaveLayers, p.Sigma)
-	dog := buildDoGPyramid(gauss)
+	gauss := buildGaussianPyramid(base, nOctaves, p.NOctaveLayers, p.Sigma, a)
+	dog := buildDoGPyramid(gauss, a)
 
-	kps := findScaleSpaceExtrema(gauss, dog, p)
+	kps := findScaleSpaceExtrema(gauss, dog, p, sc)
 	if p.MaxFeatures > 0 && len(kps) > p.MaxFeatures {
 		sortByResponse(kps)
 		kps = kps[:p.MaxFeatures]
 	}
 
-	set := &features.Set{}
+	set := sc.feat().NewFloatSet()
 	firstOctaveScale := float32(1.0)
 	if !p.NoDoubleImage {
 		firstOctaveScale = 0.5
 	}
 	for _, k := range kps {
-		desc := computeDescriptor(gauss, k, p.NOctaveLayers)
+		desc := computeDescriptor(gauss, k, p.NOctaveLayers, a)
 		kp := features.Keypoint{
 			X:        k.x * float32(math.Pow(2, float64(k.octave))) * firstOctaveScale,
 			Y:        k.y * float32(math.Pow(2, float64(k.octave))) * firstOctaveScale,
@@ -93,7 +129,7 @@ func Extract(g *imaging.Gray, params Params) *features.Set {
 		set.Keypoints = append(set.Keypoints, kp)
 		set.Float = append(set.Float, desc)
 	}
-	return set.Pack()
+	return sc.feat().Finish(set)
 }
 
 // internalKp is a keypoint in octave coordinates before remapping.
@@ -123,25 +159,25 @@ func sortByResponse(kps []internalKp) {
 // initialImage converts to float in [0, 1], optionally doubles the size,
 // and applies the base blur assuming the camera already blurred the input
 // with sigma 0.5.
-func initialImage(g *imaging.Gray, double bool, sigma float64) *imaging.FloatGray {
-	f := imaging.NewFloatGray(g.W, g.H)
+func initialImage(g *imaging.Gray, double bool, sigma float64, a *arena.Arena) *imaging.FloatGray {
+	f := imaging.NewFloatGrayIn(a, g.W, g.H)
 	for i, v := range g.Pix {
 		f.Pix[i] = float32(v) / 255
 	}
 	const cameraSigma = 0.5
 	if double {
-		f = f.ResizeBilinear(g.W*2, g.H*2)
+		f = f.ResizeBilinearIn(a, g.W*2, g.H*2)
 		diff := math.Sqrt(math.Max(sigma*sigma-4*cameraSigma*cameraSigma, 0.01))
-		return f.GaussianBlur(diff)
+		return f.GaussianBlurIn(a, diff)
 	}
 	diff := math.Sqrt(math.Max(sigma*sigma-cameraSigma*cameraSigma, 0.01))
-	return f.GaussianBlur(diff)
+	return f.GaussianBlurIn(a, diff)
 }
 
-func buildGaussianPyramid(base *imaging.FloatGray, nOctaves, nLayers int, sigma float64) [][]*imaging.FloatGray {
+func buildGaussianPyramid(base *imaging.FloatGray, nOctaves, nLayers int, sigma float64, a *arena.Arena) [][]*imaging.FloatGray {
 	perOct := nLayers + 3
 	// Incremental sigmas between consecutive layers.
-	sig := make([]float64, perOct)
+	sig := arena.Slice[float64](a, perOct)
 	sig[0] = sigma
 	k := math.Pow(2, 1/float64(nLayers))
 	for i := 1; i < perOct; i++ {
@@ -149,38 +185,41 @@ func buildGaussianPyramid(base *imaging.FloatGray, nOctaves, nLayers int, sigma 
 		sigTotal := sigPrev * k
 		sig[i] = math.Sqrt(sigTotal*sigTotal - sigPrev*sigPrev)
 	}
-	pyr := make([][]*imaging.FloatGray, nOctaves)
+	pyr := arena.Slice[[]*imaging.FloatGray](a, nOctaves)
 	for o := 0; o < nOctaves; o++ {
-		pyr[o] = make([]*imaging.FloatGray, perOct)
+		pyr[o] = arena.Slice[*imaging.FloatGray](a, perOct)
 		if o == 0 {
 			pyr[o][0] = base
 		} else {
 			// Start from the layer with twice the base sigma of the
 			// previous octave, downsampled by two.
-			pyr[o][0] = pyr[o-1][nLayers].Downsample2()
+			pyr[o][0] = pyr[o-1][nLayers].Downsample2In(a)
 		}
 		for i := 1; i < perOct; i++ {
-			pyr[o][i] = pyr[o][i-1].GaussianBlur(sig[i])
+			pyr[o][i] = pyr[o][i-1].GaussianBlurIn(a, sig[i])
 		}
 	}
 	return pyr
 }
 
-func buildDoGPyramid(gauss [][]*imaging.FloatGray) [][]*imaging.FloatGray {
-	dog := make([][]*imaging.FloatGray, len(gauss))
+func buildDoGPyramid(gauss [][]*imaging.FloatGray, a *arena.Arena) [][]*imaging.FloatGray {
+	dog := arena.Slice[[]*imaging.FloatGray](a, len(gauss))
 	for o := range gauss {
-		dog[o] = make([]*imaging.FloatGray, len(gauss[o])-1)
+		dog[o] = arena.Slice[*imaging.FloatGray](a, len(gauss[o])-1)
 		for i := 0; i+1 < len(gauss[o]); i++ {
-			dog[o][i] = gauss[o][i+1].Subtract(gauss[o][i])
+			dog[o][i] = gauss[o][i+1].SubtractIn(a, gauss[o][i])
 		}
 	}
 	return dog
 }
 
-func findScaleSpaceExtrema(gauss, dog [][]*imaging.FloatGray, p Params) []internalKp {
+func findScaleSpaceExtrema(gauss, dog [][]*imaging.FloatGray, p Params, sc *Scratch) []internalKp {
 	nLayers := p.NOctaveLayers
 	threshold := float32(0.5 * p.ContrastThreshold / float64(nLayers))
 	var kps []internalKp
+	if sc != nil {
+		kps = sc.kps[:0]
+	}
 	for o := range dog {
 		for layer := 1; layer <= nLayers; layer++ {
 			prev, cur, next := dog[o][layer-1], dog[o][layer], dog[o][layer+1]
@@ -199,11 +238,15 @@ func findScaleSpaceExtrema(gauss, dog [][]*imaging.FloatGray, p Params) []intern
 						continue
 					}
 					// Orientation assignment may split the keypoint.
-					oriented := assignOrientations(gauss[o], kp, nLayers)
-					kps = append(kps, oriented...)
+					kps = appendOrientations(kps, gauss[o], kp)
 				}
 			}
 		}
+	}
+	if sc != nil {
+		// Save the grown spine back so the next extraction reuses it;
+		// the returned slice stays valid until the arena resets.
+		sc.kps = kps
 	}
 	return kps
 }
@@ -340,9 +383,11 @@ func solve3(a11, a12, a13, a21, a22, a23, a31, a32, a33, b1, b2, b3 float64) (x1
 	return m[0][3] / m[0][0], m[1][3] / m[1][1], m[2][3] / m[2][2], true
 }
 
-// assignOrientations builds the 36-bin gradient histogram around the
-// keypoint and emits one keypoint per dominant peak (>= 80% of max).
-func assignOrientations(gaussOct []*imaging.FloatGray, kp internalKp, nLayers int) []internalKp {
+// appendOrientations builds the 36-bin gradient histogram around the
+// keypoint and appends one keypoint per dominant peak (>= 80% of max)
+// to dst — the append-into-caller form that keeps the hot extrema sweep
+// free of per-candidate slice allocations.
+func appendOrientations(dst []internalKp, gaussOct []*imaging.FloatGray, kp internalKp) []internalKp {
 	img := gaussOct[kp.layer]
 	radius := int(math.Round(float64(orientRadius) * float64(kp.sclOctv)))
 	if radius < 1 {
@@ -388,10 +433,10 @@ func assignOrientations(gaussOct []*imaging.FloatGray, kp internalKp, nLayers in
 	}
 	if maxV == 0 {
 		kp.angle = 0
-		return []internalKp{kp}
+		return append(dst, kp)
 	}
 	thresholdV := peakRatio * maxV
-	var out []internalKp
+	appended := false
 	for i := 0; i < orientBins; i++ {
 		l := (i - 1 + orientBins) % orientBins
 		r := (i + 1) % orientBins
@@ -407,18 +452,26 @@ func assignOrientations(gaussOct []*imaging.FloatGray, kp internalKp, nLayers in
 		}
 		k2 := kp
 		k2.angle = float32(angle)
-		out = append(out, k2)
+		dst = append(dst, k2)
+		appended = true
 	}
-	if len(out) == 0 {
+	if !appended {
 		kp.angle = 0
-		out = append(out, kp)
+		dst = append(dst, kp)
 	}
-	return out
+	return dst
 }
 
+// histIdx flattens the (row, col, orientation) coordinates of the
+// descriptor histogram, whose guard-binned extent is fixed by the
+// descWidth/descBins constants.
+func histIdx(r, c, o int) int { return (r*(descWidth+2)+c)*(descBins+2) + o }
+
 // computeDescriptor produces the 128-d descriptor for the keypoint from
-// its octave's Gaussian image.
-func computeDescriptor(gauss [][]*imaging.FloatGray, kp internalKp, nLayers int) []float32 {
+// its octave's Gaussian image. The histogram is a stack array (its
+// extent is a compile-time constant) and the returned row comes from
+// the arena, so a warm context computes descriptors without heap work.
+func computeDescriptor(gauss [][]*imaging.FloatGray, kp internalKp, nLayers int, a *arena.Arena) []float32 {
 	img := gauss[kp.octave][kp.layer]
 	d, n := descWidth, descBins
 	histWidth := descSclFactor * float64(kp.sclOctv)
@@ -434,8 +487,7 @@ func computeDescriptor(gauss [][]*imaging.FloatGray, kp internalKp, nLayers int)
 	x0, y0 := int(math.Round(float64(kp.x))), int(math.Round(float64(kp.y)))
 
 	// Histogram with guard bins for trilinear interpolation.
-	hist := make([]float64, (d+2)*(d+2)*(n+2))
-	idx := func(r, c, o int) int { return (r*(d+2)+c)*(n+2) + o }
+	var hist [(descWidth + 2) * (descWidth + 2) * (descBins + 2)]float64
 
 	for dy := -radius; dy <= radius; dy++ {
 		for dx := -radius; dx <= radius; dx++ {
@@ -500,7 +552,7 @@ func computeDescriptor(gauss [][]*imaging.FloatGray, kp internalKp, nLayers int)
 						if oo < 0 {
 							oo += n
 						}
-						hist[idx(rr, cc, oo)] += v * rw * cw * ow
+						hist[histIdx(rr, cc, oo)] += v * rw * cw * ow
 					}
 				}
 			}
@@ -508,12 +560,12 @@ func computeDescriptor(gauss [][]*imaging.FloatGray, kp internalKp, nLayers int)
 	}
 
 	// Collapse the guard bins into the d*d*n vector.
-	desc := make([]float32, d*d*n)
+	desc := arena.Slice[float32](a, d*d*n)
 	k := 0
 	for r := 1; r <= d; r++ {
 		for c := 1; c <= d; c++ {
 			for o := 0; o < n; o++ {
-				desc[k] = float32(hist[idx(r, c, o)])
+				desc[k] = float32(hist[histIdx(r, c, o)])
 				k++
 			}
 		}

@@ -1,0 +1,38 @@
+package surf
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/arena"
+	"snmatch/internal/features"
+)
+
+// TestExtractScratchMatchesExtract reuses one scratch across a stream
+// of scenes (twice, so every buffer is recycled) and requires the
+// pooled extraction to equal the fresh one bit for bit.
+func TestExtractScratchMatchesExtract(t *testing.T) {
+	feat := &features.Scratch{A: arena.New()}
+	sc := &Scratch{A: feat.A, Feat: feat}
+	for round := 0; round < 2; round++ {
+		for seed := uint64(1); seed <= 3; seed++ {
+			g := blobScene(seed, 96)
+			want := Extract(g, Params{})
+			got := ExtractScratch(g, Params{}, sc)
+			if want.Len() != got.Len() {
+				t.Fatalf("round %d seed %d: %d keypoints, want %d", round, seed, got.Len(), want.Len())
+			}
+			for i := range want.Keypoints {
+				if want.Keypoints[i] != got.Keypoints[i] {
+					t.Fatalf("round %d seed %d: keypoint %d differs", round, seed, i)
+				}
+				for j := range want.Float[i] {
+					if math.Float32bits(want.Float[i][j]) != math.Float32bits(got.Float[i][j]) {
+						t.Fatalf("round %d seed %d: descriptor %d[%d] differs", round, seed, i, j)
+					}
+				}
+			}
+			sc.A.Reset()
+		}
+	}
+}

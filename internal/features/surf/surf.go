@@ -7,6 +7,7 @@ package surf
 import (
 	"math"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/features"
 	"snmatch/internal/imaging"
 )
@@ -53,28 +54,62 @@ func (r *responseLayer) at(gx, gy int) float32 {
 	return r.responses[gy*r.width+gx]
 }
 
+// Scratch recycles SURF's per-query working set: the integral image,
+// the fast-Hessian response grids and the descriptor rows come from the
+// arena, and the keypoint accumulator is a reusable spine. A nil
+// *Scratch allocates freshly, exactly like Extract. One extraction may
+// be in flight per Scratch between arena Resets; the returned Set is
+// invalid after the Reset.
+type Scratch struct {
+	A    *arena.Arena
+	Feat *features.Scratch
+
+	kps []surfKp
+}
+
+func (sc *Scratch) arena() *arena.Arena {
+	if sc == nil {
+		return nil
+	}
+	return sc.A
+}
+
+func (sc *Scratch) feat() *features.Scratch {
+	if sc == nil {
+		return nil
+	}
+	return sc.Feat
+}
+
 // Extract detects and describes SURF features on the grayscale image.
 func Extract(g *imaging.Gray, params Params) *features.Set {
+	return ExtractScratch(g, params, nil)
+}
+
+// ExtractScratch is Extract over a recycled extraction context; its
+// output is bit-identical to Extract for every input.
+func ExtractScratch(g *imaging.Gray, params Params, sc *Scratch) *features.Set {
 	p := params.withDefaults()
-	integral := imaging.NewIntegralSum(g)
+	a := sc.arena()
+	integral := imaging.NewIntegralSumIn(a, g)
 
-	layers := buildResponseLayers(integral, g.W, g.H, p)
-	kps := findExtrema(layers, p)
+	layers := buildResponseLayers(integral, g.W, g.H, p, a)
+	kps := findExtrema(layers, p, sc)
 
-	set := &features.Set{}
+	set := sc.feat().NewFloatSet()
 	for _, kp := range kps {
 		angle := float32(0)
 		if !p.Upright {
 			angle = orientation(integral, kp)
 		}
-		desc := describe(integral, kp, angle)
+		desc := describe(integral, kp, angle, a)
 		set.Keypoints = append(set.Keypoints, features.Keypoint{
 			X: kp.x, Y: kp.y, Size: kp.scale * 9.0 / 1.2,
 			Angle: angle, Response: kp.response, Octave: kp.octave,
 		})
 		set.Float = append(set.Float, desc)
 	}
-	return set.Pack()
+	return sc.feat().Finish(set)
 }
 
 type surfKp struct {
@@ -192,25 +227,25 @@ func (hf hessianFilter) denseRow(it *imaging.Integral, r, step, gw int, resp []f
 	}
 }
 
-func buildResponseLayers(it *imaging.Integral, w, h int, p Params) [][]*responseLayer {
-	out := make([][]*responseLayer, 0, p.NOctaves)
+func buildResponseLayers(it *imaging.Integral, w, h int, p Params, a *arena.Arena) [][]*responseLayer {
+	out := arena.Cap[[]*responseLayer](a, p.NOctaves)
 	for o := 0; o < p.NOctaves; o++ {
 		step := p.InitSample << o
 		gw, gh := w/step, h/step
 		if gw < 3 || gh < 3 {
 			break
 		}
-		oct := make([]*responseLayer, 0, layersPerOctave)
+		oct := arena.Cap[*responseLayer](a, layersPerOctave)
 		for i := 0; i < layersPerOctave; i++ {
 			filter := 3 * ((1<<(o+1))*(i+1) + 1)
 			if filter > w || filter > h {
 				break
 			}
-			layer := &responseLayer{
-				width: gw, height: gh, step: step, filter: filter,
-				responses: make([]float32, gw*gh),
-				laplacian: make([]bool, gw*gh),
-			}
+			layer := arena.NewOf[responseLayer](a)
+			layer.width, layer.height = gw, gh
+			layer.step, layer.filter = step, filter
+			layer.responses = arena.Slice[float32](a, gw*gh)
+			layer.laplacian = arena.Slice[bool](a, gw*gh)
 			hf := newHessianFilter(filter)
 			for gy := 0; gy < gh; gy++ {
 				r := gy * step
@@ -229,8 +264,11 @@ func buildResponseLayers(it *imaging.Integral, w, h int, p Params) [][]*response
 
 // findExtrema runs 3x3x3 non-maximum suppression over each octave's
 // middle layers and refines survivors with one Newton step.
-func findExtrema(octaves [][]*responseLayer, p Params) []surfKp {
+func findExtrema(octaves [][]*responseLayer, p Params, sc *Scratch) []surfKp {
 	var kps []surfKp
+	if sc != nil {
+		kps = sc.kps[:0]
+	}
 	threshold := float32(p.HessianThreshold)
 	for o, oct := range octaves {
 		for li := 1; li+1 < len(oct); li++ {
@@ -253,6 +291,11 @@ func findExtrema(octaves [][]*responseLayer, p Params) []surfKp {
 				}
 			}
 		}
+	}
+	if sc != nil {
+		// Save the grown spine back so the next extraction reuses it;
+		// the returned slice stays valid until the arena resets.
+		sc.kps = kps
 	}
 	return kps
 }
@@ -357,7 +400,8 @@ func orientation(it *imaging.Integral, kp surfKp) float32 {
 	type resp struct {
 		angle, gx, gy float64
 	}
-	samples := make([]resp, 0, 113) // 113 grid points satisfy dx*dx+dy*dy < 36
+	var sampleBuf [113]resp // 113 grid points satisfy dx*dx+dy*dy < 36
+	samples := sampleBuf[:0] // stack-backed: the bound is fixed by the window
 	haarSize := 4 * s
 	for dy := -6; dy <= 6; dy++ {
 		for dx := -6; dx <= 6; dx++ {
@@ -428,7 +472,7 @@ var orientGauss = func() []float64 {
 // describe computes the 64-d SURF descriptor: 4x4 subregions of a 20s
 // window, each summarising 5x5 Haar samples as [sum dx, sum |dx|,
 // sum dy, sum |dy|] in the keypoint's rotated frame.
-func describe(it *imaging.Integral, kp surfKp, angle float32) []float32 {
+func describe(it *imaging.Integral, kp surfKp, angle float32, a *arena.Arena) []float32 {
 	s := float64(kp.scale)
 	if s < 1 {
 		s = 1
@@ -440,7 +484,7 @@ func describe(it *imaging.Integral, kp surfKp, angle float32) []float32 {
 		haarSize = 2
 	}
 
-	desc := make([]float32, 64)
+	desc := arena.Slice[float32](a, 64)
 	k := 0
 	for sr := -2; sr < 2; sr++ { // subregion rows
 		for sc := -2; sc < 2; sc++ {

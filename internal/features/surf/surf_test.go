@@ -148,7 +148,7 @@ func TestDenseRowMatchesHessianAt(t *testing.T) {
 	}
 	it := imaging.NewIntegralSum(g)
 	p := Params{}.withDefaults()
-	layers := buildResponseLayers(it, g.W, g.H, p)
+	layers := buildResponseLayers(it, g.W, g.H, p, nil)
 	if len(layers) == 0 {
 		t.Fatal("no response layers built")
 	}

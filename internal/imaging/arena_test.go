@@ -1,0 +1,124 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/arena"
+)
+
+// dirtyArena returns an arena whose free lists already hold buffers
+// full of garbage, so a test catches any In-variant that forgets it
+// must see zeroed memory.
+func dirtyArena() *arena.Arena {
+	a := arena.New()
+	for _, n := range []int{31, 257, 4096} {
+		f := arena.Slice[float32](a, n)
+		for i := range f {
+			f[i] = -12345.5
+		}
+		b := arena.Slice[uint8](a, n)
+		for i := range b {
+			b[i] = 0xAB
+		}
+		d := arena.Slice[float64](a, n)
+		for i := range d {
+			d[i] = 777.25
+		}
+	}
+	a.Reset()
+	return a
+}
+
+func testRaster(w, h int) *FloatGray {
+	f := NewFloatGray(w, h)
+	s := uint32(99)
+	for i := range f.Pix {
+		s = s*1664525 + 1013904223
+		f.Pix[i] = float32(s>>16) / 977
+	}
+	return f
+}
+
+func floatsEqual(t *testing.T, label string, want, got []float32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+			t.Fatalf("%s: pixel %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestArenaVariantsBitIdentical runs every In-variant twice on a dirty,
+// reused arena and requires bit equality with the heap path each time.
+func TestArenaVariantsBitIdentical(t *testing.T) {
+	a := dirtyArena()
+	f := testRaster(53, 47)
+	g := f.ToGray()
+	kernel := GaussianKernel(1.6, 0)
+	for round := 0; round < 2; round++ {
+		floatsEqual(t, "conv", f.ConvolveSeparable(kernel).Pix, f.ConvolveSeparableIn(a, kernel).Pix)
+
+		hgx, hgy := f.Sobel()
+		agx, agy := f.SobelIn(a)
+		floatsEqual(t, "sobel gx", hgx.Pix, agx.Pix)
+		floatsEqual(t, "sobel gy", hgy.Pix, agy.Pix)
+
+		floatsEqual(t, "resize", f.ResizeBilinear(31, 29).Pix, f.ResizeBilinearIn(a, 31, 29).Pix)
+		floatsEqual(t, "down", f.Downsample2().Pix, f.Downsample2In(a).Pix)
+		floatsEqual(t, "blur", f.GaussianBlur(2.1).Pix, f.GaussianBlurIn(a, 2.1).Pix)
+		floatsEqual(t, "sub", f.Subtract(f).Pix, f.SubtractIn(a, f).Pix)
+
+		hb := g.GaussianBlur(2)
+		ab := g.GaussianBlurIn(a, 2)
+		for i := range hb.Pix {
+			if hb.Pix[i] != ab.Pix[i] {
+				t.Fatalf("gray blur: pixel %d = %d, want %d", i, ab.Pix[i], hb.Pix[i])
+			}
+		}
+
+		hi := NewIntegralSum(g)
+		ai := NewIntegralSumIn(a, g)
+		for i := range hi.Sum {
+			if hi.Sum[i] != ai.Sum[i] {
+				t.Fatalf("integral: entry %d = %v, want %v", i, ai.Sum[i], hi.Sum[i])
+			}
+		}
+
+		hk := GaussianKernel(0.84, 0)
+		ak := GaussianKernelIn(a, 0.84, 0)
+		floatsEqual(t, "kernel", hk, ak)
+
+		a.Reset()
+	}
+}
+
+// TestArenaRastersZeroed pins the make() contract of arena-backed
+// raster constructors: reused pixel buffers come back zeroed.
+func TestArenaRastersZeroed(t *testing.T) {
+	a := arena.New()
+	f := NewFloatGrayIn(a, 16, 16)
+	for i := range f.Pix {
+		f.Pix[i] = 3
+	}
+	g := NewGrayIn(a, 16, 16)
+	for i := range g.Pix {
+		g.Pix[i] = 7
+	}
+	a.Reset()
+	f2 := NewFloatGrayIn(a, 16, 16)
+	g2 := NewGrayIn(a, 16, 16)
+	for i := range f2.Pix {
+		if f2.Pix[i] != 0 {
+			t.Fatalf("reused FloatGray not zeroed at %d", i)
+		}
+	}
+	for i := range g2.Pix {
+		if g2.Pix[i] != 0 {
+			t.Fatalf("reused Gray not zeroed at %d", i)
+		}
+	}
+}

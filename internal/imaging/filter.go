@@ -1,12 +1,25 @@
 package imaging
 
-import "math"
+import (
+	"math"
+
+	"snmatch/internal/arena"
+)
 
 // GaussianKernel returns a normalised 1-D Gaussian kernel for the given
 // sigma. The radius defaults to ceil(3*sigma) when radius <= 0.
 func GaussianKernel(sigma float64, radius int) []float32 {
+	return GaussianKernelIn(nil, sigma, radius)
+}
+
+// GaussianKernelIn is GaussianKernel with the kernel drawn from the
+// arena; the weights are recomputed either way, so pooled kernels are
+// bit-identical to fresh ones.
+func GaussianKernelIn(a *arena.Arena, sigma float64, radius int) []float32 {
 	if sigma <= 0 {
-		return []float32{1}
+		k := arena.Slice[float32](a, 1)
+		k[0] = 1
+		return k
 	}
 	if radius <= 0 {
 		radius = int(math.Ceil(3 * sigma))
@@ -14,7 +27,7 @@ func GaussianKernel(sigma float64, radius int) []float32 {
 			radius = 1
 		}
 	}
-	k := make([]float32, 2*radius+1)
+	k := arena.Slice[float32](a, 2*radius+1)
 	sum := 0.0
 	inv := 1 / (2 * sigma * sigma)
 	for i := -radius; i <= radius; i++ {
@@ -35,17 +48,24 @@ func GaussianKernel(sigma float64, radius int) []float32 {
 // is never materialised; each pass runs the same per-row kernels, so
 // the output is bit-identical to the unfused composition.
 func (f *FloatGray) ConvolveSeparable(kernel []float32) *FloatGray {
+	return f.ConvolveSeparableIn(nil, kernel)
+}
+
+// ConvolveSeparableIn is ConvolveSeparable with the output raster and
+// the fused-pass scratch (ring buffer, source-row table) drawn from the
+// arena.
+func (f *FloatGray) ConvolveSeparableIn(a *arena.Arena, kernel []float32) *FloatGray {
 	r := len(kernel) / 2
 	k := len(kernel)
-	out := NewFloatGray(f.W, f.H)
+	out := NewFloatGrayIn(a, f.W, f.H)
 	w, h := f.W, f.H
 	if w == 0 || h == 0 {
 		return out
 	}
 	// ring holds the last k horizontally-convolved rows; row j lives at
 	// slot j%k, and the window [y-r, y+r] never exceeds k rows.
-	ring := make([]float32, k*w)
-	srcs := make([][]float32, k)
+	ring := arena.Slice[float32](a, k*w)
+	srcs := arena.Slice[[]float32](a, k)
 	computed := -1
 	for y := 0; y < h; y++ {
 		// The window's last tap reads row y+(k-1)-r (== y+r for odd
@@ -227,19 +247,31 @@ func convAccumV(dst []float32, srcs [][]float32, kernel []float32) {
 
 // GaussianBlur returns f blurred with an isotropic Gaussian of the given
 // sigma. Sigma <= 0 returns a copy.
-func (f *FloatGray) GaussianBlur(sigma float64) *FloatGray {
+func (f *FloatGray) GaussianBlur(sigma float64) *FloatGray { return f.GaussianBlurIn(nil, sigma) }
+
+// GaussianBlurIn is GaussianBlur with every intermediate (kernel,
+// fused-pass scratch, output raster) drawn from the arena.
+func (f *FloatGray) GaussianBlurIn(a *arena.Arena, sigma float64) *FloatGray {
 	if sigma <= 0 {
-		return f.Clone()
+		out := NewFloatGrayIn(a, f.W, f.H)
+		copy(out.Pix, f.Pix)
+		return out
 	}
-	return f.ConvolveSeparable(GaussianKernel(sigma, 0))
+	return f.ConvolveSeparableIn(a, GaussianKernelIn(a, sigma, 0))
 }
 
 // GaussianBlur returns g blurred with an isotropic Gaussian.
-func (g *Gray) GaussianBlur(sigma float64) *Gray {
+func (g *Gray) GaussianBlur(sigma float64) *Gray { return g.GaussianBlurIn(nil, sigma) }
+
+// GaussianBlurIn is GaussianBlur with the float round-trip and result
+// drawn from the arena.
+func (g *Gray) GaussianBlurIn(a *arena.Arena, sigma float64) *Gray {
 	if sigma <= 0 {
-		return g.Clone()
+		out := NewGrayIn(a, g.W, g.H)
+		copy(out.Pix, g.Pix)
+		return out
 	}
-	return g.ToFloat().GaussianBlur(sigma).ToGray()
+	return g.ToFloatIn(a).GaussianBlurIn(a, sigma).ToGrayIn(a)
 }
 
 // GaussianBlur blurs each RGB channel independently.
@@ -270,9 +302,12 @@ func (m *Image) GaussianBlur(sigma float64) *Image {
 // rows directly (the border ring keeps the clamped path); the derivative
 // expressions are identical in both paths, so the output matches the
 // fully clamped loop bit for bit.
-func (f *FloatGray) Sobel() (gx, gy *FloatGray) {
-	gx = NewFloatGray(f.W, f.H)
-	gy = NewFloatGray(f.W, f.H)
+func (f *FloatGray) Sobel() (gx, gy *FloatGray) { return f.SobelIn(nil) }
+
+// SobelIn is Sobel with both derivative rasters drawn from the arena.
+func (f *FloatGray) SobelIn(a *arena.Arena) (gx, gy *FloatGray) {
+	gx = NewFloatGrayIn(a, f.W, f.H)
+	gy = NewFloatGrayIn(a, f.W, f.H)
 	w, h := f.W, f.H
 	for y := 0; y < h; y++ {
 		if y > 0 && y < h-1 && w > 2 {
@@ -315,14 +350,17 @@ func sobelClamped(f, gx, gy *FloatGray, x, y int) {
 }
 
 // Subtract returns f - o element-wise; the rasters must be equally sized.
-func (f *FloatGray) Subtract(o *FloatGray) *FloatGray {
+func (f *FloatGray) Subtract(o *FloatGray) *FloatGray { return f.SubtractIn(nil, o) }
+
+// SubtractIn is Subtract with the result drawn from the arena.
+func (f *FloatGray) SubtractIn(a *arena.Arena, o *FloatGray) *FloatGray {
 	if f.W != o.W || f.H != o.H {
 		panic("imaging: Subtract size mismatch")
 	}
-	out := NewFloatGray(f.W, f.H)
-	a, b, dst := f.Pix, o.Pix[:len(f.Pix)], out.Pix[:len(f.Pix)]
-	for i := range a {
-		dst[i] = a[i] - b[i]
+	out := NewFloatGrayIn(a, f.W, f.H)
+	p, q, dst := f.Pix, o.Pix[:len(f.Pix)], out.Pix[:len(f.Pix)]
+	for i := range p {
+		dst[i] = p[i] - q[i]
 	}
 	return out
 }

@@ -10,6 +10,7 @@ import (
 	"image"
 	"image/color"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/geom"
 )
 
@@ -146,8 +147,12 @@ func (m *Image) Crop(r geom.Rect) *Image {
 }
 
 // ToGray converts m to an 8-bit luma image.
-func (m *Image) ToGray() *Gray {
-	g := NewGray(m.W, m.H)
+func (m *Image) ToGray() *Gray { return m.ToGrayIn(nil) }
+
+// ToGrayIn is ToGray with the result drawn from the arena (nil falls
+// back to the heap).
+func (m *Image) ToGrayIn(a *arena.Arena) *Gray {
+	g := NewGrayIn(a, m.W, m.H)
 	for p, i := 0, 0; p < len(g.Pix); p, i = p+1, i+3 {
 		g.Pix[p] = RGB{m.Pix[i], m.Pix[i+1], m.Pix[i+2]}.Luma()
 	}
@@ -161,11 +166,19 @@ type Gray struct {
 }
 
 // NewGray returns a zeroed W x H grayscale image.
-func NewGray(w, h int) *Gray {
+func NewGray(w, h int) *Gray { return NewGrayIn(nil, w, h) }
+
+// NewGrayIn is NewGray with the header and pixel buffer drawn from the
+// arena (nil falls back to the heap). Arena-backed rasters are zeroed
+// exactly like heap ones, and are reclaimed by the arena's Reset.
+func NewGrayIn(a *arena.Arena, w, h int) *Gray {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imaging: invalid image size %dx%d", w, h))
 	}
-	return &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+	g := arena.NewOf[Gray](a)
+	g.W, g.H = w, h
+	g.Pix = arena.Slice[uint8](a, w*h)
+	return g
 }
 
 // In reports whether (x, y) is a valid pixel coordinate.
@@ -230,8 +243,11 @@ func (g *Gray) ToImage() *Image {
 }
 
 // ToFloat converts g to a float32 raster in [0, 255].
-func (g *Gray) ToFloat() *FloatGray {
-	f := NewFloatGray(g.W, g.H)
+func (g *Gray) ToFloat() *FloatGray { return g.ToFloatIn(nil) }
+
+// ToFloatIn is ToFloat with the result drawn from the arena.
+func (g *Gray) ToFloatIn(a *arena.Arena) *FloatGray {
+	f := NewFloatGrayIn(a, g.W, g.H)
 	for i, v := range g.Pix {
 		f.Pix[i] = float32(v)
 	}
@@ -246,11 +262,18 @@ type FloatGray struct {
 }
 
 // NewFloatGray returns a zeroed W x H float raster.
-func NewFloatGray(w, h int) *FloatGray {
+func NewFloatGray(w, h int) *FloatGray { return NewFloatGrayIn(nil, w, h) }
+
+// NewFloatGrayIn is NewFloatGray with the header and pixel buffer drawn
+// from the arena (nil falls back to the heap).
+func NewFloatGrayIn(a *arena.Arena, w, h int) *FloatGray {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imaging: invalid image size %dx%d", w, h))
 	}
-	return &FloatGray{W: w, H: h, Pix: make([]float32, w*h)}
+	f := arena.NewOf[FloatGray](a)
+	f.W, f.H = w, h
+	f.Pix = arena.Slice[float32](a, w*h)
+	return f
 }
 
 // At returns the value at (x, y). It panics when out of bounds.
@@ -287,8 +310,11 @@ func (f *FloatGray) Clone() *FloatGray {
 }
 
 // ToGray clamps and rounds f back to an 8-bit image.
-func (f *FloatGray) ToGray() *Gray {
-	g := NewGray(f.W, f.H)
+func (f *FloatGray) ToGray() *Gray { return f.ToGrayIn(nil) }
+
+// ToGrayIn is ToGray with the result drawn from the arena.
+func (f *FloatGray) ToGrayIn(a *arena.Arena) *Gray {
+	g := NewGrayIn(a, f.W, f.H)
 	for i, v := range f.Pix {
 		g.Pix[i] = clamp8(float64(v))
 	}

@@ -1,5 +1,7 @@
 package imaging
 
+import "snmatch/internal/arena"
+
 // Integral is a summed-area table. Sum holds the inclusive prefix sums of
 // pixel values and SqSum the prefix sums of squared values, both with an
 // extra zero row and column so lookups need no bounds branches.
@@ -28,12 +30,14 @@ func NewIntegral(g *Gray) *Integral {
 // NewIntegralSum builds only the plain prefix-sum table — enough for
 // BoxSum/BoxMean consumers (the SURF sweep), at half the build cost.
 // BoxSqSum must not be called on the result.
-func NewIntegralSum(g *Gray) *Integral {
-	it := &Integral{
-		W:   g.W,
-		H:   g.H,
-		Sum: make([]float64, (g.W+1)*(g.H+1)),
-	}
+func NewIntegralSum(g *Gray) *Integral { return NewIntegralSumIn(nil, g) }
+
+// NewIntegralSumIn is NewIntegralSum with the header and table drawn
+// from the arena.
+func NewIntegralSumIn(a *arena.Arena, g *Gray) *Integral {
+	it := arena.NewOf[Integral](a)
+	it.W, it.H = g.W, g.H
+	it.Sum = arena.Slice[float64](a, (g.W+1)*(g.H+1))
 	stride := g.W + 1
 	for y := 1; y <= g.H; y++ {
 		var rowSum float64

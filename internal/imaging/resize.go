@@ -1,6 +1,10 @@
 package imaging
 
-import "fmt"
+import (
+	"fmt"
+
+	"snmatch/internal/arena"
+)
 
 // ResizeNearest scales m to w x h with nearest-neighbour sampling.
 func (m *Image) ResizeNearest(w, h int) *Image {
@@ -74,9 +78,13 @@ func (g *Gray) ResizeNearest(w, h int) *Gray {
 }
 
 // ResizeBilinear scales g to w x h with bilinear interpolation.
-func (g *Gray) ResizeBilinear(w, h int) *Gray {
+func (g *Gray) ResizeBilinear(w, h int) *Gray { return g.ResizeBilinearIn(nil, w, h) }
+
+// ResizeBilinearIn is ResizeBilinear with the result drawn from the
+// arena.
+func (g *Gray) ResizeBilinearIn(a *arena.Arena, w, h int) *Gray {
 	checkSize(w, h)
-	out := NewGray(w, h)
+	out := NewGrayIn(a, w, h)
 	xr := float64(g.W) / float64(w)
 	yr := float64(g.H) / float64(h)
 	for y := 0; y < h; y++ {
@@ -100,9 +108,13 @@ func (g *Gray) ResizeBilinear(w, h int) *Gray {
 }
 
 // ResizeBilinear scales f to w x h with bilinear interpolation.
-func (f *FloatGray) ResizeBilinear(w, h int) *FloatGray {
+func (f *FloatGray) ResizeBilinear(w, h int) *FloatGray { return f.ResizeBilinearIn(nil, w, h) }
+
+// ResizeBilinearIn is ResizeBilinear with the result drawn from the
+// arena.
+func (f *FloatGray) ResizeBilinearIn(a *arena.Arena, w, h int) *FloatGray {
 	checkSize(w, h)
-	out := NewFloatGray(w, h)
+	out := NewFloatGrayIn(a, w, h)
 	xr := float64(f.W) / float64(w)
 	yr := float64(f.H) / float64(h)
 	for y := 0; y < h; y++ {
@@ -127,7 +139,10 @@ func (f *FloatGray) ResizeBilinear(w, h int) *FloatGray {
 
 // Downsample2 halves f in each dimension by dropping odd rows/columns, as
 // used between SIFT octaves. Images of odd size round down (minimum 1).
-func (f *FloatGray) Downsample2() *FloatGray {
+func (f *FloatGray) Downsample2() *FloatGray { return f.Downsample2In(nil) }
+
+// Downsample2In is Downsample2 with the result drawn from the arena.
+func (f *FloatGray) Downsample2In(a *arena.Arena) *FloatGray {
 	w, h := f.W/2, f.H/2
 	if w < 1 {
 		w = 1
@@ -135,7 +150,7 @@ func (f *FloatGray) Downsample2() *FloatGray {
 	if h < 1 {
 		h = 1
 	}
-	out := NewFloatGray(w, h)
+	out := NewFloatGrayIn(a, w, h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			out.Set(x, y, f.AtClamped(2*x, 2*y))

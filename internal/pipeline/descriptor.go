@@ -1,19 +1,49 @@
 package pipeline
 
 import (
+	"sync"
+	"time"
+
+	"snmatch/internal/features"
 	"snmatch/internal/features/match"
 	"snmatch/internal/imaging"
 )
+
+// QueryStats carries per-query serving timings alongside a Prediction.
+type QueryStats struct {
+	Extract time.Duration // descriptor extraction (PNG-decoded image -> packed query set)
+}
+
+// StatsClassifier is implemented by pipelines that can report per-query
+// timings; the serving layer uses it to expose extract_ms next to the
+// end-to-end latency.
+type StatsClassifier interface {
+	ClassifyStats(img *imaging.Image, g *Gallery) (Prediction, QueryStats)
+}
 
 // Descriptor is the §3.3 pipeline: extract SIFT, SURF or ORB features
 // from the query, match against the gallery-level flat descriptor index
 // (DescriptorIndex), apply Lowe's ratio test, and predict the view with
 // the most surviving matches. The paper's reported configuration uses
 // ratio 0.5.
+//
+// Extraction runs on pooled per-worker contexts (ExtractCtx): Classify
+// checks a context out of the pipeline's pool, extracts into it, and
+// recycles it after the scan, so the warm query path performs no heap
+// allocation from grayscale conversion to the flat-index counts.
 type Descriptor struct {
 	Kind   DescriptorKind
 	Ratio  float64 // ratio-test threshold (paper tests 0.75 and 0.5)
 	Params DescriptorParams
+
+	// ctxs pools extraction contexts across concurrent Classify calls:
+	// every RunParallel worker, batcher lane and serving request checks
+	// a private context out per query and returns it warmed, so one
+	// shared pipeline instance serves any degree of concurrency with
+	// zero steady-state allocation. (The pipeline is stateless with
+	// respect to the query stream, so no Forker clone is needed — the
+	// pool is the per-worker context mechanism.)
+	ctxs sync.Pool
 }
 
 // NewDescriptor builds the pipeline with default extractor parameters.
@@ -24,6 +54,52 @@ func NewDescriptor(kind DescriptorKind, ratio float64) *Descriptor {
 // Name implements Pipeline.
 func (p *Descriptor) Name() string { return p.Kind.String() }
 
+// getCtx checks an extraction context out of the pool, creating one
+// when the pool is empty.
+func (p *Descriptor) getCtx() *ExtractCtx {
+	if c, ok := p.ctxs.Get().(*ExtractCtx); ok {
+		return c
+	}
+	return NewExtractCtx()
+}
+
+// maxPooledCtxBytes caps the arena footprint a context may carry back
+// into the pool. Arenas never shrink, so without the cap one oversized
+// query would pin its high-water working set in every pooled context
+// for the life of the process (the warm path allocates nothing, so GC
+// — the only thing that drains a sync.Pool — rarely gets a reason to
+// run). 128 MiB comfortably holds the pyramids of ~512px queries;
+// anything beyond is served correctly but its context is dropped.
+const maxPooledCtxBytes = 128 << 20
+
+// putCtx recycles the context's buffers and returns it to the pool,
+// unless an oversized query inflated it past maxPooledCtxBytes — then
+// it is dropped for GC and the next query builds a fresh one.
+// Everything the context's arena backed — including the query set the
+// last extraction returned — is invalid afterwards.
+func (p *Descriptor) putCtx(c *ExtractCtx) {
+	c.Reset()
+	if c.arena.Footprint() > maxPooledCtxBytes {
+		return
+	}
+	p.ctxs.Put(c)
+}
+
+// classifyOn is the single copy of the pooled query protocol — context
+// checkout, timed extraction, count scan over the given index/counter
+// pair, recycle — shared by the flat (Descriptor.ClassifyStats) and
+// sharded (ShardedGallery.ClassifyStats) serving paths so the checkout
+// discipline cannot drift between them.
+func (p *Descriptor) classifyOn(img *imaging.Image, g *Gallery, ix *DescriptorIndex, mc matchCounter) (Prediction, QueryStats) {
+	ctx := p.getCtx()
+	start := time.Now()
+	q := ExtractDescriptorsCtx(img, p.Kind, p.Params, ctx)
+	stats := QueryStats{Extract: time.Since(start)}
+	pred := classifyCounts(g, ix, mc, q, p.Ratio)
+	p.putCtx(ctx)
+	return pred, stats
+}
+
 // Classify implements Pipeline. The per-view good-match counts come
 // from one scan of the flat gallery index per query descriptor; the
 // count scratch is pooled, so steady-state matching allocates nothing
@@ -32,21 +108,32 @@ func (p *Descriptor) Name() string { return p.Kind.String() }
 // a shared gallery are safe. Results are identical to brute-force
 // per-view matching (classifyPerView).
 func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
-	q := ExtractDescriptors(img, p.Kind, p.Params)
+	pred, _ := p.ClassifyStats(img, g)
+	return pred
+}
+
+// ClassifyStats implements StatsClassifier: Classify plus the
+// extraction timing of this query.
+func (p *Descriptor) ClassifyStats(img *imaging.Image, g *Gallery) (Prediction, QueryStats) {
 	ix := g.descriptorIndex(p.Kind, p.Params)
-	return classifyCounts(g, ix, func(counts []int32) {
-		ix.GoodMatchCounts(q, p.Ratio, counts)
-	})
+	return p.classifyOn(img, g, ix, ix)
+}
+
+// matchCounter fills per-view good-match counts for one query — the
+// flat index and its sharded wrapper both implement it, which lets
+// classifyCounts stay closure-free on the zero-allocation query path.
+type matchCounter interface {
+	GoodMatchCounts(query *features.Set, ratio float64, counts []int32)
 }
 
 // classifyCounts runs one good-match-count fill over pooled scratch and
 // selects the winning view — the shared tail of flat and sharded
 // descriptor classification, kept in one place so the first-best
 // tie-break and Score semantics cannot drift between the two paths.
-func classifyCounts(g *Gallery, ix *DescriptorIndex, fill func(counts []int32)) Prediction {
+func classifyCounts(g *Gallery, ix *DescriptorIndex, mc matchCounter, q *features.Set, ratio float64) Prediction {
 	countsPtr := ix.getCounts()
 	counts := *countsPtr
-	fill(counts)
+	mc.GoodMatchCounts(q, ratio, counts)
 	best := Prediction{Index: -1, Score: -1}
 	for i := range counts {
 		if score := float64(counts[i]); score > best.Score {

@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"snmatch/internal/arena"
+	"snmatch/internal/features"
+	"snmatch/internal/features/orb"
+	"snmatch/internal/features/sift"
+	"snmatch/internal/features/surf"
+	"snmatch/internal/imaging"
+)
+
+// ExtractCtx is a per-worker extraction context: one arena shared by
+// the imaging, feature-set and extractor layers, plus each extractor's
+// recycled accumulators. A warm context performs a steady-state query
+// extraction — grayscale conversion, pyramids/integral tables, detector
+// sweeps, descriptor rows, and the packed matrix — with zero heap
+// allocations.
+//
+// A context is single-owner: it serves one extraction at a time, and
+// the Set that extraction returned is invalid once Reset runs. The
+// Descriptor pipeline checks contexts out of a sync.Pool per Classify,
+// so one shared pipeline instance serves RunParallel workers, batcher
+// lanes and concurrent HTTP requests alike — each query runs on a
+// private warmed context.
+type ExtractCtx struct {
+	arena *arena.Arena
+	feat  features.Scratch
+	sift  sift.Scratch
+	surf  surf.Scratch
+	orb   orb.Scratch
+}
+
+// NewExtractCtx returns an empty context; its buffers are grown by the
+// first queries and recycled afterwards.
+func NewExtractCtx() *ExtractCtx {
+	c := &ExtractCtx{arena: arena.New()}
+	c.feat.A = c.arena
+	c.sift = sift.Scratch{A: c.arena, Feat: &c.feat}
+	c.surf = surf.Scratch{A: c.arena, Feat: &c.feat}
+	c.orb = orb.Scratch{A: c.arena, Feat: &c.feat}
+	return c
+}
+
+// Reset reclaims every arena-backed buffer the last extraction loaned,
+// invalidating its returned Set. Long-lived caches that survive resets
+// (the ORB pattern, the accumulator spines) are kept.
+func (c *ExtractCtx) Reset() {
+	if c == nil {
+		return
+	}
+	c.arena.Reset()
+}
+
+// ExtractDescriptorsCtx is ExtractDescriptors drawing every
+// intermediate from the context; a nil context is exactly
+// ExtractDescriptors. The returned set is valid until the context's
+// Reset.
+func ExtractDescriptorsCtx(img *imaging.Image, kind DescriptorKind, p DescriptorParams, c *ExtractCtx) *features.Set {
+	if c == nil {
+		return ExtractDescriptors(img, kind, p)
+	}
+	g := img.ToGrayIn(c.arena)
+	switch kind {
+	case SIFT:
+		return sift.ExtractScratch(g, p.SIFT, &c.sift)
+	case SURF:
+		return surf.ExtractScratch(g, p.SURF, &c.surf)
+	case ORB:
+		return orb.ExtractScratch(g, p.ORB, &c.orb)
+	}
+	panic("pipeline: unknown descriptor kind")
+}

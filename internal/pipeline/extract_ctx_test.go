@@ -1,0 +1,238 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"snmatch/internal/arena"
+	"snmatch/internal/dataset"
+	"snmatch/internal/features"
+	"snmatch/internal/imaging"
+	"snmatch/internal/rng"
+)
+
+// noiseImage renders a deterministic noise RGB image — a worst-case
+// keypoint workload that exercises every extractor code path.
+func noiseImage(r *rng.RNG, w, h int) *imaging.Image {
+	img := imaging.NewImage(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = byte(r.Intn(256))
+	}
+	return img
+}
+
+// setsBitIdentical asserts two descriptor sets match bit for bit:
+// keypoints, descriptor rows and the packed mirror.
+func setsBitIdentical(t *testing.T, label string, fresh, pooled *features.Set) {
+	t.Helper()
+	if fresh.Len() != pooled.Len() {
+		t.Fatalf("%s: %d keypoints, fresh has %d", label, pooled.Len(), fresh.Len())
+	}
+	if fresh.IsBinary() != pooled.IsBinary() {
+		t.Fatalf("%s: representation mismatch", label)
+	}
+	for i := range fresh.Keypoints {
+		if fresh.Keypoints[i] != pooled.Keypoints[i] {
+			t.Fatalf("%s: keypoint %d = %+v, fresh %+v", label, i, pooled.Keypoints[i], fresh.Keypoints[i])
+		}
+	}
+	for i := range fresh.Float {
+		for j := range fresh.Float[i] {
+			if math.Float32bits(fresh.Float[i][j]) != math.Float32bits(pooled.Float[i][j]) {
+				t.Fatalf("%s: float row %d component %d differs", label, i, j)
+			}
+		}
+	}
+	for i := range fresh.Binary {
+		for j := range fresh.Binary[i] {
+			if fresh.Binary[i][j] != pooled.Binary[i][j] {
+				t.Fatalf("%s: binary row %d byte %d differs", label, i, j)
+			}
+		}
+	}
+	fp, pp := fresh.Packed, pooled.Packed
+	if fp == nil || pp == nil {
+		t.Fatalf("%s: extractor returned an unpacked set", label)
+	}
+	if fp.N != pp.N || fp.Dim != pp.Dim || fp.WordsPerRow != pp.WordsPerRow || fp.RowBytes != pp.RowBytes {
+		t.Fatalf("%s: packed shape differs: %+v vs %+v", label, pp, fp)
+	}
+	for i := range fp.Floats {
+		if math.Float32bits(fp.Floats[i]) != math.Float32bits(pp.Floats[i]) {
+			t.Fatalf("%s: packed float %d differs", label, i)
+		}
+	}
+	for i := range fp.Norms {
+		if math.Float32bits(fp.Norms[i]) != math.Float32bits(pp.Norms[i]) {
+			t.Fatalf("%s: packed norm %d differs", label, i)
+		}
+	}
+	for i := range fp.Words {
+		if fp.Words[i] != pp.Words[i] {
+			t.Fatalf("%s: packed word %d differs", label, i)
+		}
+	}
+}
+
+// TestExtractCtxEquivalence reuses one extraction context across a
+// randomized stream of images — rendered views and raw noise, in
+// several (odd) sizes so recycled buffers change shape between queries
+// — and requires the pooled output to equal fresh extraction bit for
+// bit at every step, for every descriptor family.
+func TestExtractCtxEquivalence(t *testing.T) {
+	r := rng.New(41)
+	var imgs []*imaging.Image
+	for _, sm := range sns2.Samples[:6] {
+		imgs = append(imgs, sm.Image)
+	}
+	for _, wh := range [][2]int{{48, 48}, {57, 63}, {40, 44}, {64, 48}} {
+		imgs = append(imgs, noiseImage(r, wh[0], wh[1]))
+	}
+	params := DefaultDescriptorParams()
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		ctx := NewExtractCtx()
+		for round := 0; round < 2; round++ { // round 2 runs fully warm
+			for i, img := range imgs {
+				fresh := ExtractDescriptors(img, kind, params)
+				pooled := ExtractDescriptorsCtx(img, kind, params, ctx)
+				setsBitIdentical(t, kind.String()+" image "+itoa(i), fresh, pooled)
+				ctx.Reset()
+			}
+		}
+	}
+}
+
+// TestExtractCtxNilIsFresh pins the nil-context fallback to the plain
+// extraction path.
+func TestExtractCtxNilIsFresh(t *testing.T) {
+	img := sns2.Samples[0].Image
+	params := DefaultDescriptorParams()
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		setsBitIdentical(t, kind.String(),
+			ExtractDescriptors(img, kind, params),
+			ExtractDescriptorsCtx(img, kind, params, nil))
+	}
+}
+
+// TestQueryPathAllocs is the zero-allocation gate on the warm query
+// path (the CI alloc-gate step runs exactly this test): once an
+// extraction context has served one query of the steady-state shape,
+// extracting each descriptor family — grayscale conversion, detector
+// sweep, descriptor computation, packing — performs zero heap
+// allocations, and so does the flat-index classification that follows.
+func TestQueryPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting differs under the race detector")
+	}
+	img := sns2.Samples[0].Image
+	params := DefaultDescriptorParams()
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			ctx := NewExtractCtx()
+			for i := 0; i < 2; i++ { // grow spines and arena to steady state
+				ExtractDescriptorsCtx(img, kind, params, ctx)
+				ctx.Reset()
+			}
+			if n := testing.AllocsPerRun(20, func() {
+				ExtractDescriptorsCtx(img, kind, params, ctx)
+				ctx.Reset()
+			}); n != 0 {
+				t.Errorf("warm %s extraction allocates %.1f times per query, want 0", kind, n)
+			}
+		})
+	}
+
+	// The full single-query serve path — pooled extraction plus the
+	// flat-index scan and argmax — is allocation-free too once the
+	// pipeline's context pool is warm.
+	t.Run("classify", func(t *testing.T) {
+		p := NewDescriptor(ORB, 0.5)
+		p.Prepare(gallery1, 1)
+		for i := 0; i < 3; i++ {
+			p.Classify(img, gallery1)
+		}
+		if n := testing.AllocsPerRun(20, func() {
+			p.Classify(img, gallery1)
+		}); n != 0 {
+			t.Errorf("warm Classify allocates %.1f times per query, want 0", n)
+		}
+	})
+}
+
+// TestOversizedContextIsDropped pins the pool hygiene rule: a context
+// whose arena footprint exceeds maxPooledCtxBytes is not re-pooled, so
+// one huge query cannot pin its high-water working set in the pool.
+func TestOversizedContextIsDropped(t *testing.T) {
+	// No assertion that a small context IS re-pooled: sync.Pool gives
+	// no Put-then-Get identity guarantee (a GC may drain it), so only
+	// the negative direction — an oversized context must never come
+	// back — is deterministic.
+	p := NewDescriptor(ORB, 0.5)
+	big := NewExtractCtx()
+	for big.arena.Footprint() <= maxPooledCtxBytes {
+		_ = arena.Slice[byte](big.arena, 1<<20) // distinct live 1 MiB loans
+	}
+	if big.arena.Footprint() <= maxPooledCtxBytes {
+		t.Fatal("fixture failed to inflate the context")
+	}
+	for i := 0; i < 3; i++ {
+		p.putCtx(big)
+		if got := p.getCtx(); got == big {
+			t.Fatal("oversized context was returned to the pool")
+		}
+	}
+}
+
+// TestDescriptorClassifyPooledMatchesPerView cross-checks the pooled
+// Classify path (context checkout, arena-backed query set, flat-index
+// scan) against the legacy per-view brute-force reference on real
+// queries.
+func TestDescriptorClassifyPooledMatchesPerView(t *testing.T) {
+	small := NewGallery(&dataset.Set{Name: "small", Samples: sns1.Samples[:12]})
+	for _, kind := range []DescriptorKind{SIFT, SURF, ORB} {
+		p := NewDescriptor(kind, 0.5)
+		for _, sm := range sns2.Samples[:6] {
+			got := p.Classify(sm.Image, small)
+			want := p.classifyPerView(sm.Image, small)
+			if got != want {
+				t.Fatalf("%s: pooled Classify = %+v, per-view reference %+v", kind, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedClassifyStatsMatchesFlat pins the sharded serving path —
+// pooled extraction fanned across shards — to the flat pipeline at
+// several shard counts, and checks the extraction timing is populated.
+func TestShardedClassifyStatsMatchesFlat(t *testing.T) {
+	p := NewDescriptor(SIFT, 0.5)
+	p.Prepare(gallery1, 0)
+	for _, shards := range []int{1, 2, 7} {
+		sg := NewShardedGallery(gallery1, shards)
+		for _, sm := range sns2.Samples[:4] {
+			want := p.Classify(sm.Image, gallery1)
+			got, stats := sg.ClassifyStats(p, sm.Image)
+			if got != want {
+				t.Fatalf("shards=%d: %+v, flat %+v", shards, got, want)
+			}
+			if stats.Extract <= 0 {
+				t.Fatalf("shards=%d: extraction timing not populated", shards)
+			}
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

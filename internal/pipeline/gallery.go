@@ -9,6 +9,7 @@ package pipeline
 import (
 	"sync"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/contour"
 	"snmatch/internal/dataset"
 	"snmatch/internal/features"
@@ -77,19 +78,26 @@ func NewGallery(s *dataset.Set) *Gallery { return NewGalleryWorkers(s, 0) }
 // NewGalleryWorkers is NewGallery with an explicit pool size
 // (workers <= 0 selects one worker per CPU). Every view is a pure
 // function of its sample, so the gallery is identical view-for-view
-// regardless of the worker count.
+// regardless of the worker count. Each worker recycles the dense
+// preprocessing planes (gray + binary rasters) through its own arena —
+// the view keeps only the derived Hu moments and histogram, so nothing
+// arena-backed outlives an iteration.
 func NewGalleryWorkers(s *dataset.Set, workers int) *Gallery {
 	g := &Gallery{
 		Views: make([]View, s.Len()),
 		idx:   map[DescriptorKind]*DescriptorIndex{},
 	}
-	parallel.ForEach(workers, s.Len(), func(i int) {
-		sm := s.Samples[i]
-		pre := contour.Preprocess(sm.Image)
-		v := View{Sample: sm, Desc: map[DescriptorKind]*features.Set{}}
-		v.Hu = huOf(pre)
-		v.Hist = histOf(pre)
-		g.Views[i] = v
+	parallel.ForEachChunk(workers, s.Len(), func(_ int, sp parallel.Span) {
+		a := arena.New()
+		for i := sp.Start; i < sp.End; i++ {
+			sm := s.Samples[i]
+			pre := contour.PreprocessIn(a, sm.Image)
+			v := View{Sample: sm, Desc: map[DescriptorKind]*features.Set{}}
+			v.Hu = huOf(pre)
+			v.Hist = histOf(pre)
+			g.Views[i] = v
+			a.Reset()
+		}
 	})
 	return g
 }

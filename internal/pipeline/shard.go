@@ -143,13 +143,23 @@ func (s *ShardedGallery) ShardedIndexFor(kind DescriptorKind, p DescriptorParams
 // pipeline runs its ordinary single-threaded Classify. Predictions are
 // bit-identical to the unsharded pipeline at every shard count.
 func (s *ShardedGallery) Classify(p Pipeline, img *imaging.Image) Prediction {
+	pred, _ := s.ClassifyStats(p, img)
+	return pred
+}
+
+// ClassifyStats is Classify plus per-query timings. Descriptor
+// pipelines extract on a pooled context (zero steady-state heap work)
+// and report the extraction time; other pipelines fall back to their
+// own ClassifyStats when they implement StatsClassifier and to plain
+// Classify otherwise.
+func (s *ShardedGallery) ClassifyStats(p Pipeline, img *imaging.Image) (Prediction, QueryStats) {
 	d, ok := p.(*Descriptor)
 	if !ok {
-		return p.Classify(img, s.G)
+		if sc, ok := p.(StatsClassifier); ok {
+			return sc.ClassifyStats(img, s.G)
+		}
+		return p.Classify(img, s.G), QueryStats{}
 	}
-	q := ExtractDescriptors(img, d.Kind, d.Params)
 	sx := s.ShardedIndexFor(d.Kind, d.Params)
-	return classifyCounts(s.G, sx.Index(), func(counts []int32) {
-		sx.GoodMatchCounts(q, d.Ratio, counts)
-	})
+	return d.classifyOn(img, s.G, sx.Index(), sx)
 }

@@ -23,6 +23,7 @@ type Result struct {
 	Pred    pipeline.Prediction
 	Batched int           // size of the batch this query rode in
 	Latency time.Duration // enqueue-to-prediction time
+	Extract time.Duration // descriptor-extraction share of the latency (0 when unknown)
 }
 
 type job struct {
@@ -203,16 +204,24 @@ func (b *Batcher) run(batch []*job) {
 	n := len(batch)
 	if n == 1 {
 		j := batch[0]
-		pred := b.sg.Classify(b.p, j.img)
-		j.done <- Result{Pred: pred, Batched: 1, Latency: time.Since(j.enqueued)}
+		pred, stats := b.sg.ClassifyStats(b.p, j.img)
+		j.done <- Result{Pred: pred, Batched: 1, Latency: time.Since(j.enqueued), Extract: stats.Extract}
 		return
 	}
 	preds := make([]pipeline.Prediction, n)
+	exts := make([]time.Duration, n)
+	sc, hasStats := b.p.(pipeline.StatsClassifier)
 	parallel.ForEach(b.workers, n, func(i int) {
-		preds[i] = b.p.Classify(batch[i].img, b.sg.G)
+		if hasStats {
+			var st pipeline.QueryStats
+			preds[i], st = sc.ClassifyStats(batch[i].img, b.sg.G)
+			exts[i] = st.Extract
+		} else {
+			preds[i] = b.p.Classify(batch[i].img, b.sg.G)
+		}
 	})
 	now := time.Now()
 	for i, j := range batch {
-		j.done <- Result{Pred: preds[i], Batched: n, Latency: now.Sub(j.enqueued)}
+		j.done <- Result{Pred: preds[i], Batched: n, Latency: now.Sub(j.enqueued), Extract: exts[i]}
 	}
 }

@@ -12,31 +12,49 @@ import (
 	"sync"
 
 	"snmatch/internal/pipeline"
+	"snmatch/internal/serve/snapshot"
 )
+
+// entry pairs a served gallery with its provenance, when known.
+type entry struct {
+	sg      *pipeline.ShardedGallery
+	meta    snapshot.Meta
+	hasMeta bool
+}
 
 // Registry maps gallery names to sharded galleries for multi-gallery
 // serving. It is safe for concurrent use; galleries can be registered
 // while traffic is being served.
 type Registry struct {
 	mu sync.RWMutex
-	m  map[string]*pipeline.ShardedGallery
+	m  map[string]entry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: map[string]*pipeline.ShardedGallery{}}
+	return &Registry{m: map[string]entry{}}
 }
 
-// Add registers (or replaces) a gallery under name.
+// Add registers (or replaces) a gallery under name, without provenance.
 func (r *Registry) Add(name string, g *pipeline.ShardedGallery) error {
+	return r.add(name, entry{sg: g})
+}
+
+// AddWithMeta is Add carrying the gallery's snapshot provenance, which
+// /healthz reports per gallery.
+func (r *Registry) AddWithMeta(name string, g *pipeline.ShardedGallery, meta snapshot.Meta) error {
+	return r.add(name, entry{sg: g, meta: meta, hasMeta: true})
+}
+
+func (r *Registry) add(name string, e entry) error {
 	if name == "" {
 		return fmt.Errorf("serve: gallery name must not be empty")
 	}
-	if g == nil || g.G == nil {
+	if e.sg == nil || e.sg.G == nil {
 		return fmt.Errorf("serve: gallery %q is nil", name)
 	}
 	r.mu.Lock()
-	r.m[name] = g
+	r.m[name] = e
 	r.mu.Unlock()
 	return nil
 }
@@ -44,9 +62,21 @@ func (r *Registry) Add(name string, g *pipeline.ShardedGallery) error {
 // Get returns the gallery registered under name.
 func (r *Registry) Get(name string) (*pipeline.ShardedGallery, bool) {
 	r.mu.RLock()
-	g, ok := r.m[name]
+	e, ok := r.m[name]
 	r.mu.RUnlock()
-	return g, ok
+	return e.sg, ok
+}
+
+// Entry returns the gallery registered under name together with its
+// snapshot provenance, read under a single lock — so a concurrent
+// replacement can never pair one gallery's shape with another's
+// provenance. hasMeta reports whether provenance was recorded at all
+// (boot-built galleries may not carry one).
+func (r *Registry) Entry(name string) (sg *pipeline.ShardedGallery, meta snapshot.Meta, hasMeta, ok bool) {
+	r.mu.RLock()
+	e, ok := r.m[name]
+	r.mu.RUnlock()
+	return e.sg, e.meta, e.hasMeta, ok
 }
 
 // Resolve returns the gallery for a request: the named one, or — when
@@ -57,17 +87,17 @@ func (r *Registry) Resolve(name string) (string, *pipeline.ShardedGallery, error
 	defer r.mu.RUnlock()
 	if name == "" {
 		if len(r.m) == 1 {
-			for n, g := range r.m {
-				return n, g, nil
+			for n, e := range r.m {
+				return n, e.sg, nil
 			}
 		}
 		return "", nil, fmt.Errorf("serve: request must name a gallery (%d registered)", len(r.m))
 	}
-	g, ok := r.m[name]
+	e, ok := r.m[name]
 	if !ok {
 		return "", nil, fmt.Errorf("serve: unknown gallery %q", name)
 	}
-	return name, g, nil
+	return name, e.sg, nil
 }
 
 // Names returns the registered gallery names in sorted order.

@@ -30,6 +30,14 @@ type Config struct {
 	Ratio       float64       // descriptor ratio-test threshold (default 0.5, the paper's)
 	MaxBodyMB   int           // request body cap in MiB (default 32)
 	MaxImages   int           // images accepted per JSON batch request (default 64)
+
+	// MaxImagePixels caps the DECODED dimensions of a query image
+	// (default 4 Mpx ≈ 2048x2048). The body-size cap alone cannot
+	// bound this — a tiny compressed PNG can decode to an enormous
+	// raster whose extraction working set would both stall the pool
+	// and inflate the pooled extraction contexts far past the
+	// footprint they are allowed to carry back into their pool.
+	MaxImagePixels int
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxImages <= 0 {
 		c.MaxImages = 64
+	}
+	if c.MaxImagePixels <= 0 {
+		c.MaxImagePixels = 4 << 20
 	}
 	return c
 }
@@ -159,6 +170,7 @@ type PredictionJSON struct {
 	Score     float64 `json:"score"`
 	Batched   int     `json:"batched"`
 	LatencyMS float64 `json:"latency_ms"`
+	ExtractMS float64 `json:"extract_ms"` // descriptor-extraction share of latency_ms
 }
 
 // ClassifyResponse is the /classify response document.
@@ -204,7 +216,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// body as its own error type, so huge uploads get an honest 413
 	// instead of a misleading decode-failure 400.
 	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBodyMB)<<20)
-	imgs, err := decodeImages(r, s.cfg.MaxImages)
+	imgs, err := decodeImages(r, s.cfg.MaxImages, s.cfg.MaxImagePixels)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -245,6 +257,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 				Score:     res.Pred.Score,
 				Batched:   res.Batched,
 				LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+				ExtractMS: float64(res.Extract) / float64(time.Millisecond),
 			}
 		}(i, img)
 	}
@@ -266,8 +279,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // JSON {"images": [base64-png, ...]} batch. The batch size is capped:
 // the admission gate counts requests, so per-request work must be
 // bounded too or one huge batch could hold thousands of decoded images
-// and submit goroutines while occupying a single gate slot.
-func decodeImages(r *http.Request, maxImages int) ([]*imaging.Image, error) {
+// and submit goroutines while occupying a single gate slot. Decoded
+// dimensions are capped per image (maxPixels) before full decoding.
+func decodeImages(r *http.Request, maxImages, maxPixels int) ([]*imaging.Image, error) {
 	body := r.Body
 	ct := r.Header.Get("Content-Type")
 	if i := strings.IndexByte(ct, ';'); i >= 0 {
@@ -291,7 +305,7 @@ func decodeImages(r *http.Request, maxImages int) ([]*imaging.Image, error) {
 			if err != nil {
 				return nil, fmt.Errorf("serve: image %d: bad base64: %w", i, err)
 			}
-			img, err := decodePNG(bytes.NewReader(raw))
+			img, err := decodePNG(raw, maxPixels)
 			if err != nil {
 				return nil, fmt.Errorf("serve: image %d: %w", i, err)
 			}
@@ -299,7 +313,11 @@ func decodeImages(r *http.Request, maxImages int) ([]*imaging.Image, error) {
 		}
 		return imgs, nil
 	default: // image/png or unlabelled single image
-		img, err := decodePNG(body)
+		raw, err := io.ReadAll(body) // bounded by the MaxBytesReader
+		if err != nil {
+			return nil, err
+		}
+		img, err := decodePNG(raw, maxPixels)
 		if err != nil {
 			return nil, err
 		}
@@ -307,8 +325,20 @@ func decodeImages(r *http.Request, maxImages int) ([]*imaging.Image, error) {
 	}
 }
 
-func decodePNG(r io.Reader) (*imaging.Image, error) {
-	std, err := png.Decode(r)
+// decodePNG decodes one PNG, rejecting rasters whose decoded pixel
+// count exceeds maxPixels before the full (potentially enormous)
+// decode runs — the byte cap upstream cannot bound this, since a tiny
+// compressed stream can declare arbitrary dimensions.
+func decodePNG(raw []byte, maxPixels int) (*imaging.Image, error) {
+	cfg, err := png.DecodeConfig(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("serve: decode png: %w", err)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width*cfg.Height > maxPixels {
+		return nil, fmt.Errorf("serve: image is %dx%d; decoded size exceeds the %d-pixel limit",
+			cfg.Width, cfg.Height, maxPixels)
+	}
+	std, err := png.Decode(bytes.NewReader(raw))
 	if err != nil {
 		return nil, fmt.Errorf("serve: decode png: %w", err)
 	}
@@ -348,17 +378,54 @@ func (s *Server) handleGalleries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// HealthSnapshot is the provenance block of a /healthz gallery entry.
+// Its fields are never omitted: 0 is a seed an operator can
+// legitimately build with, so absence of provenance is signalled by
+// the whole object being absent, not by zero values.
+type HealthSnapshot struct {
+	Dataset string `json:"dataset"`
+	Size    int    `json:"size"`
+	Seed    uint64 `json:"seed"`
+}
+
+// HealthGallery is one /healthz gallery entry: the serving shape plus
+// the snapshot provenance when the gallery was registered with one.
+type HealthGallery struct {
+	Name     string          `json:"name"`
+	Views    int             `json:"views"`
+	Shards   int             `json:"shards"`
+	Snapshot *HealthSnapshot `json:"snapshot,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET probes health")
 		return
 	}
+	names := s.reg.Names()
+	infos := make([]HealthGallery, 0, len(names))
+	for _, n := range names {
+		// One atomic registry read per gallery: a concurrent
+		// replacement may drop an entry or show the old or new one,
+		// but never a mix of one gallery's shape with another's
+		// provenance.
+		sg, meta, hasMeta, ok := s.reg.Entry(n)
+		if !ok {
+			continue
+		}
+		info := HealthGallery{Name: n, Views: sg.G.Len(), Shards: sg.Shards}
+		if hasMeta {
+			info.Snapshot = &HealthSnapshot{Dataset: meta.Dataset, Size: meta.Size, Seed: meta.Seed}
+		}
+		infos = append(infos, info)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    "ok",
-		"galleries": s.reg.Len(),
-		"in_flight": s.gate.InUse(),
-		"capacity":  s.gate.Cap(),
-		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"status":       "ok",
+		"galleries":    s.reg.Len(),
+		"gallery_info": infos,
+		"in_flight":    s.gate.InUse(),
+		"capacity":     s.gate.Cap(),
+		"uptime_ms":    time.Since(s.start).Milliseconds(),
 	})
 }
 

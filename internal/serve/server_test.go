@@ -17,6 +17,7 @@ import (
 	"snmatch/internal/dataset"
 	"snmatch/internal/imaging"
 	"snmatch/internal/pipeline"
+	"snmatch/internal/serve/snapshot"
 )
 
 var (
@@ -43,7 +44,8 @@ func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	g, _ := fixture(t)
 	reg := NewRegistry()
-	if err := reg.Add("sns1", pipeline.NewShardedGallery(g, 4)); err != nil {
+	meta := snapshot.Meta{Dataset: "sns1", Size: 40, Seed: 6}
+	if err := reg.AddWithMeta("sns1", pipeline.NewShardedGallery(g, 4), meta); err != nil {
 		t.Fatal(err)
 	}
 	s := New(reg, cfg)
@@ -104,6 +106,9 @@ func TestClassifySinglePNG(t *testing.T) {
 	}
 	if p.LatencyMS < 0 || p.Batched < 1 {
 		t.Fatalf("bad serving metadata %+v", p)
+	}
+	if p.ExtractMS <= 0 || p.ExtractMS > p.LatencyMS {
+		t.Fatalf("extract_ms %v not within (0, latency_ms %v]", p.ExtractMS, p.LatencyMS)
 	}
 }
 
@@ -173,6 +178,24 @@ func TestClassifyBatchOverImageCap(t *testing.T) {
 	resp, _ := postClassify(t, ts.URL+"/classify?pipeline=orb", "application/json", body)
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("3-image batch over a 2-image cap: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestClassifyImageDimensionsTooLarge posts a PNG whose decoded raster
+// exceeds the pixel cap: it must be refused with 400 before the full
+// decode (and an extraction that would inflate the pooled contexts)
+// runs.
+func TestClassifyImageDimensionsTooLarge(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxImagePixels: 64 * 64})
+	big := imaging.NewImage(80, 80) // 6400 px > 4096 cap
+	resp, _ := postClassify(t, ts.URL+"/classify?pipeline=orb", "image/png", pngBytes(t, big))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	ok := imaging.NewImage(64, 64)
+	resp, _ = postClassify(t, ts.URL+"/classify?pipeline=orb", "image/png", pngBytes(t, ok))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("at-cap image: status %d, want 200", resp.StatusCode)
 	}
 }
 
@@ -314,13 +337,31 @@ func TestGalleriesAndHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health map[string]any
+	var health struct {
+		Status    string          `json:"status"`
+		Galleries int             `json:"galleries"`
+		Info      []HealthGallery `json:"gallery_info"`
+		Capacity  int             `json:"capacity"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health["status"] != "ok" || health["galleries"] != float64(1) {
+	if health.Status != "ok" || health.Galleries != 1 || health.Capacity <= 0 {
 		t.Fatalf("healthz: %+v", health)
+	}
+	if len(health.Info) != 1 {
+		t.Fatalf("healthz gallery_info: %+v", health.Info)
+	}
+	gi := health.Info[0]
+	if gi.Name != "sns1" || gi.Views != fixtureGallery.Len() || gi.Shards != 4 {
+		t.Fatalf("healthz gallery shape: %+v", gi)
+	}
+	if gi.Snapshot == nil {
+		t.Fatalf("healthz gallery provenance missing: %+v", gi)
+	}
+	if gi.Snapshot.Dataset != "sns1" || gi.Snapshot.Size != 40 || gi.Snapshot.Seed != 6 {
+		t.Fatalf("healthz gallery provenance: %+v", gi.Snapshot)
 	}
 }
 
