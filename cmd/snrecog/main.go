@@ -51,9 +51,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   snrecog sheet -dir DIR [-size N] [-seed N]     render class sample sheets
   snrecog stats [-cap N]                         print Table 1 statistics
-  snrecog classify -class NAME [-pipeline P] [-mode shapenet|nyu] [-model N] [-view N] [-workers N] [-snapshot FILE]
+  snrecog classify -class NAME [-pipeline P] [-mode shapenet|nyu] [-model N] [-view N] [-workers N] [-snapshot FILE] [-mmap]
       pipelines: random, shape, color, hybrid, sift, surf, orb
-  snrecog snapshot -out FILE [-set sns1|sns2] [-descriptors sift,surf,orb] [-size N] [-seed N] [-name NAME]
+  snrecog snapshot -out FILE [-set sns1|sns2] [-descriptors sift,surf,orb] [-size N] [-seed N] [-name NAME] [-format 2|1]
       prepare a gallery once and persist it for snserve / -snapshot reuse`)
 	os.Exit(2)
 }
@@ -70,10 +70,14 @@ func cmdSnapshot(args []string) {
 	size := fs.Int("size", 64, "image side in pixels")
 	seed := fs.Uint64("seed", 1, "render seed")
 	name := fs.String("name", "", "registry name stored in the snapshot (default: the set name)")
+	format := fs.Int("format", snapshot.Version, "snapshot format version: 2 (mmap-able, default) or 1 (legacy back-compat)")
 	workers := cliutil.Workers(fs)
 	fs.Parse(args)
 	if *out == "" {
 		log.Fatal("snapshot: -out is required")
+	}
+	if *format != snapshot.Version && *format != snapshot.VersionV1 {
+		log.Fatalf("snapshot: unsupported -format %d (want %d or %d)", *format, snapshot.Version, snapshot.VersionV1)
 	}
 	w := cliutil.ResolveWorkers(*workers)
 	kinds, err := cliutil.ParseDescriptorKinds(*descs)
@@ -99,15 +103,19 @@ func cmdSnapshot(args []string) {
 		Meta:    snapshot.Meta{Dataset: *set, Size: *size, Seed: *seed},
 		Gallery: g,
 	}
-	if err := snapshot.Save(*out, snap); err != nil {
+	saveFn := snapshot.Save
+	if *format == snapshot.VersionV1 {
+		saveFn = snapshot.SaveV1
+	}
+	if err := saveFn(*out, snap); err != nil {
 		log.Fatal(err)
 	}
 	st, err := os.Stat(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s: gallery %q, %d views, %d bytes (prepared in %s)\n",
-		*out, *name, g.Len(), st.Size(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wrote %s (v%d): gallery %q, %d views, %d bytes (prepared in %s)\n",
+		*out, *format, *name, g.Len(), st.Size(), time.Since(start).Round(time.Millisecond))
 }
 
 func cmdSheet(args []string) {
@@ -160,6 +168,7 @@ func cmdClassify(args []string) {
 	size := fs.Int("size", 64, "image side in pixels")
 	seed := fs.Uint64("seed", 1, "render seed")
 	snapPath := fs.String("snapshot", "", "gallery snapshot: load it when the file exists, otherwise build, prepare and save it")
+	mmap := fs.Bool("mmap", false, "memory-map the -snapshot file (v2, zero-copy) instead of decoding it")
 	workers := cliutil.Workers(fs)
 	fs.Parse(args)
 	w := cliutil.ResolveWorkers(*workers)
@@ -196,7 +205,19 @@ func cmdClassify(args []string) {
 	cfg := dataset.Config{Size: *size, Seed: *seed}
 	meta := snapshot.Meta{Dataset: "sns1", Size: *size, Seed: *seed}
 	var gallery *pipeline.Gallery
-	if *snapPath != "" {
+	if *snapPath != "" && *mmap {
+		start := time.Now()
+		m, err := cliutil.MapSnapshotIfExists(*snapPath, meta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if m != nil {
+			defer m.Close() // classification finishes before main returns
+			gallery = m.Snap.Gallery
+			fmt.Printf("mapped gallery %q from %s in %s (zero-copy)\n",
+				m.Snap.Name, *snapPath, time.Since(start).Round(time.Microsecond))
+		}
+	} else if *snapPath != "" {
 		start := time.Now()
 		snap, err := cliutil.LoadSnapshotIfExists(*snapPath, meta)
 		if err != nil {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	snserve -snapshot sns1.snap [-snapshot more.snap] [-addr :8080] [-shards 4]
+//	snserve -snapshot sns1.snap -mmap                             # zero-copy map the (v2) snapshot instead of decoding it
 //	snserve -build sns1 [-size 64] [-descriptors sift,surf,orb]   # no snapshot: render + extract at boot
 //	snserve -snapshot sns1.snap -pprof 6060                       # profiling on 127.0.0.1:6060/debug/pprof/
 //
@@ -50,6 +51,7 @@ func main() {
 	var snaps snapshotList
 	fs := flag.CommandLine
 	fs.Var(&snaps, "snapshot", "gallery snapshot to serve (repeatable)")
+	mmap := fs.Bool("mmap", false, "memory-map v2 snapshots (zero-copy load off the page cache) instead of decoding them onto the heap")
 	build := fs.String("build", "", "build a gallery at boot instead: sns1 or sns2")
 	descs := fs.String("descriptors", "sift,surf,orb", "descriptor families to prepare for a built gallery")
 	size := fs.Int("size", 64, "render size for a built gallery")
@@ -68,6 +70,22 @@ func main() {
 	reg := serve.NewRegistry()
 	for _, path := range snaps {
 		start := time.Now()
+		if *mmap {
+			// The mapping's reference transfers to the registry; it lives
+			// for the process (replacement would release it after drain).
+			m, err := snapshot.Map(path)
+			if err != nil {
+				log.Fatalf("map %s: %v", path, err)
+			}
+			snap := m.Snap
+			if err := reg.AddMapped(snap.Name, pipeline.NewShardedGallery(snap.Gallery, *shards), snap.Meta, m); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("mapped gallery %q from %s: %d views, %d bytes (dataset %q, size %d, seed %d) in %s (zero-copy)",
+				snap.Name, path, snap.Gallery.Len(), m.Size(), snap.Meta.Dataset, snap.Meta.Size, snap.Meta.Seed,
+				time.Since(start).Round(time.Microsecond))
+			continue
+		}
 		snap, err := snapshot.Load(path)
 		if err != nil {
 			log.Fatalf("load %s: %v", path, err)

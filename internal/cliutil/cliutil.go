@@ -76,27 +76,68 @@ func BuildPreparedGallery(set string, size int, seed uint64, kinds []pipeline.De
 	return g, nil
 }
 
+// statSnapshot is the shared missing-file probe of the -snapshot
+// loaders: (false, nil) means build fresh, an error means a transient
+// stat problem that must not silently bypass (and later overwrite) a
+// valid snapshot.
+func statSnapshot(path string) (exists bool, err error) {
+	if _, err := os.Stat(path); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, fmt.Errorf("stat snapshot %s: %w", path, err)
+	}
+	return true, nil
+}
+
+// checkSnapshotMeta is the shared provenance gate, wrapping a mismatch
+// with the operator hint both loaders print.
+func checkSnapshotMeta(path string, got, want snapshot.Meta) error {
+	if err := got.Check(want); err != nil {
+		return fmt.Errorf("%w (snapshot %s was prepared for another configuration; delete it or match its parameters)", err, path)
+	}
+	return nil
+}
+
 // LoadSnapshotIfExists is the shared load side of a binary's -snapshot
 // flag: it loads and provenance-checks the gallery snapshot at path.
 // A missing file returns (nil, nil) — the caller should build fresh and
-// may SaveSnapshot afterwards. Any other stat failure, decode failure
-// or provenance mismatch is an error, so a transient stat problem never
-// silently bypasses (and later overwrites) a valid snapshot.
+// may SaveSnapshot afterwards.
 func LoadSnapshotIfExists(path string, want snapshot.Meta) (*snapshot.Snapshot, error) {
-	if _, err := os.Stat(path); err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, nil
-		}
-		return nil, fmt.Errorf("stat snapshot %s: %w", path, err)
+	exists, err := statSnapshot(path)
+	if !exists {
+		return nil, err
 	}
 	snap, err := snapshot.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	if err := snap.Meta.Check(want); err != nil {
-		return nil, fmt.Errorf("%w (snapshot %s was prepared for another configuration; delete it or match its parameters)", err, path)
+	if err := checkSnapshotMeta(path, snap.Meta, want); err != nil {
+		return nil, err
 	}
 	return snap, nil
+}
+
+// MapSnapshotIfExists is LoadSnapshotIfExists over snapshot.Map: the
+// gallery aliases a read-only mapping of the file with zero copies of
+// the descriptor payloads. The caller owns the returned mapping and
+// must keep it (or a Retain) alive for as long as the gallery is used,
+// then Close it. A missing file returns (nil, nil) like the heap
+// variant.
+func MapSnapshotIfExists(path string, want snapshot.Meta) (*snapshot.Mapping, error) {
+	exists, err := statSnapshot(path)
+	if !exists {
+		return nil, err
+	}
+	m, err := snapshot.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkSnapshotMeta(path, m.Snap.Meta, want); err != nil {
+		m.Close()
+		return nil, err
+	}
+	return m, nil
 }
 
 // SaveSnapshot is the matching save side: it stamps the gallery with

@@ -4,6 +4,7 @@
 package features
 
 import (
+	"encoding/binary"
 	"math"
 	"math/bits"
 
@@ -43,6 +44,14 @@ type Packed struct {
 	WordsPerRow int
 	RowBytes    int
 	Words       []uint64
+
+	// Borrowed marks Floats/Norms/Words as aliases of storage the set
+	// does not own — a memory-mapped snapshot blob. Borrowed storage is
+	// read-only and must never be recycled through an arena or pool, and
+	// it dies with its mapping, not with the set; PackIn is already a
+	// no-op on restored sets, so the flag exists for any future code
+	// that would otherwise reclaim or rewrite packed matrices in place.
+	Borrowed bool
 }
 
 // FloatRow returns the i-th packed float descriptor.
@@ -123,10 +132,19 @@ func packWords(dst []uint64, src []byte) {
 
 // UnpackWords is the inverse of the word packing performed by Pack: it
 // writes len(dst) bytes of the little-endian packed row back out,
-// discarding the zero padding beyond the original byte width.
+// discarding the zero padding beyond the original byte width. Whole
+// words go out as single 8-byte stores — this runs once per row when a
+// snapshot restores a binary gallery, so it is load-path hot.
 func UnpackWords(dst []byte, src []uint64) {
-	for i := range dst {
-		dst[i] = byte(src[i/8] >> (8 * (i % 8)))
+	for len(dst) >= 8 && len(src) > 0 {
+		binary.LittleEndian.PutUint64(dst, src[0])
+		dst, src = dst[8:], src[1:]
+	}
+	if len(dst) > 0 && len(src) > 0 {
+		w := src[0]
+		for i := range dst {
+			dst[i] = byte(w >> (8 * i))
+		}
 	}
 }
 
@@ -137,23 +155,94 @@ func UnpackWords(dst []byte, src []uint64) {
 // interchangeable with the extractor-produced original: Pack is a no-op
 // on it and every matcher path sees bit-identical descriptors.
 func RestoreSet(kps []Keypoint, p *Packed) *Set {
-	s := &Set{Keypoints: kps, Packed: p}
+	return RestoreSetIn(nil, kps, p)
+}
+
+// RestoreAlloc amortises the restore-side allocations of loading a
+// large gallery: pointer-stable chunked slabs for set headers, keypoint
+// slices, row tables and unpacked binary bytes, carved sequentially so
+// restoring N sets costs a handful of chunk allocations instead of
+// ~5N small ones. Everything carved lives exactly as long as the
+// restored gallery; the zero value is ready to use, and a nil
+// *RestoreAlloc degrades RestoreSetIn to plain RestoreSet.
+type RestoreAlloc struct {
+	sets   []Set
+	packed []Packed
+	kps    []Keypoint
+	frows  [][]float32
+	brows  [][]byte
+	bytes  []byte
+}
+
+// carve takes n items off the slab, topping it up with chunk-sized
+// blocks (chunk is per element type, chosen to keep blocks in the tens
+// of kilobytes — oversizing just zeroes memory the restore never
+// touches). The full slice expression keeps a stray append from
+// bleeding into the next carve's storage; chunks are never grown in
+// place, so previously carved slices (and pointers into them) stay
+// valid.
+func carve[T any](buf *[]T, n, chunk int) []T {
+	if n > len(*buf) {
+		if n > chunk {
+			chunk = n
+		}
+		*buf = make([]T, chunk)
+	}
+	out := (*buf)[:n:n]
+	*buf = (*buf)[n:]
+	return out
+}
+
+// Set carves one zeroed Set header.
+func (a *RestoreAlloc) Set() *Set { return &carve(&a.sets, 1, 256)[0] }
+
+// Packed carves one zeroed Packed header.
+func (a *RestoreAlloc) Packed() *Packed { return &carve(&a.packed, 1, 256)[0] }
+
+// Keypoints carves a keypoint slice of length n.
+func (a *RestoreAlloc) Keypoints(n int) []Keypoint { return carve(&a.kps, n, 2048) }
+
+// RestoreSetIn is RestoreSet drawing every allocation from the slab
+// allocator (nil a = plain RestoreSet). Output is value-identical.
+func RestoreSetIn(a *RestoreAlloc, kps []Keypoint, p *Packed) *Set {
+	var s *Set
+	if a != nil {
+		s = a.Set()
+	} else {
+		s = &Set{}
+	}
+	s.Keypoints = kps
+	s.Packed = p
 	if p == nil || p.N == 0 {
 		if p != nil && (p.RowBytes > 0 || p.Words != nil) {
-			s.Binary = [][]byte{} // binary extractors return a non-nil empty row set
+			s.Binary = emptyByteRows // binary extractors return a non-nil empty row set
 		}
 		return s
 	}
 	if p.WordsPerRow > 0 || p.RowBytes > 0 {
-		s.Binary = make([][]byte, p.N)
+		// One backing array for all rows (full slice expressions keep a
+		// stray append from bleeding across row boundaries): restoring a
+		// set costs one row-table and one backing carve, not N row makes.
+		var backing []byte
+		if a != nil {
+			s.Binary = carve(&a.brows, p.N, 2048)
+			backing = carve(&a.bytes, p.N*p.RowBytes, 1<<16)
+		} else {
+			s.Binary = make([][]byte, p.N)
+			backing = make([]byte, p.N*p.RowBytes)
+		}
 		for i := 0; i < p.N; i++ {
-			row := make([]byte, p.RowBytes)
+			row := backing[i*p.RowBytes : (i+1)*p.RowBytes : (i+1)*p.RowBytes]
 			UnpackWords(row, p.WordRow(i))
 			s.Binary[i] = row
 		}
 		return s
 	}
-	s.Float = make([][]float32, p.N)
+	if a != nil {
+		s.Float = carve(&a.frows, p.N, 2048)
+	} else {
+		s.Float = make([][]float32, p.N)
+	}
 	for i := 0; i < p.N; i++ {
 		s.Float[i] = p.FloatRow(i)
 	}

@@ -154,6 +154,92 @@ func NewDescriptorIndex(sets []*features.Set) *DescriptorIndex {
 	return ix
 }
 
+// RestoreDescriptorIndex rebuilds a flat index over restored descriptor
+// sets, aliasing pre-concatenated storage instead of copying it — the
+// snapshot loader's constructor. floats (and words, for binary sets)
+// must be exactly the view-order concatenation of the sets' packed rows,
+// which is how the v2 snapshot blob lays a family out; this is verified
+// by pointer identity against every set's own packed block, and any
+// mismatch (including nil storage, the v1 path) falls back to the
+// copying NewDescriptorIndex build. Either way the result is
+// bit-identical to NewDescriptorIndex(sets): same Starts, same scan
+// storage bytes, same RootNorms and prune decision.
+func RestoreDescriptorIndex(sets []*features.Set, floats []float32, words []uint64) *DescriptorIndex {
+	skel := &DescriptorIndex{NumViews: len(sets), Starts: make([]int, len(sets)+1)}
+	off := 0
+	for v, s := range sets {
+		skel.Starts[v] = off
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		p := s.Pack().Packed
+		if s.IsBinary() {
+			skel.Binary = true
+			skel.WordsPerRow = p.WordsPerRow
+		} else {
+			skel.Dim = p.Dim
+		}
+		off += s.Len()
+	}
+	skel.Starts[len(sets)] = off
+
+	aliased := off > 0
+	if skel.Binary {
+		aliased = aliased && len(words) == off*skel.WordsPerRow
+	} else {
+		aliased = aliased && skel.Dim > 0 && len(floats) == off*skel.Dim
+	}
+	if aliased {
+		// The storage must BE the concatenation, not merely equal it:
+		// each set's packed block has to sit at its own row offset of
+		// the shared backing array.
+		for v, s := range sets {
+			if s == nil || s.Len() == 0 {
+				continue
+			}
+			p := s.Packed
+			start := skel.Starts[v]
+			if skel.Binary {
+				aliased = aliased && len(p.Words) > 0 && &p.Words[0] == &words[start*skel.WordsPerRow]
+			} else {
+				aliased = aliased && len(p.Floats) > 0 && &p.Floats[0] == &floats[start*skel.Dim]
+			}
+			if !aliased {
+				break
+			}
+		}
+	}
+	if !aliased {
+		return NewDescriptorIndex(sets)
+	}
+	if skel.Binary {
+		skel.Words = words
+		return skel
+	}
+	skel.Floats = floats
+	skel.RootNorms = make([]float32, off)
+	lo, hi := float32(math.Inf(1)), float32(math.Inf(-1))
+	for v, s := range sets {
+		if s == nil || s.Len() == 0 {
+			continue
+		}
+		p := s.Packed
+		start := skel.Starts[v]
+		for i := 0; i < p.N; i++ {
+			r := sqrt32(p.Norms[i])
+			skel.RootNorms[start+i] = r
+			if r < lo {
+				lo = r
+			}
+			if r > hi {
+				hi = r
+			}
+		}
+	}
+	skel.prune = hi-lo > 0.05*hi
+	return skel
+}
+
 // Len returns the total number of indexed descriptors.
 func (ix *DescriptorIndex) Len() int { return ix.Starts[ix.NumViews] }
 

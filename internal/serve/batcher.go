@@ -47,6 +47,13 @@ type Batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 
+	// res is the gallery's backing storage (a snapshot mapping). The
+	// batcher owns one reference for its whole lifetime and releases it
+	// only after the drain on Close — a query that was still queued
+	// when its submitter gave up is classified against memory that is
+	// guaranteed to stay mapped.
+	res Resource
+
 	queue  chan *job
 	stop   chan struct{}
 	closed chan struct{}
@@ -57,12 +64,14 @@ type Batcher struct {
 // the HTTP server creates per served route. Callers must Close it.
 func NewBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, cfg Config) *Batcher {
 	cfg = cfg.withDefaults()
-	return newBatcher(sg, p, cfg.Workers, cfg.MaxBatch, cfg.QueueCap, cfg.BatchWait)
+	return newBatcher(sg, p, cfg.Workers, cfg.MaxBatch, cfg.QueueCap, cfg.BatchWait, nil)
 }
 
 // newBatcher starts the collection loop. queueCap bounds admission:
-// submissions beyond it fail fast with ErrOverloaded.
-func newBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, workers, maxBatch, queueCap int, maxWait time.Duration) *Batcher {
+// submissions beyond it fail fast with ErrOverloaded. A non-nil res is
+// an already-retained reference whose ownership transfers to the
+// batcher; it is released when Close finishes draining.
+func newBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, workers, maxBatch, queueCap int, maxWait time.Duration, res Resource) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
@@ -75,6 +84,7 @@ func newBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, workers, maxBa
 		workers:  workers,
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
+		res:      res,
 		queue:    make(chan *job, queueCap),
 		stop:     make(chan struct{}),
 		closed:   make(chan struct{}),
@@ -148,6 +158,11 @@ func (b *Batcher) Close() {
 
 func (b *Batcher) loop() {
 	defer close(b.closed)
+	if b.res != nil {
+		// Released only after the drain below: every job this loop will
+		// ever classify has finished by then.
+		defer b.res.Release()
+	}
 	for {
 		select {
 		case j := <-b.queue:

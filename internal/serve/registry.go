@@ -15,24 +15,40 @@ import (
 	"snmatch/internal/serve/snapshot"
 )
 
-// entry pairs a served gallery with its provenance, when known.
+// Resource is the lifecycle of a registered gallery's backing storage —
+// concretely a *snapshot.Mapping, whose gallery aliases a memory-mapped
+// file and must not be unmapped while anything can still scan it. The
+// registry holds one reference for as long as the entry is registered,
+// and every batcher serving the gallery holds its own for its lifetime,
+// so replacing a gallery under live traffic releases the mapping only
+// after the last in-flight classify has returned.
+type Resource interface {
+	Retain()
+	Release()
+}
+
+// entry pairs a served gallery with its provenance and backing
+// storage, when known.
 type entry struct {
 	sg      *pipeline.ShardedGallery
 	meta    snapshot.Meta
 	hasMeta bool
+	res     Resource // nil for heap-backed galleries
 }
 
 // Registry maps gallery names to sharded galleries for multi-gallery
 // serving. It is safe for concurrent use; galleries can be registered
 // while traffic is being served.
 type Registry struct {
-	mu sync.RWMutex
-	m  map[string]entry
+	mu        sync.RWMutex
+	m         map[string]entry
+	watchers  map[int]func(name string)
+	nextWatch int
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: map[string]entry{}}
+	return &Registry{m: map[string]entry{}, watchers: map[int]func(string){}}
 }
 
 // Add registers (or replaces) a gallery under name, without provenance.
@@ -46,6 +62,14 @@ func (r *Registry) AddWithMeta(name string, g *pipeline.ShardedGallery, meta sna
 	return r.add(name, entry{sg: g, meta: meta, hasMeta: true})
 }
 
+// AddMapped registers a gallery backed by res (a *snapshot.Mapping),
+// transferring the caller's reference to the registry: the registry
+// releases it when the entry is replaced, at which point the mapping
+// lives on only through whatever batchers are still draining on it.
+func (r *Registry) AddMapped(name string, g *pipeline.ShardedGallery, meta snapshot.Meta, res Resource) error {
+	return r.add(name, entry{sg: g, meta: meta, hasMeta: true, res: res})
+}
+
 func (r *Registry) add(name string, e entry) error {
 	if name == "" {
 		return fmt.Errorf("serve: gallery name must not be empty")
@@ -54,9 +78,62 @@ func (r *Registry) add(name string, e entry) error {
 		return fmt.Errorf("serve: gallery %q is nil", name)
 	}
 	r.mu.Lock()
+	old := r.m[name]
 	r.m[name] = e
+	watchers := make([]func(string), 0, len(r.watchers))
+	for _, fn := range r.watchers {
+		watchers = append(watchers, fn)
+	}
 	r.mu.Unlock()
+	if old.sg != nil && old.sg != e.sg {
+		// Replacement: notify watchers (the server retires the stale
+		// batchers eagerly, so a replaced gallery's backing storage is
+		// released after its in-flight drain even if no request for
+		// that (gallery, pipeline) key ever arrives again)...
+		for _, fn := range watchers {
+			fn(name)
+		}
+	}
+	if old.res != nil && old.res != e.res {
+		// ...then drop the registry's own reference; in-flight users
+		// hold their own. Re-registering the SAME mapping (e.g. to
+		// change the shard count) keeps the one reference the registry
+		// owes for the name instead of releasing a still-served one.
+		old.res.Release()
+	}
 	return nil
+}
+
+// watch registers a replacement callback, invoked (outside the
+// registry lock) with the gallery name whenever an Add replaces an
+// existing gallery. The returned func unregisters it — a Server
+// removes its watcher on Close, so a long-lived registry does not
+// accumulate (and keep reachable) every server it ever backed.
+func (r *Registry) watch(fn func(name string)) (unwatch func()) {
+	r.mu.Lock()
+	id := r.nextWatch
+	r.nextWatch++
+	r.watchers[id] = fn
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.watchers, id)
+		r.mu.Unlock()
+	}
+}
+
+// acquire returns the current entry for name with its backing resource
+// retained under the registry lock, so the caller's use can never race
+// a replacement's final release. Callers must release the returned
+// entry's res (when non-nil) exactly once.
+func (r *Registry) acquire(name string) (entry, bool) {
+	r.mu.RLock()
+	e, ok := r.m[name]
+	if ok && e.res != nil {
+		e.res.Retain()
+	}
+	r.mu.RUnlock()
+	return e, ok
 }
 
 // Get returns the gallery registered under name.

@@ -92,10 +92,11 @@ func ParsePipeline(name string, ratio float64) (pipeline.Pipeline, error) {
 // Server is the HTTP serving frontend: bounded admission at the door,
 // one lazily-created Batcher per (gallery, pipeline) pair behind it.
 type Server struct {
-	reg   *Registry
-	cfg   Config
-	gate  *parallel.Gate
-	start time.Time
+	reg     *Registry
+	cfg     Config
+	gate    *parallel.Gate
+	start   time.Time
+	unwatch func()
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
@@ -105,12 +106,37 @@ type Server struct {
 // New wires a server over the registry.
 func New(reg *Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		reg:      reg,
 		cfg:      cfg,
 		gate:     parallel.NewGate(cfg.MaxInFlight),
 		start:    time.Now(),
 		batchers: map[string]*Batcher{},
+	}
+	s.unwatch = reg.watch(s.retireStale)
+	return s
+}
+
+// retireStale drains (in the background) every cached batcher for name
+// that no longer serves the registry's current gallery. It runs on
+// every registry replacement, so a swapped-out gallery's batchers — and
+// with them the mapping references that keep a replaced snapshot file
+// mapped — are released after their in-flight work drains even if no
+// request for that (gallery, pipeline) key ever arrives again.
+func (s *Server) retireStale(name string) {
+	cur, ok := s.reg.Get(name)
+	prefix := name + "\x00"
+	s.mu.Lock()
+	var stale []*Batcher
+	for key, b := range s.batchers {
+		if strings.HasPrefix(key, prefix) && (!ok || b.sg != cur) {
+			stale = append(stale, b)
+			delete(s.batchers, key)
+		}
+	}
+	s.mu.Unlock()
+	for _, b := range stale {
+		go b.Close()
 	}
 }
 
@@ -126,6 +152,7 @@ func (s *Server) Handler() http.Handler {
 // Close stops every batcher after draining its queue. In-flight
 // http.Server traffic should be shut down first.
 func (s *Server) Close() {
+	s.unwatch()
 	s.mu.Lock()
 	s.closed = true
 	bs := make([]*Batcher, 0, len(s.batchers))
@@ -140,26 +167,60 @@ func (s *Server) Close() {
 }
 
 // batcherFor returns the batcher serving (gallery, pipeline), creating
-// it on first use. A cached batcher is only reused while it still
-// serves the registry's current gallery: when Registry.Add replaces a
-// gallery under the same name, the stale batcher is retired (drained in
-// the background) and a fresh one takes over.
-func (s *Server) batcherFor(name string, sg *pipeline.ShardedGallery, pipeName string, p pipeline.Pipeline) (*Batcher, error) {
+// it on first use. The gallery is re-read from the registry here, under
+// the registry's lock, rather than trusted from the caller's earlier
+// Resolve: a request that raced a gallery replacement would otherwise
+// re-install a batcher over the gallery it resolved moments ago,
+// silently pinning replaced (possibly unmapped-soon) storage for all
+// later traffic. A cached batcher is only reused while it still serves
+// the registry's current gallery; replacements normally retire stale
+// batchers eagerly via retireStale, and the check here catches the
+// remaining race (a batcher installed between the registry swap and
+// its watcher running). Every request therefore classifies entirely on
+// one gallery, old or new, never a torn mix.
+func (s *Server) batcherFor(name, pipeName string, p pipeline.Pipeline) (*Batcher, error) {
 	key := name + "\x00" + strings.ToLower(pipeName)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, errClosed
-	}
-	if b := s.batchers[key]; b != nil {
-		if b.sg == sg {
+	// Bounded retry: a swap can land between acquiring the entry and
+	// installing its batcher, after that swap's retireStale watcher
+	// already ran — in which case the freshly installed batcher is
+	// itself stale and, left alone, would pin the replaced gallery's
+	// mapping behind an idle route. Re-checking the registry after the
+	// install and retiring-and-retrying closes that window; swaps are
+	// rare, so the loop terminates immediately in practice (and a
+	// stale-but-served batcher on loop exhaustion is still correct —
+	// whole-request classification on the older gallery).
+	for attempt := 0; ; attempt++ {
+		e, ok := s.reg.acquire(name) // retains e.res until handed to a batcher
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown gallery %q", name)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			if e.res != nil {
+				e.res.Release()
+			}
+			return nil, errClosed
+		}
+		b := s.batchers[key]
+		if b != nil && b.sg == e.sg {
+			s.mu.Unlock()
+			if e.res != nil {
+				e.res.Release()
+			}
 			return b, nil
 		}
-		go b.Close() // gallery was replaced; drain the stale batcher off-path
+		if b != nil {
+			go b.Close() // gallery was replaced; drain the stale batcher off-path
+		}
+		b = newBatcher(e.sg, p, s.cfg.Workers, s.cfg.MaxBatch, s.cfg.QueueCap, s.cfg.BatchWait, e.res)
+		s.batchers[key] = b
+		s.mu.Unlock()
+		if cur, ok := s.reg.Get(name); (ok && cur == b.sg) || attempt >= 4 {
+			return b, nil
+		}
+		s.retireStale(name) // raced a swap mid-install; retire our stale batcher and retry
 	}
-	b := newBatcher(sg, p, s.cfg.Workers, s.cfg.MaxBatch, s.cfg.QueueCap, s.cfg.BatchWait)
-	s.batchers[key] = b
-	return b, nil
 }
 
 // PredictionJSON is one /classify result entry.
@@ -197,7 +258,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.gate.Leave()
 
-	name, sg, err := s.reg.Resolve(r.URL.Query().Get("gallery"))
+	name, _, err := s.reg.Resolve(r.URL.Query().Get("gallery"))
 	if err != nil {
 		httpError(w, http.StatusNotFound, err.Error())
 		return
@@ -228,7 +289,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	b, err := s.batcherFor(name, sg, pipeName, p)
+	b, err := s.batcherFor(name, pipeName, p)
 	if err != nil {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return

@@ -388,7 +388,7 @@ func TestBatcherSubmitDirect(t *testing.T) {
 	g, queries := fixture(t)
 	sg := pipeline.NewShardedGallery(g, 2)
 	p := pipeline.NewDescriptor(pipeline.ORB, 0.5)
-	b := newBatcher(sg, p, 2, 2, 2, time.Millisecond)
+	b := newBatcher(sg, p, 2, 2, 2, time.Millisecond, nil)
 	res, err := b.Submit(context.Background(), queries.Samples[0].Image)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,50 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm)
+
+package snapshot
+
+import (
+	"encoding/binary"
+	"math"
+
+	"snmatch/internal/features"
+)
+
+// On big-endian targets the little-endian blob encoding cannot be
+// aliased; the accessors decode element-wise into fresh slices instead.
+// Loads stay correct everywhere — only the zero-copy property is a
+// little-endian (i.e. every mainstream robot/server CPU) feature.
+
+func asF32s(raw []byte, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out
+}
+
+func asF64s(raw []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}
+
+func asU64s(raw []byte, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(raw[i*8:])
+	}
+	return out
+}
+
+// keypointLayoutMatches: the on-disk record is little-endian, so
+// big-endian targets always decode.
+var keypointLayoutMatches = false
+
+// asKeypoints always falls back to the decode loop on big-endian
+// targets.
+func asKeypoints([]byte, int) []features.Keypoint { return nil }
+
+// ensureAligned8 is a no-op where the accessors copy anyway.
+func ensureAligned8(b []byte) []byte { return b }

@@ -1,0 +1,68 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mipsle || mips64le || ppc64le || riscv64 || wasm
+
+package snapshot
+
+import (
+	"unsafe"
+
+	"snmatch/internal/features"
+)
+
+// On little-endian targets the on-disk encoding IS the in-memory
+// representation, so blob arrays are reinterpreted in place — the
+// zero-copy half of the v2 format. Callers guarantee n > 0, that raw
+// holds at least n elements, and that &raw[0] satisfies the element
+// alignment (the blob accessors check offset alignment against an
+// 8-aligned base).
+
+func asF32s(raw []byte, n int) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(&raw[0])), n)
+}
+
+func asF64s(raw []byte, n int) []float64 {
+	return unsafe.Slice((*float64)(unsafe.Pointer(&raw[0])), n)
+}
+
+func asU64s(raw []byte, n int) []uint64 {
+	return unsafe.Slice((*uint64)(unsafe.Pointer(&raw[0])), n)
+}
+
+// keypointLayoutMatches reports whether features.Keypoint's in-memory
+// layout equals the 32-byte v2 disk record (it does on every 64-bit
+// little-endian target: five float32 fields, four padding bytes, an
+// 8-byte int). Where it doesn't — 32-bit ints, exotic layouts — the
+// loader decodes records instead of aliasing them.
+var keypointLayoutMatches = func() bool {
+	var kp features.Keypoint
+	return unsafe.Sizeof(kp) == keypointBlobEnc &&
+		unsafe.Offsetof(kp.X) == 0 &&
+		unsafe.Offsetof(kp.Y) == 4 &&
+		unsafe.Offsetof(kp.Size) == 8 &&
+		unsafe.Offsetof(kp.Angle) == 12 &&
+		unsafe.Offsetof(kp.Response) == 16 &&
+		unsafe.Offsetof(kp.Octave) == 24
+}()
+
+// asKeypoints reinterprets a v2 keypoint block in place, or returns nil
+// (fall back to decoding) when the record layout is not the in-memory
+// one.
+func asKeypoints(raw []byte, n int) []features.Keypoint {
+	if !keypointLayoutMatches {
+		return nil
+	}
+	return unsafe.Slice((*features.Keypoint)(unsafe.Pointer(&raw[0])), n)
+}
+
+// ensureAligned8 returns b, or an 8-aligned copy when the heap buffer
+// happens to start off-alignment (the Go allocator 8-aligns every
+// non-tiny object, so the copy is a near-impossible fallback, not a
+// cost). Mapped buffers are page-aligned and never copy.
+func ensureAligned8(b []byte) []byte {
+	if len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return b
+	}
+	words := make([]uint64, (len(b)+7)/8)
+	aligned := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), len(b))
+	copy(aligned, b)
+	return aligned
+}

@@ -1,0 +1,27 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly)
+
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap reads the file into one
+// aligned heap buffer. Map keeps its API and aliasing semantics — the
+// packed matrices still share a single backing array — it just loses
+// the page-cache sharing; the buffer is garbage-collected, so there is
+// nothing for unmapMem to do.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, fmt.Errorf("%w: %d-byte file", ErrCorrupt, size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, false, fmt.Errorf("snapshot: map: %w", err)
+	}
+	return ensureAligned8(buf), false, nil
+}
+
+func unmapMem([]byte) error { return nil }

@@ -1,0 +1,28 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps the file read-only and page-cache-shared: the
+// returned bytes alias the kernel's cached pages, so several processes
+// mapping the same snapshot share one physical copy and an unmapped
+// page costs nothing until touched. The second return reports that the
+// bytes must be released with unmapMem.
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, fmt.Errorf("%w: %d-byte file", ErrCorrupt, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, fmt.Errorf("snapshot: mmap: %w", err)
+	}
+	return data, true, nil
+}
+
+// unmapMem releases a mapFile mapping.
+func unmapMem(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,105 @@
+package snapshot
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/pipeline"
+)
+
+// tempSnaps lists the .snap-* temp files in dir — Save's working files,
+// which must never outlive the call.
+func tempSnaps(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".snap-") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestSaveLeavesNoTempFiles drives Save down its distinct exit paths —
+// success, a failing encoder, and a failing rename — and checks none of
+// them leaves a .snap-* temp file behind.
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	g := pipeline.NewGallery(dataset.BuildSNS1(dataset.Config{Size: 24, Seed: 4}))
+	snap := &Snapshot{Name: "x", Gallery: g}
+
+	t.Run("success", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := Save(filepath.Join(dir, "g.snap"), snap); err != nil {
+			t.Fatalf("Save: %v", err)
+		}
+		if left := tempSnaps(t, dir); len(left) != 0 {
+			t.Fatalf("successful Save left temp files %v", left)
+		}
+	})
+	t.Run("write-error", func(t *testing.T) {
+		dir := t.TempDir()
+		boom := errors.New("boom")
+		err := save(filepath.Join(dir, "g.snap"), snap, func(io.Writer, *Snapshot) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("injected write error not surfaced: %v", err)
+		}
+		if left := tempSnaps(t, dir); len(left) != 0 {
+			t.Fatalf("failed write left temp files %v", left)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "g.snap")); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("failed Save published the target name: %v", err)
+		}
+	})
+	t.Run("rename-error", func(t *testing.T) {
+		dir := t.TempDir()
+		target := filepath.Join(dir, "g.snap")
+		if err := os.Mkdir(target, 0o755); err != nil { // rename onto a non-empty dir fails
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(target, "occupied"), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(target, snap); err == nil {
+			t.Fatal("Save onto a non-empty directory succeeded")
+		}
+		if left := tempSnaps(t, dir); len(left) != 0 {
+			t.Fatalf("failed rename left temp files %v", left)
+		}
+	})
+	t.Run("missing-dir", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "absent")
+		if err := Save(filepath.Join(dir, "g.snap"), snap); err == nil {
+			t.Fatal("Save into a missing directory succeeded")
+		}
+	})
+}
+
+// TestSaveOverwrite pins that Save atomically replaces an existing
+// snapshot: the old file is readable until the rename and the new one
+// after it.
+func TestSaveOverwrite(t *testing.T) {
+	g := prepared(t)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	if err := Save(path, &Snapshot{Name: "one", Meta: Meta{Dataset: "sns1", Size: 40, Seed: 2}, Gallery: g}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(path, &Snapshot{Name: "two", Meta: Meta{Dataset: "sns1", Size: 40, Seed: 2}, Gallery: g}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "two" {
+		t.Fatalf("overwritten snapshot loads as %q", got.Name)
+	}
+}

@@ -9,10 +9,21 @@
 // exactness: a loaded gallery produces bit-identical predictions to the
 // gallery that was saved, for every pipeline.
 //
-// Layout:
+// Two format versions exist:
+//
+//   - v1 is a single length-prefixed payload stream that Read decodes
+//     field by field into fresh heap slices. The reader is kept for
+//     back-compat; WriteV1/SaveV1 still produce it for older loaders.
+//   - v2 (the default, see v2.go) separates the file into a small
+//     structure stream and an 8-byte-aligned blob region holding the
+//     large numeric payloads, so Map can alias the packed descriptor
+//     matrices straight off a read-only memory mapping with zero
+//     copies: loading a large gallery costs O(structure), not O(bytes).
+//
+// v1 layout:
 //
 //	magic   8 bytes "SNSNAP\r\n"
-//	version uint32 (currently 1)
+//	version uint32 (1)
 //	payload length-prefixed fields (see encode/decode below)
 //	crc32   IEEE checksum of the payload
 package snapshot
@@ -26,6 +37,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"snmatch/internal/features"
 	"snmatch/internal/histogram"
@@ -34,8 +46,13 @@ import (
 	"snmatch/internal/synth"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version, the one Write and
+// Save produce. VersionV1 is the legacy single-stream format; its
+// reader is retained so v1 snapshots keep loading.
+const (
+	Version   = 2
+	VersionV1 = 1
+)
 
 var magic = [8]byte{'S', 'N', 'S', 'N', 'A', 'P', '\r', '\n'}
 
@@ -85,10 +102,16 @@ type Snapshot struct {
 	Gallery *pipeline.Gallery
 }
 
-// Write serializes the snapshot. The gallery must be quiescent (no
-// concurrent extraction); the binaries save only after preparation
-// completes.
-func Write(w io.Writer, s *Snapshot) error {
+// Write serializes the snapshot in the current (v2) format. The gallery
+// must be quiescent (no concurrent extraction); the binaries save only
+// after preparation completes.
+func Write(w io.Writer, s *Snapshot) error { return writeV2(w, s) }
+
+// WriteV1 serializes the snapshot in the legacy v1 format — the
+// single-stream layout readers predating Map understand. New snapshots
+// should use Write; this exists so back-compat fixtures can still be
+// produced.
+func WriteV1(w io.Writer, s *Snapshot) error {
 	g := s.Gallery
 	var e enc
 	e.str(s.Name)
@@ -97,7 +120,7 @@ func Write(w io.Writer, s *Snapshot) error {
 	e.u64(s.Meta.Seed)
 	e.u32(uint32(len(g.Views)))
 	for i := range g.Views {
-		encodeView(&e, &g.Views[i])
+		encodeViewV1(&e, &g.Views[i])
 	}
 	// The flat indexes are not serialized: NewDescriptorIndex is a pure,
 	// deterministic function of the per-view packed sets already stored
@@ -105,21 +128,11 @@ func Write(w io.Writer, s *Snapshot) error {
 	// spread), so persisting them would double the descriptor bytes on
 	// disk. Only the prepared kinds are recorded; Read rebuilds each
 	// index bit-identically from the restored sets.
-	idx := g.Indexes()
-	present := make([]pipeline.DescriptorKind, 0, len(descKinds))
-	for _, k := range descKinds {
-		if idx[k] != nil {
-			present = append(present, k)
-		}
-	}
-	e.u8(uint8(len(present)))
-	for _, k := range present {
-		e.u8(uint8(k))
-	}
+	encodeIndexKinds(&e, g)
 
 	var hdr [12]byte
 	copy(hdr[:8], magic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint32(hdr[8:], VersionV1)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("snapshot: write header: %w", err)
 	}
@@ -134,7 +147,24 @@ func Write(w io.Writer, s *Snapshot) error {
 	return nil
 }
 
-// Read deserializes a snapshot.
+// encodeIndexKinds records which flat-index kinds the gallery has
+// prepared (shared tail of both format versions).
+func encodeIndexKinds(e *enc, g *pipeline.Gallery) {
+	idx := g.Indexes()
+	present := make([]pipeline.DescriptorKind, 0, len(descKinds))
+	for _, k := range descKinds {
+		if idx[k] != nil {
+			present = append(present, k)
+		}
+	}
+	e.u8(uint8(len(present)))
+	for _, k := range present {
+		e.u8(uint8(k))
+	}
+}
+
+// Read deserializes a snapshot of either format version into heap
+// memory. For the v2 zero-copy path use Map.
 func Read(r io.Reader) (*Snapshot, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
@@ -146,9 +176,26 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if [8]byte(raw[:8]) != magic {
 		return nil, ErrBadMagic
 	}
-	if v := binary.LittleEndian.Uint32(raw[8:12]); v != Version {
-		return nil, fmt.Errorf("%w: file version %d, supported version %d", ErrVersion, v, Version)
+	switch v := binary.LittleEndian.Uint32(raw[8:12]); v {
+	case VersionV1:
+		return readV1(raw)
+	case Version:
+		// Heap loads alias the read buffer too (one backing array, no
+		// per-field copies); it just lives on the GC heap instead of a
+		// mapping, so nothing is marked borrowed.
+		return readV2(ensureAligned8(raw), true, false)
+	default:
+		return nil, fmt.Errorf("%w: file version %d, supported versions %d and %d", ErrVersion, v, VersionV1, Version)
 	}
+}
+
+// minViewEncV1 is the smallest on-disk footprint of one v1 view
+// (sample ids, image flag, Hu block, histogram flag, descriptor
+// count); the view count is bounded against it before allocation.
+const minViewEncV1 = 3*8 + 1 + 7*8 + 1 + 1
+
+// readV1 decodes the legacy single-stream format.
+func readV1(raw []byte) (*Snapshot, error) {
 	payload := raw[12 : len(raw)-4]
 	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
 	if got := crc32.ChecksumIEEE(payload); got != want {
@@ -161,63 +208,113 @@ func Read(r io.Reader) (*Snapshot, error) {
 	out.Meta.Dataset = d.str()
 	out.Meta.Size = int(d.i64())
 	out.Meta.Seed = d.u64()
-	nv := int(d.u32())
-	if d.err == nil && nv > len(d.b) { // cheap sanity bound before allocating
-		d.fail("view count %d exceeds payload", nv)
-	}
+	nv := d.count(int(d.u32()), minViewEncV1)
 	var views []pipeline.View
 	if d.err == nil {
 		views = make([]pipeline.View, nv)
 		for i := range views {
-			decodeView(d, &views[i])
+			decodeViewV1(d, &views[i])
 			if d.err != nil {
 				break
 			}
 		}
 	}
-	var indexKinds []pipeline.DescriptorKind
-	if d.err == nil {
-		for n := int(d.u8()); n > 0 && d.err == nil; n-- {
-			indexKinds = append(indexKinds, pipeline.DescriptorKind(d.u8()))
-		}
-	}
+	indexKinds := decodeIndexKinds(d)
 	if d.err == nil && d.off != len(d.b) {
 		d.fail("%d trailing bytes", len(d.b)-d.off)
 	}
 	if d.err != nil {
 		return nil, d.err
 	}
-	// Rebuild the flat indexes from the restored sets — a deterministic
-	// reconstruction of exactly what the saved gallery held. An index
-	// kind lacking a view's descriptor set cannot have existed at save
-	// time, so it marks a corrupt file.
+	idx, err := buildIndexes(views, indexKinds, nil)
+	if err != nil {
+		return nil, err
+	}
+	out.Gallery = pipeline.RestoreGallery(views, idx)
+	return out, nil
+}
+
+// decodeIndexKinds reads the recorded flat-index kind list.
+func decodeIndexKinds(d *dec) []pipeline.DescriptorKind {
+	var kinds []pipeline.DescriptorKind
+	for n := int(d.u8()); n > 0 && d.err == nil; n-- {
+		kinds = append(kinds, pipeline.DescriptorKind(d.u8()))
+	}
+	return kinds
+}
+
+// buildIndexes rebuilds the recorded flat indexes from the restored
+// sets — a deterministic reconstruction of exactly what the saved
+// gallery held. Every view's set of a recorded kind must be present and
+// shape-consistent with the others: an inconsistency cannot have
+// existed at save time, so it marks a corrupt (or crafted) file, which
+// must surface as ErrCorrupt here rather than as a panic inside the
+// index builder or an out-of-bounds scan at query time. regions, when
+// non-nil, supplies the concatenated blob storage the v2 loader aliases
+// the indexes onto.
+func buildIndexes(views []pipeline.View, kinds []pipeline.DescriptorKind, regions map[pipeline.DescriptorKind]indexRegion) (map[pipeline.DescriptorKind]*pipeline.DescriptorIndex, error) {
 	idx := map[pipeline.DescriptorKind]*pipeline.DescriptorIndex{}
-	for _, k := range indexKinds {
+	for _, k := range kinds {
 		sets := make([]*features.Set, len(views))
+		var (
+			have   bool
+			binary bool
+			dim    int
+			wpr    int
+		)
 		for i := range views {
 			s := views[i].Desc[k]
 			if s == nil {
 				return nil, fmt.Errorf("%w: index kind %s recorded but view %d has no %s descriptors", ErrCorrupt, k, i, k)
 			}
 			sets[i] = s
+			if s.Len() == 0 {
+				continue
+			}
+			p := s.Packed
+			if !have {
+				have, binary, dim, wpr = true, s.IsBinary(), p.Dim, p.WordsPerRow
+				continue
+			}
+			if s.IsBinary() != binary || p.Dim != dim || p.WordsPerRow != wpr {
+				return nil, fmt.Errorf("%w: index kind %s mixes descriptor shapes (view %d)", ErrCorrupt, k, i)
+			}
 		}
-		idx[k] = pipeline.NewDescriptorIndex(sets)
+		r := regions[k]
+		idx[k] = pipeline.RestoreDescriptorIndex(sets, r.floats, r.words)
 	}
-	out.Gallery = pipeline.RestoreGallery(views, idx)
-	return out, nil
+	return idx, nil
 }
 
-// Save writes the snapshot to path atomically (temp file + rename).
-func Save(path string, s *Snapshot) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+// Save writes the snapshot to path atomically and durably: the bytes
+// are flushed to a temp file, fsynced, renamed over path, and the
+// parent directory is fsynced so the rename itself survives a crash —
+// without the two syncs a post-rename crash can legally surface a
+// zero-length or torn file under the final name. No temp file is left
+// behind on any error path.
+func Save(path string, s *Snapshot) error { return save(path, s, Write) }
+
+// SaveV1 is Save in the legacy v1 format (see WriteV1).
+func SaveV1(path string, s *Snapshot) error { return save(path, s, WriteV1) }
+
+func save(path string, s *Snapshot, write func(io.Writer, *Snapshot) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snap-*")
 	if err != nil {
 		return fmt.Errorf("snapshot: save: %w", err)
 	}
 	tmp := f.Name()
-	if err := Write(f, s); err != nil {
+	if err := write(f, s); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	// Flush file data before the rename: rename-then-crash must never
+	// publish a name whose content is still in page cache only.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("snapshot: save: sync: %w", err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
@@ -231,10 +328,32 @@ func Save(path string, s *Snapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("snapshot: save: %w", err)
 	}
+	// Durably record the rename in the directory itself.
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("snapshot: save: %w", err)
+	}
 	return nil
 }
 
-// Load reads the snapshot at path.
+// syncDir fsyncs a directory so a just-renamed entry is on disk.
+// Windows has no directory fsync (and NTFS journals the rename); the
+// call is skipped there rather than failing every Save.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Load reads the snapshot at path into heap memory.
 func Load(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -244,9 +363,9 @@ func Load(path string) (*Snapshot, error) {
 	return Read(f)
 }
 
-// --- view encoding ---
+// --- view encoding (v1) ---
 
-func encodeView(e *enc, v *pipeline.View) {
+func encodeViewV1(e *enc, v *pipeline.View) {
 	e.i64(int64(v.Sample.Class))
 	e.i64(int64(v.Sample.Model))
 	e.i64(int64(v.Sample.View))
@@ -277,11 +396,20 @@ func encodeView(e *enc, v *pipeline.View) {
 	e.u8(uint8(len(present)))
 	for _, k := range present {
 		e.u8(uint8(k))
-		encodeSet(e, v.Desc[k])
+		encodeSetV1(e, v.Desc[k])
 	}
 }
 
-func decodeView(d *dec, v *pipeline.View) {
+// maxImageSide bounds a decoded view image's width and height. The
+// gallery renders are small (tens to hundreds of pixels); the bound
+// exists so a crafted width/height pair cannot overflow the 3*w*h pixel
+// arithmetic and smuggle in an Image header whose dimensions exceed its
+// pixel storage (an out-of-bounds read at query time). It is sized so
+// 3*maxImageSide² still fits a 32-bit int — overflow must be impossible
+// on every GOARCH, not just 64-bit ones.
+const maxImageSide = 1 << 14
+
+func decodeViewV1(d *dec, v *pipeline.View) {
 	v.Sample.Class = synth.Class(d.i64())
 	v.Sample.Model = int(d.i64())
 	v.Sample.View = int(d.i64())
@@ -289,11 +417,11 @@ func decodeView(d *dec, v *pipeline.View) {
 		w, h := int(d.u32()), int(d.u32())
 		pix := d.bytes()
 		if d.err == nil {
-			if w <= 0 || h <= 0 || len(pix) != 3*w*h {
-				d.fail("image %dx%d with %d pixel bytes", w, h, len(pix))
+			if img := restoreImage(d, w, h, pix); img != nil {
+				v.Sample.Image = img
+			} else {
 				return
 			}
-			v.Sample.Image = &imaging.Image{W: w, H: h, Pix: pix}
 		}
 	}
 	for i := range v.Hu {
@@ -303,23 +431,44 @@ func decodeView(d *dec, v *pipeline.View) {
 		bins := int(d.u32())
 		counts := d.f64s()
 		if d.err == nil {
-			if bins < 1 || bins > 256 || len(counts) != bins*bins*bins {
-				d.fail("histogram bins %d with %d cells", bins, len(counts))
+			if h := restoreHist(d, bins, counts); h != nil {
+				v.Hist = h
+			} else {
 				return
 			}
-			v.Hist = &histogram.Hist{Bins: bins, Counts: counts}
 		}
 	}
 	v.Desc = map[pipeline.DescriptorKind]*features.Set{}
 	for n := int(d.u8()); n > 0 && d.err == nil; n-- {
 		k := pipeline.DescriptorKind(d.u8())
-		if s := decodeSet(d); d.err == nil {
+		if s := decodeSetV1(d); d.err == nil {
 			v.Desc[k] = s
 		}
 	}
 }
 
-// --- descriptor set encoding ---
+// restoreImage validates decoded image dimensions against their pixel
+// payload (shared by both format versions) and assembles the image.
+// It fails the decoder and returns nil on mismatch.
+func restoreImage(d *dec, w, h int, pix []byte) *imaging.Image {
+	if w <= 0 || h <= 0 || w > maxImageSide || h > maxImageSide || len(pix) != 3*w*h {
+		d.fail("image %dx%d with %d pixel bytes", w, h, len(pix))
+		return nil
+	}
+	return &imaging.Image{W: w, H: h, Pix: pix}
+}
+
+// restoreHist validates a decoded histogram shape (shared by both
+// format versions).
+func restoreHist(d *dec, bins int, counts []float64) *histogram.Hist {
+	if bins < 1 || bins > 256 || len(counts) != bins*bins*bins {
+		d.fail("histogram bins %d with %d cells", bins, len(counts))
+		return nil
+	}
+	return &histogram.Hist{Bins: bins, Counts: counts}
+}
+
+// --- descriptor set encoding (v1) ---
 
 func b2u8(v bool) uint8 {
 	if v {
@@ -328,21 +477,18 @@ func b2u8(v bool) uint8 {
 	return 0
 }
 
-func encodeSet(e *enc, s *features.Set) {
+// keypointEnc is the fixed on-disk size of one keypoint (5 float32
+// fields plus the octave int64).
+const keypointEnc = 5*4 + 8
+
+func encodeSetV1(e *enc, s *features.Set) {
 	p := s.Pack().Packed
 	// The representation flag disambiguates empty sets: an empty binary
 	// set and an empty float set have identical packed shapes but must
 	// restore to their original representation.
 	e.u8(b2u8(s.IsBinary()))
 	e.u32(uint32(len(s.Keypoints)))
-	for _, kp := range s.Keypoints {
-		e.f32(kp.X)
-		e.f32(kp.Y)
-		e.f32(kp.Size)
-		e.f32(kp.Angle)
-		e.f32(kp.Response)
-		e.i64(int64(kp.Octave))
-	}
+	encodeKeypoints(e, s.Keypoints)
 	e.u32(uint32(p.N))
 	e.u32(uint32(p.Dim))
 	e.u32(uint32(p.RowBytes))
@@ -352,24 +498,85 @@ func encodeSet(e *enc, s *features.Set) {
 	e.u64s(p.Words)
 }
 
-func decodeSet(d *dec) *features.Set {
-	isBinary := d.u8() == 1
-	nk := int(d.u32())
-	if d.err != nil || nk*8 > len(d.b)-d.off {
-		d.fail("keypoint count %d exceeds payload", nk)
+func encodeKeypoints(e *enc, kps []features.Keypoint) {
+	for _, kp := range kps {
+		e.f32(kp.X)
+		e.f32(kp.Y)
+		e.f32(kp.Size)
+		e.f32(kp.Angle)
+		e.f32(kp.Response)
+		e.i64(int64(kp.Octave))
+	}
+}
+
+// decodeKeypoints length-bounds and decodes a keypoint block (shared
+// by both format versions). The whole block is taken in one bounds
+// check and decoded field-wise off it — keypoints are the largest
+// structure-stream item, so this loop is the mapped load's hot path —
+// and the slice comes off the restore slab when one is supplied.
+// Empty decodes as nil for exact round trips.
+func decodeKeypoints(d *dec, a *features.RestoreAlloc) []features.Keypoint {
+	nk := d.count(int(d.u32()), keypointEnc)
+	if d.err != nil || nk == 0 {
+		return nil
+	}
+	raw := d.take(nk * keypointEnc)
+	if raw == nil {
 		return nil
 	}
 	var kps []features.Keypoint
-	if nk > 0 { // decode empty as nil for exact round trips
+	if a != nil {
+		kps = a.Keypoints(nk)
+	} else {
 		kps = make([]features.Keypoint, nk)
 	}
 	for i := range kps {
-		kps[i].X = d.f32()
-		kps[i].Y = d.f32()
-		kps[i].Size = d.f32()
-		kps[i].Angle = d.f32()
-		kps[i].Response = d.f32()
-		kps[i].Octave = int(d.i64())
+		f := raw[i*keypointEnc : (i+1)*keypointEnc]
+		kps[i].X = math.Float32frombits(binary.LittleEndian.Uint32(f))
+		kps[i].Y = math.Float32frombits(binary.LittleEndian.Uint32(f[4:]))
+		kps[i].Size = math.Float32frombits(binary.LittleEndian.Uint32(f[8:]))
+		kps[i].Angle = math.Float32frombits(binary.LittleEndian.Uint32(f[12:]))
+		kps[i].Response = math.Float32frombits(binary.LittleEndian.Uint32(f[16:]))
+		kps[i].Octave = int(int64(binary.LittleEndian.Uint64(f[20:])))
+	}
+	return kps
+}
+
+// checkPackedShape validates a decoded packed block against its
+// recorded representation flag and keypoint count. All arithmetic is
+// division-based: the counts come off the wire as raw u32s, so products
+// like N*Dim could overflow and alias a crafted length. Returns false
+// (failing the decoder) on any mismatch.
+func checkPackedShape(d *dec, p *features.Packed, isBinary bool, nk int) bool {
+	ok := p.N == nk
+	if isBinary {
+		ok = ok && p.Dim == 0 && len(p.Floats) == 0 && len(p.Norms) == 0
+		ok = ok && (p.RowBytes > 0) == (p.WordsPerRow > 0)
+		ok = ok && p.WordsPerRow == (p.RowBytes+7)/8
+		if p.WordsPerRow == 0 {
+			ok = ok && len(p.Words) == 0
+		} else {
+			ok = ok && len(p.Words)%p.WordsPerRow == 0 && len(p.Words)/p.WordsPerRow == p.N
+		}
+	} else {
+		ok = ok && p.RowBytes == 0 && p.WordsPerRow == 0 && len(p.Words) == 0
+		if p.Dim == 0 {
+			ok = ok && len(p.Floats) == 0 && len(p.Norms) == 0
+		} else {
+			ok = ok && len(p.Floats)%p.Dim == 0 && len(p.Floats)/p.Dim == p.N && len(p.Norms) == p.N
+		}
+	}
+	if !ok {
+		d.fail("packed block shape mismatch (N=%d dim=%d rowBytes=%d wpr=%d)", p.N, p.Dim, p.RowBytes, p.WordsPerRow)
+	}
+	return ok
+}
+
+func decodeSetV1(d *dec) *features.Set {
+	isBinary := d.u8() == 1
+	kps := decodeKeypoints(d, nil)
+	if d.err != nil {
+		return nil
 	}
 	p := &features.Packed{
 		N:        int(d.u32()),
@@ -386,19 +593,10 @@ func decodeSet(d *dec) *features.Set {
 	if isBinary && p.Words == nil {
 		p.Words = []uint64{} // Pack always materialises Words for binary sets
 	}
-	if p.N != nk || len(p.Floats) != p.N*p.Dim || len(p.Norms) != boolN(p.Dim > 0, p.N) ||
-		len(p.Words) != p.N*p.WordsPerRow {
-		d.fail("packed block shape mismatch (N=%d dim=%d wpr=%d)", p.N, p.Dim, p.WordsPerRow)
+	if !checkPackedShape(d, p, isBinary, len(kps)) {
 		return nil
 	}
 	return features.RestoreSet(kps, p)
-}
-
-func boolN(cond bool, n int) int {
-	if cond {
-		return n
-	}
-	return 0
 }
 
 // --- primitive little-endian encoder/decoder ---
@@ -452,6 +650,21 @@ func (d *dec) fail(format string, args ...any) {
 	if d.err == nil {
 		d.err = fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
 	}
+}
+
+// count validates an element count read off the wire against the bytes
+// that remain: a valid stream must still carry at least min encoded
+// bytes per element, so a larger count is corrupt — and must fail here,
+// BEFORE it reaches a make(), not after a crafted multi-GB allocation.
+func (d *dec) count(n, min int) int {
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > (len(d.b)-d.off)/min {
+		d.fail("count %d exceeds remaining payload (%d bytes)", n, len(d.b)-d.off)
+		return 0
+	}
+	return n
 }
 
 func (d *dec) take(n int) []byte {
@@ -509,7 +722,9 @@ func (d *dec) bytes() []byte {
 	return out
 }
 func (d *dec) f32s() []float32 {
-	n := int(d.u32())
+	// count first: on 32-bit targets n*4 can overflow int and slip a
+	// huge n past take's byte bound into the make below.
+	n := d.count(int(d.u32()), 4)
 	if n == 0 {
 		return nil // nil and empty encode identically; decode to nil for exact round trips
 	}
@@ -524,7 +739,7 @@ func (d *dec) f32s() []float32 {
 	return out
 }
 func (d *dec) f64s() []float64 {
-	n := int(d.u32())
+	n := d.count(int(d.u32()), 8) // pre-bounds n*8 against 32-bit overflow
 	if n == 0 {
 		return nil // nil and empty encode identically; decode to nil for exact round trips
 	}
@@ -539,7 +754,7 @@ func (d *dec) f64s() []float64 {
 	return out
 }
 func (d *dec) u64s() []uint64 {
-	n := int(d.u32())
+	n := d.count(int(d.u32()), 8) // pre-bounds n*8 against 32-bit overflow
 	if n == 0 {
 		return nil // nil and empty encode identically; decode to nil for exact round trips
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"hash/crc32"
+	"io"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -179,13 +180,18 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
-// snapshotBytes returns a small valid snapshot to corrupt.
-func snapshotBytes(t *testing.T) []byte {
+// snapshotBytes returns a small valid (v2) snapshot to corrupt.
+func snapshotBytes(t *testing.T) []byte { return snapshotBytesWith(t, Write) }
+
+// snapshotBytesV1 is snapshotBytes in the legacy format.
+func snapshotBytesV1(t *testing.T) []byte { return snapshotBytesWith(t, WriteV1) }
+
+func snapshotBytesWith(t *testing.T, write func(io.Writer, *Snapshot) error) []byte {
 	t.Helper()
 	g := pipeline.NewGallery(dataset.BuildSNS1(dataset.Config{Size: 24, Seed: 4}))
 	g.PrepareDescriptors(pipeline.ORB, pipeline.DefaultDescriptorParams())
 	var buf bytes.Buffer
-	if err := Write(&buf, &Snapshot{Name: "x", Gallery: g}); err != nil {
+	if err := write(&buf, &Snapshot{Name: "x", Gallery: g}); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -219,19 +225,35 @@ func TestCorruptPayload(t *testing.T) {
 // index-kind list (ORB -> SIFT, with a fixed-up checksum) and checks the
 // loader refuses to rebuild an index whose descriptor sets were never
 // stored, instead of handing out a gallery that would crash at query
-// time.
+// time — in both format versions.
 func TestIndexKindWithoutDescriptors(t *testing.T) {
-	raw := snapshotBytes(t) // ORB is the only prepared kind
-	kindOff := len(raw) - 5 // ... [count u8][kind u8][crc32]
-	if raw[kindOff-1] != 1 || raw[kindOff] != uint8(pipeline.ORB) {
-		t.Fatalf("fixture layout changed: tail bytes % x", raw[len(raw)-8:])
-	}
-	raw[kindOff] = uint8(pipeline.SIFT)
-	sum := crc32.ChecksumIEEE(raw[12 : len(raw)-4])
-	binary.LittleEndian.PutUint32(raw[len(raw)-4:], sum)
-	if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("index kind without stored descriptors: got %v, want ErrCorrupt", err)
-	}
+	t.Run("v1", func(t *testing.T) {
+		raw := snapshotBytesV1(t) // ORB is the only prepared kind
+		kindOff := len(raw) - 5   // ... [count u8][kind u8][crc32]
+		if raw[kindOff-1] != 1 || raw[kindOff] != uint8(pipeline.ORB) {
+			t.Fatalf("fixture layout changed: tail bytes % x", raw[len(raw)-8:])
+		}
+		raw[kindOff] = uint8(pipeline.SIFT)
+		sum := crc32.ChecksumIEEE(raw[12 : len(raw)-4])
+		binary.LittleEndian.PutUint32(raw[len(raw)-4:], sum)
+		if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("index kind without stored descriptors: got %v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("v2", func(t *testing.T) {
+		raw := snapshotBytes(t) // v2: the kind list ends the structure stream
+		structLen := int(binary.LittleEndian.Uint64(raw[offStructLen:]))
+		kindOff := headerLenV2 + structLen - 1
+		if raw[kindOff-1] != 1 || raw[kindOff] != uint8(pipeline.ORB) {
+			t.Fatalf("fixture layout changed: structure tail % x", raw[kindOff-1:kindOff+1])
+		}
+		raw[kindOff] = uint8(pipeline.SIFT)
+		sum := crc32.ChecksumIEEE(raw[headerLenV2 : headerLenV2+structLen])
+		binary.LittleEndian.PutUint32(raw[offStructCRC:], sum)
+		if _, err := Read(bytes.NewReader(raw)); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("index kind without stored descriptors: got %v, want ErrCorrupt", err)
+		}
+	})
 }
 
 func TestTruncated(t *testing.T) {

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snmatch/internal/pipeline"
+	"snmatch/internal/serve/snapshot"
+)
+
+// mapFixture saves the shared fixture gallery as a v2 snapshot once and
+// returns a function minting fresh mappings of it.
+func mapFixture(t testing.TB) func() *snapshot.Mapping {
+	t.Helper()
+	g, _ := fixture(t)
+	path := filepath.Join(t.TempDir(), "g.snap")
+	snap := &snapshot.Snapshot{Name: "sns1", Meta: snapshot.Meta{Dataset: "sns1", Size: 40, Seed: 6}, Gallery: g}
+	if err := snapshot.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	return func() *snapshot.Mapping {
+		m, err := snapshot.Map(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+}
+
+// waitUnmapped polls until the mapping's last reference is gone —
+// stale batchers drain asynchronously after a replacement.
+func waitUnmapped(t *testing.T, m *snapshot.Mapping) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Refs() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("mapping still holds %d refs after drain", m.Refs())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSwapUnderTraffic is the gallery-replacement race regression: a
+// stream of /classify requests hammers the server while the gallery is
+// replaced (with freshly mapped snapshots) under it. Every request must
+// finish wholly on one gallery — the old or the new, never a torn mix,
+// never a scan of unmapped memory — and every replaced mapping must be
+// released once its last in-flight work drains. Run under -race this
+// also pins the handler/registry/batcher locking.
+func TestSwapUnderTraffic(t *testing.T) {
+	mint := mapFixture(t)
+	_, queries := fixture(t)
+	body := pngBytes(t, queries.Samples[0].Image)
+
+	reg := NewRegistry()
+	first := mint()
+	if err := reg.AddMapped("sns1", pipeline.NewShardedGallery(first.Snap.Gallery, 2), first.Snap.Meta, first); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{MaxBatch: 4, BatchWait: 100 * time.Microsecond})
+	srv := httptest.NewServer(s.Handler())
+
+	const clients = 8
+	var (
+		stop   atomic.Bool
+		served atomic.Int64
+		wg     sync.WaitGroup
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, out := postClassify(t, srv.URL+"/classify?pipeline=orb", "image/png", body)
+				if resp.StatusCode == http.StatusServiceUnavailable {
+					continue // admission shedding is a legal answer mid-swap
+				}
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d mid-swap", resp.StatusCode)
+					return
+				}
+				if len(out.Predictions) != 1 || out.Predictions[0].Class == "" {
+					t.Errorf("torn response %+v", out)
+					return
+				}
+				served.Add(1)
+			}
+		}()
+	}
+
+	replaced := []*snapshot.Mapping{first}
+	for i := 0; i < 25; i++ {
+		m := mint()
+		if err := reg.AddMapped("sns1", pipeline.NewShardedGallery(m.Snap.Gallery, 2), m.Snap.Meta, m); err != nil {
+			t.Fatal(err)
+		}
+		replaced = append(replaced, m)
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	srv.Close()
+	s.Close()
+	if served.Load() == 0 {
+		t.Fatal("no request survived the swap hammer")
+	}
+
+	// Everything but the final registered mapping must fully release;
+	// the registry still holds the last one's reference.
+	last := replaced[len(replaced)-1]
+	for _, m := range replaced[:len(replaced)-1] {
+		waitUnmapped(t, m)
+	}
+	if got := last.Refs(); got != 1 {
+		t.Fatalf("live mapping holds %d refs, want 1 (registry)", got)
+	}
+}
+
+// TestMappingCloseAfterDrain pins the Mapping lifecycle through the
+// batcher: the batcher's reference keeps a replaced gallery mapped
+// until its drain completes, and Server.Close releases the rest.
+func TestMappingCloseAfterDrain(t *testing.T) {
+	mint := mapFixture(t)
+	_, queries := fixture(t)
+
+	reg := NewRegistry()
+	m1 := mint()
+	if err := reg.AddMapped("g", pipeline.NewShardedGallery(m1.Snap.Gallery, 2), m1.Snap.Meta, m1); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{})
+	b1, err := s.batcherFor("g", "orb", pipeline.NewDescriptor(pipeline.ORB, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b1.Submit(context.Background(), queries.Samples[0].Image); err != nil {
+		t.Fatal(err)
+	}
+	// registry + batcher
+	if got := m1.Refs(); got != 2 {
+		t.Fatalf("served mapping holds %d refs, want 2", got)
+	}
+
+	// Replace: the registry's ref moves to m2 and the stale batcher is
+	// retired eagerly — m1 must drain to zero WITHOUT any further
+	// request for this (gallery, pipeline) key (a replaced snapshot
+	// must never stay pinned behind an idle route).
+	m2 := mint()
+	if err := reg.AddMapped("g", pipeline.NewShardedGallery(m2.Snap.Gallery, 2), m2.Snap.Meta, m2); err != nil {
+		t.Fatal(err)
+	}
+	waitUnmapped(t, m1)
+	b2, err := s.batcherFor("g", "orb", pipeline.NewDescriptor(pipeline.ORB, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2 == b1 {
+		t.Fatal("stale batcher survived the gallery replacement")
+	}
+	if _, err := b2.Submit(context.Background(), queries.Samples[0].Image); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close the server: the fresh batcher drains and releases; only the
+	// registry's reference remains on m2.
+	s.Close()
+	if got := m2.Refs(); got != 1 {
+		t.Fatalf("after server close, mapping holds %d refs, want 1 (registry)", got)
+	}
+}
+
+// TestBatcherForRacedResolve pins the stale-batcher reinstall fix: a
+// request that resolved a gallery just before a replacement must not
+// re-install a batcher over the replaced gallery. batcherFor re-reads
+// the registry, so even a caller holding a stale resolve gets the
+// current gallery's batcher.
+func TestBatcherForRacedResolve(t *testing.T) {
+	mint := mapFixture(t)
+	reg := NewRegistry()
+	m1 := mint()
+	if err := reg.AddMapped("g", pipeline.NewShardedGallery(m1.Snap.Gallery, 2), m1.Snap.Meta, m1); err != nil {
+		t.Fatal(err)
+	}
+	s := New(reg, Config{})
+	defer s.Close()
+
+	// Simulate the race: the handler resolved "g" (old gallery), then a
+	// replacement lands before batcherFor runs.
+	if _, _, err := reg.Resolve("g"); err != nil {
+		t.Fatal(err)
+	}
+	m2 := mint()
+	newSG := pipeline.NewShardedGallery(m2.Snap.Gallery, 2)
+	if err := reg.AddMapped("g", newSG, m2.Snap.Meta, m2); err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.batcherFor("g", "orb", pipeline.NewDescriptor(pipeline.ORB, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.sg != newSG {
+		t.Fatal("batcherFor installed a batcher over the replaced gallery")
+	}
+	waitUnmapped(t, m1)
+}
