@@ -339,6 +339,58 @@ func BenchmarkQueryExtract(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectScene times the scene-level detect-then-classify loop
+// — region proposal plus per-crop hybrid classification on the pooled
+// query path — on a fixed 3-object scene at several worker counts, and
+// reports the region count so a proposer change that alters coverage is
+// visible next to the timing.
+func BenchmarkDetectScene(b *testing.B) {
+	s := getBenchSuite(b)
+	sc := synth.ComposeSceneP(synth.SceneParams{
+		W: 320, H: 240, Seed: 11,
+		Classes: []synth.Class{synth.Chair, synth.Bottle, synth.Lamp},
+		Clutter: 2,
+	})
+	p := pipeline.DefaultHybrid(pipeline.WeightedSum)
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var regions int
+			for i := 0; i < b.N; i++ {
+				regions = len(pipeline.Detect(sc.Image, p, s.GallerySNS1, pipeline.DetectParams{Workers: workers}))
+			}
+			b.ReportMetric(float64(regions), "regions")
+		})
+	}
+}
+
+// BenchmarkSceneRobustness runs a reduced robustness sweep (the full
+// grid is the experiments binary's job) and reports the localisation
+// and end-to-end accuracies as custom metrics, so BENCH_<n>.json tracks
+// detection quality alongside speed.
+func BenchmarkSceneRobustness(b *testing.B) {
+	s := getBenchSuite(b)
+	ax := experiments.SceneAxes{
+		Occlusion: []float64{0, 0.5},
+		Noise:     []float64{0, 12},
+		Objects:   []int{1, 3},
+		Scenes:    2,
+	}
+	p := pipeline.DefaultHybrid(pipeline.WeightedSum)
+	var res experiments.SceneRobustnessResult
+	for i := 0; i < b.N; i++ {
+		res = s.SceneRobustness(p, ax)
+	}
+	var gt, loc, correct int
+	for _, c := range res.Cells {
+		gt += c.GT
+		loc += c.Localized
+		correct += c.Correct
+	}
+	b.ReportMetric(float64(loc)/float64(gt), "loc_acc")
+	b.ReportMetric(float64(correct)/float64(gt), "cls_acc")
+}
+
 // BenchmarkServeBatcher pushes concurrent queries through the request
 // batcher (the daemon's coalescing path) and reports aggregate
 // queries/sec — the serving-throughput number the ROADMAP's scaling

@@ -139,6 +139,10 @@ func main() {
 		"SIFT", "SURF", "ORB",
 	}, t3.Classwise))
 
+	section("Scene robustness: detect-then-classify v. occlusion/noise/object count")
+	fmt.Fprint(out, experiments.FormatSceneRobustness(
+		suite.SceneRobustness(pipeline.DefaultHybrid(pipeline.WeightedSum), experiments.DefaultSceneAxes())))
+
 	if !*skipNeural {
 		section("Table 4: Normalized-X-Corr pair classification")
 		fmt.Fprintln(out, "training...")

@@ -12,6 +12,7 @@
 // Endpoints:
 //
 //	POST /classify?gallery=NAME&pipeline=P   raw PNG body, or JSON {"images": [base64 PNG, ...]}
+//	POST /detect?gallery=NAME&pipeline=P     raw PNG scene body -> per-region classifications
 //	GET  /galleries                          registered galleries and their prepared indexes
 //	GET  /healthz                            liveness + admission stats
 //
@@ -62,6 +63,7 @@ func main() {
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "coalescing window after the first queued query")
 	maxInFlight := fs.Int("max-inflight", 256, "admission bound on concurrent /classify requests")
 	ratio := fs.Float64("ratio", 0.5, "descriptor ratio-test threshold")
+	maxRegions := fs.Int("max-regions", 32, "region proposals classified per /detect scene")
 	pprofPort := fs.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 disables)")
 	workers := cliutil.Workers(fs)
 	flag.Parse()
@@ -114,6 +116,7 @@ func main() {
 		BatchWait:   *batchWait,
 		MaxInFlight: *maxInFlight,
 		Ratio:       *ratio,
+		MaxRegions:  *maxRegions,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

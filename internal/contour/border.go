@@ -20,18 +20,55 @@ func dirIndex(a, b geom.PointI) int {
 	panic("contour: non-adjacent points in border trace")
 }
 
+// Scratch holds the border tracer's reusable working set: the dense
+// trace plane and the point/contour spines the traced borders are built
+// in. The spines are persistent heap buffers that grow to the largest
+// working set seen and are then reused verbatim, so a warm scratch
+// traces without touching the heap — the contour-side analogue of the
+// extractor Scratch structs on the descriptor path.
+//
+// A Scratch is single-owner (not safe for concurrent use), and the
+// contours returned by FindContoursInto alias its spines: they are valid
+// only until the next FindContoursInto call on the same scratch. The
+// zero value is ready to use.
+type Scratch struct {
+	f    []int32       // dense trace plane, w*h
+	pts  []geom.PointI // shared point spine; contours are subslices
+	offs []int         // per-contour end offset into pts
+	hole []bool        // per-contour hole flag, parallel to offs
+	out  []Contour     // materialised result slice handed to the caller
+}
+
 // FindContours extracts all borders of the binary image using the border
 // following algorithm of Suzuki and Abe (1985). Pixels with value > 0 are
 // foreground. Both outer borders and hole borders are returned, in raster
 // order of their starting points; hierarchy is not tracked.
 func FindContours(bin *imaging.Gray) []Contour {
+	var s Scratch
+	return FindContoursInto(&s, bin)
+}
+
+// FindContoursInto is FindContours drawing every buffer from the
+// scratch's persistent spines, for callers that trace in a loop (the
+// pooled classify paths, the scene detector). Output is identical to
+// FindContours for every input; the returned contours alias the scratch
+// and are valid until its next use.
+func FindContoursInto(s *Scratch, bin *imaging.Gray) []Contour {
 	w, h := bin.W, bin.H
-	f := make([]int32, w*h)
+	if cap(s.f) < w*h {
+		s.f = make([]int32, w*h)
+	}
+	f := s.f[:w*h]
 	for i, v := range bin.Pix {
 		if v > 0 {
 			f[i] = 1
+		} else {
+			f[i] = 0
 		}
 	}
+	s.pts = s.pts[:0]
+	s.offs = s.offs[:0]
+	s.hole = s.hole[:0]
 	at := func(x, y int) int32 {
 		if x < 0 || x >= w || y < 0 || y >= h {
 			return 0
@@ -39,7 +76,6 @@ func FindContours(bin *imaging.Gray) []Contour {
 		return f[y*w+x]
 	}
 
-	var contours []Contour
 	nbd := int32(1)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
@@ -72,14 +108,15 @@ func FindContours(bin *imaging.Gray) []Contour {
 			if d1 < 0 {
 				// Isolated single-pixel component.
 				f[y*w+x] = -nbd
-				contours = append(contours, Contour{Points: []geom.PointI{p0}, Hole: hole})
+				s.pts = append(s.pts, p0)
+				s.offs = append(s.offs, len(s.pts))
+				s.hole = append(s.hole, hole)
 				continue
 			}
 			p1 := geom.PtI(x+dirs8[d1][0], y+dirs8[d1][1])
 
 			// Steps 3.2-3.5: follow the border counterclockwise.
 			p2, p3 := p1, p0
-			var pts []geom.PointI
 			for {
 				d23 := dirIndex(p3, p2)
 				eastZero := false
@@ -102,17 +139,50 @@ func FindContours(bin *imaging.Gray) []Contour {
 				} else if f[idx] == 1 {
 					f[idx] = nbd
 				}
-				pts = append(pts, p3)
+				s.pts = append(s.pts, p3)
 				// Step 3.5: termination when back at the start configuration.
 				if p4 == p0 && p3 == p1 {
 					break
 				}
 				p2, p3 = p3, p4
 			}
-			contours = append(contours, Contour{Points: pts, Hole: hole})
+			s.offs = append(s.offs, len(s.pts))
+			s.hole = append(s.hole, hole)
 		}
 	}
-	return contours
+
+	// Materialise only after every border is traced: contours are
+	// capacity-capped subslices of the point spine, and the spine cannot
+	// move once appends stop.
+	s.out = s.out[:0]
+	start := 0
+	for i, end := range s.offs {
+		s.out = append(s.out, Contour{Points: s.pts[start:end:end], Hole: s.hole[i]})
+		start = end
+	}
+	return s.out
+}
+
+// largestPreferOuter returns Largest(ExternalOnly(cs)) falling back to
+// Largest(cs) when no outer border exists, without materialising the
+// filtered slice — the allocation-free form of the preprocessing
+// cascade's contour selection.
+func largestPreferOuter(cs []Contour) *Contour {
+	var best *Contour
+	bestArea := -1.0
+	for i := range cs {
+		c := &cs[i]
+		if c.Hole {
+			continue
+		}
+		if a := c.Area(); a > bestArea {
+			best, bestArea = c, a
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return Largest(cs)
 }
 
 // Largest returns the contour with the greatest enclosed area, preferring

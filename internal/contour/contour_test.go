@@ -4,8 +4,10 @@ import (
 	"math"
 	"testing"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/geom"
 	"snmatch/internal/imaging"
+	"snmatch/internal/rng"
 )
 
 // binaryWithRect returns a w x h binary image with a filled foreground
@@ -262,5 +264,126 @@ func TestContourAgainstPolygonAreaProperty(t *testing.T) {
 		if got := c.Area(); math.Abs(got-want) > 1e-9 {
 			t.Errorf("%dx%d rect area = %v, want %v", w, h, got, want)
 		}
+	}
+}
+
+// randomBinary returns a w x h binary image with random blobs: filled
+// rectangles and ellipses over a random polarity background — a
+// workload with nested components, holes, border-touching shapes and
+// isolated pixels.
+func randomBinary(r *rng.RNG, w, h int) *imaging.Gray {
+	bg := imaging.Black
+	if r.Bool(0.3) {
+		bg = imaging.White
+	}
+	img := imaging.NewImageFilled(w, h, bg)
+	n := r.IntRange(1, 8)
+	for k := 0; k < n; k++ {
+		col := imaging.White
+		if r.Bool(0.3) {
+			col = imaging.Black
+		}
+		x0 := r.IntRange(-4, w-1)
+		y0 := r.IntRange(-4, h-1)
+		if r.Bool(0.5) {
+			img.FillRect(geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + r.IntRange(1, w/2), MaxY: y0 + r.IntRange(1, h/2)}, col)
+		} else {
+			img.FillEllipse(geom.Pt(float64(x0), float64(y0)), r.Range(1, float64(w)/3), r.Range(1, float64(h)/3), col)
+		}
+	}
+	// Sprinkle isolated pixels.
+	for k := 0; k < 5; k++ {
+		img.Set(r.Intn(w), r.Intn(h), imaging.White)
+	}
+	return img.ToGray()
+}
+
+// TestFindContoursIntoMatchesFresh reuses one Scratch across a
+// randomized stream of binary images of varying shapes and requires the
+// pooled tracer's output to equal the fresh path exactly — contours,
+// point order and hole flags — at every step.
+func TestFindContoursIntoMatchesFresh(t *testing.T) {
+	r := rng.New(91)
+	var s Scratch
+	for round := 0; round < 30; round++ {
+		w := r.IntRange(5, 48)
+		h := r.IntRange(5, 40)
+		bin := randomBinary(r, w, h)
+		fresh := FindContours(bin)
+		pooled := FindContoursInto(&s, bin)
+		if len(fresh) != len(pooled) {
+			t.Fatalf("round %d: %d contours, fresh has %d", round, len(pooled), len(fresh))
+		}
+		for i := range fresh {
+			if fresh[i].Hole != pooled[i].Hole {
+				t.Fatalf("round %d contour %d: hole flag differs", round, i)
+			}
+			if len(fresh[i].Points) != len(pooled[i].Points) {
+				t.Fatalf("round %d contour %d: %d points, fresh has %d",
+					round, i, len(pooled[i].Points), len(fresh[i].Points))
+			}
+			for j := range fresh[i].Points {
+				if fresh[i].Points[j] != pooled[i].Points[j] {
+					t.Fatalf("round %d contour %d point %d: %v, fresh %v",
+						round, i, j, pooled[i].Points[j], fresh[i].Points[j])
+				}
+			}
+		}
+	}
+}
+
+// TestPreprocessScratchMatchesFresh reuses one (arena, scratch) pair
+// across randomized RGB images and requires every field of the pooled
+// cascade's result to match plain Preprocess exactly.
+func TestPreprocessScratchMatchesFresh(t *testing.T) {
+	r := rng.New(92)
+	a := arena.New()
+	var s Scratch
+	for round := 0; round < 20; round++ {
+		w := r.IntRange(8, 56)
+		h := r.IntRange(8, 48)
+		img := imaging.NewImageFilled(w, h, imaging.C(uint8(r.Intn(256)), uint8(r.Intn(256)), uint8(r.Intn(256))))
+		n := r.IntRange(0, 4)
+		for k := 0; k < n; k++ {
+			x0, y0 := r.IntRange(0, w-1), r.IntRange(0, h-1)
+			col := imaging.C(uint8(r.Intn(256)), uint8(r.Intn(256)), uint8(r.Intn(256)))
+			img.FillRect(geom.Rect{MinX: x0, MinY: y0, MaxX: x0 + r.IntRange(1, w/2), MaxY: y0 + r.IntRange(1, h/2)}, col)
+		}
+		fresh := Preprocess(img)
+		pooled := PreprocessScratch(a, &s, img)
+		if fresh.Inverted != pooled.Inverted || fresh.Box != pooled.Box {
+			t.Fatalf("round %d: inverted/box differ: %+v/%v vs %+v/%v",
+				round, pooled.Inverted, pooled.Box, fresh.Inverted, fresh.Box)
+		}
+		for i, v := range fresh.Binary.Pix {
+			if pooled.Binary.Pix[i] != v {
+				t.Fatalf("round %d: binary plane differs at %d", round, i)
+			}
+		}
+		if len(fresh.Contours) != len(pooled.Contours) {
+			t.Fatalf("round %d: contour count differs", round)
+		}
+		if (fresh.Largest == nil) != (pooled.Largest == nil) {
+			t.Fatalf("round %d: largest-contour presence differs", round)
+		}
+		if fresh.Largest != nil {
+			if fresh.Largest.Hole != pooled.Largest.Hole || fresh.Largest.Len() != pooled.Largest.Len() {
+				t.Fatalf("round %d: largest contour differs", round)
+			}
+			for j := range fresh.Largest.Points {
+				if fresh.Largest.Points[j] != pooled.Largest.Points[j] {
+					t.Fatalf("round %d: largest contour point %d differs", round, j)
+				}
+			}
+		}
+		if fresh.Cropped.W != pooled.Cropped.W || fresh.Cropped.H != pooled.Cropped.H {
+			t.Fatalf("round %d: crop shape differs", round)
+		}
+		for i, v := range fresh.Cropped.Pix {
+			if pooled.Cropped.Pix[i] != v {
+				t.Fatalf("round %d: crop differs at byte %d", round, i)
+			}
+		}
+		a.Reset()
 	}
 }

@@ -41,6 +41,25 @@ func Preprocess(img *imaging.Image) PreprocessResult { return PreprocessIn(nil, 
 // parts callers retain beyond the arena's reset. Results are identical
 // to Preprocess for every input.
 func PreprocessIn(a *arena.Arena, img *imaging.Image) PreprocessResult {
+	return preprocess(a, nil, nil, img)
+}
+
+// PreprocessScratch is the fully pooled cascade: the dense planes AND
+// the crop come from the arena, and border tracing runs on the scratch's
+// persistent spines — so a warm (arena, scratch) pair preprocesses with
+// zero heap allocation. Results are identical to Preprocess for every
+// input, but everything in them (contours included) is invalidated by
+// the arena's Reset or the scratch's next use; callers must extract what
+// they keep before recycling. The pooled shape/colour/hybrid classify
+// paths and the scene detector run on this entry point.
+func PreprocessScratch(a *arena.Arena, s *Scratch, img *imaging.Image) PreprocessResult {
+	return preprocess(a, a, s, img)
+}
+
+// preprocess is the shared cascade body. cropA is the arena the crop and
+// fallback clone are drawn from — nil for PreprocessIn's contract that
+// retained parts stay heap-backed. A nil scratch traces on the heap.
+func preprocess(a, cropA *arena.Arena, s *Scratch, img *imaging.Image) PreprocessResult {
 	g := img.ToGrayIn(a)
 	// Bright mean implies a white background, so the object is the darker
 	// region and the inverse threshold keeps it as foreground.
@@ -50,29 +69,31 @@ func PreprocessIn(a *arena.Arena, img *imaging.Image) PreprocessResult {
 		t = 247
 	}
 	bin := ThresholdIn(a, g, t, 255, inverted)
-	cs := FindContours(bin)
+	var cs []Contour
+	if s != nil {
+		cs = FindContoursInto(s, bin)
+	} else {
+		cs = FindContours(bin)
+	}
 	res := PreprocessResult{
 		Gray:     g,
 		Binary:   bin,
 		Contours: cs,
 		Inverted: inverted,
 	}
-	res.Largest = Largest(ExternalOnly(cs))
+	res.Largest = largestPreferOuter(cs)
 	if res.Largest == nil {
-		res.Largest = Largest(cs)
-	}
-	if res.Largest == nil {
-		res.Cropped = img.Clone()
+		res.Cropped = img.CloneIn(cropA)
 		res.Box = img.Bounds()
 		return res
 	}
 	res.Box = res.Largest.BoundingBox().ClampTo(img.W, img.H)
 	if res.Box.Empty() {
-		res.Cropped = img.Clone()
+		res.Cropped = img.CloneIn(cropA)
 		res.Box = img.Bounds()
 		return res
 	}
-	res.Cropped = img.Crop(res.Box)
+	res.Cropped = img.CropIn(cropA, res.Box)
 	return res
 }
 

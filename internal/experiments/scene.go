@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/rng"
+	"snmatch/internal/synth"
+)
+
+// SceneAxes spans the scene-robustness sweep: the detector runs on the
+// full cross product, so the matrix shows how localisation and
+// classification degrade along each axis while the others vary too.
+type SceneAxes struct {
+	Occlusion []float64 // requested overlap between stacked objects
+	Noise     []float64 // Gaussian pixel-noise sigma
+	Objects   []int     // objects per scene
+	Scenes    int       // scenes evaluated per cell
+	W, H      int       // scene canvas (default 320x240)
+}
+
+// DefaultSceneAxes is the reported robustness grid.
+func DefaultSceneAxes() SceneAxes {
+	return SceneAxes{
+		Occlusion: []float64{0, 0.25, 0.5},
+		Noise:     []float64{0, 6, 12},
+		Objects:   []int{1, 3, 5},
+		Scenes:    3,
+	}
+}
+
+// SceneCell is one cell of the robustness matrix: detection quality at
+// a fixed occlusion level, noise sigma and object count, accumulated
+// over the cell's scenes.
+type SceneCell struct {
+	Occlusion float64
+	Noise     float64
+	Objects   int
+
+	GT        int // ground-truth objects across the cell's scenes
+	Localized int // GT boxes a proposal covered at IoU >= 0.5
+	Correct   int // localized and classified as the right class
+	Proposals int // regions proposed across the cell's scenes
+}
+
+// LocAcc is the localisation recall: found / ground truth.
+func (c SceneCell) LocAcc() float64 {
+	if c.GT == 0 {
+		return 0
+	}
+	return float64(c.Localized) / float64(c.GT)
+}
+
+// ClsAcc is the end-to-end accuracy: right box and right label / ground
+// truth, the number a robot acting on the detections experiences.
+func (c SceneCell) ClsAcc() float64 {
+	if c.GT == 0 {
+		return 0
+	}
+	return float64(c.Correct) / float64(c.GT)
+}
+
+// SceneRobustnessResult carries the matrix in axis order: occlusion
+// outermost, then noise, then object count.
+type SceneRobustnessResult struct {
+	Axes  SceneAxes
+	Cells []SceneCell
+}
+
+// SceneRobustness sweeps the detector over the axes' cross product with
+// the given pipeline against the SNS1 gallery. Scene classes are drawn
+// per scene from a stream seeded by the suite's scale, so the same
+// scale always evaluates the same scenes; greedy IoU matching in the
+// detector's deterministic region order scores each scene.
+func (s *Suite) SceneRobustness(p pipeline.Pipeline, ax SceneAxes) SceneRobustnessResult {
+	if ax.W <= 0 {
+		ax.W = 320
+	}
+	if ax.H <= 0 {
+		ax.H = 240
+	}
+	if ax.Scenes <= 0 {
+		ax.Scenes = 1
+	}
+	r := rng.New(s.Scale.Seed).Split("scene-robustness")
+	res := SceneRobustnessResult{Axes: ax}
+	dp := pipeline.DetectParams{Workers: s.Scale.Workers}
+	for _, occ := range ax.Occlusion {
+		for _, sigma := range ax.Noise {
+			for _, count := range ax.Objects {
+				cell := SceneCell{Occlusion: occ, Noise: sigma, Objects: count}
+				for sc := 0; sc < ax.Scenes; sc++ {
+					classes := make([]synth.Class, count)
+					for i := range classes {
+						classes[i] = synth.AllClasses[r.Intn(len(synth.AllClasses))]
+					}
+					scene := synth.ComposeSceneP(synth.SceneParams{
+						W: ax.W, H: ax.H,
+						Seed:       r.Uint64(),
+						Classes:    classes,
+						Occlusion:  occ,
+						NoiseSigma: sigma,
+						Clutter:    2,
+					})
+					dets := pipeline.Detect(scene.Image, p, s.GallerySNS1, dp)
+					cell.Proposals += len(dets)
+					scoreScene(&cell, scene, dets)
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// scoreScene matches detections to ground truth greedily in region
+// order: each detection claims the unmatched ground-truth box it
+// overlaps best at IoU >= 0.5. Both sides are deterministically
+// ordered, so the score is a pure function of the scene.
+func scoreScene(cell *SceneCell, scene synth.Scene, dets []pipeline.Detection) {
+	cell.GT += len(scene.Objects)
+	claimed := make([]bool, len(scene.Objects))
+	for _, d := range dets {
+		best, bestIoU := -1, 0.5
+		for i, obj := range scene.Objects {
+			if claimed[i] {
+				continue
+			}
+			if v := boxIoU(d.Box, obj.Box); v >= bestIoU {
+				best, bestIoU = i, v
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		claimed[best] = true
+		cell.Localized++
+		if d.Class == scene.Objects[best].Class {
+			cell.Correct++
+		}
+	}
+}
+
+// boxIoU returns intersection-over-union of two boxes.
+func boxIoU(a, b geom.Rect) float64 {
+	inter := a.Intersect(b).Area()
+	if inter == 0 {
+		return 0
+	}
+	return float64(inter) / float64(a.Area()+b.Area()-inter)
+}
+
+// FormatSceneRobustness renders the matrix, one line per cell.
+func FormatSceneRobustness(r SceneRobustnessResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-6s %-7s %6s %6s %8s %8s\n",
+		"Occlusion", "Noise", "Objects", "GT", "Found", "LocAcc", "ClsAcc")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-9.2f %-6.1f %-7d %6d %6d %8.3f %8.3f\n",
+			c.Occlusion, c.Noise, c.Objects, c.GT, c.Localized, c.LocAcc(), c.ClsAcc())
+	}
+	return b.String()
+}

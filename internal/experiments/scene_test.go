@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"snmatch/internal/pipeline"
+)
+
+// smallAxes keeps the structural sweep fast: a 2x2x2 grid with one
+// scene per cell.
+func smallAxes() SceneAxes {
+	return SceneAxes{
+		Occlusion: []float64{0, 0.5},
+		Noise:     []float64{0, 8},
+		Objects:   []int{1, 3},
+		Scenes:    1,
+		W:         240, H: 180,
+	}
+}
+
+func TestSceneRobustnessStructure(t *testing.T) {
+	s := NewSuite(tinyScale())
+	res := s.SceneRobustness(pipeline.DefaultHybrid(pipeline.WeightedSum), smallAxes())
+	if len(res.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(res.Cells))
+	}
+	for i, c := range res.Cells {
+		wantGT := c.Objects * res.Axes.Scenes
+		if c.GT != wantGT {
+			t.Errorf("cell %d: GT = %d, want %d", i, c.GT, wantGT)
+		}
+		if c.Localized > c.GT || c.Correct > c.Localized {
+			t.Errorf("cell %d: inconsistent counts %+v", i, c)
+		}
+		if a := c.LocAcc(); a < 0 || a > 1 {
+			t.Errorf("cell %d: LocAcc = %v", i, a)
+		}
+		if a := c.ClsAcc(); a < 0 || a > c.LocAcc() {
+			t.Errorf("cell %d: ClsAcc = %v vs LocAcc %v", i, a, c.LocAcc())
+		}
+	}
+	// Clean single-object scenes must localize: the easiest cell is the
+	// occ=0, noise=0, count=1 corner.
+	if easy := res.Cells[0]; easy.Localized == 0 {
+		t.Errorf("easiest cell found nothing: %+v", easy)
+	}
+	out := FormatSceneRobustness(res)
+	for _, want := range []string{"Occlusion", "Noise", "Objects", "LocAcc", "ClsAcc"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted matrix missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "\n"); got != 9 {
+		t.Errorf("formatted matrix has %d lines, want 9:\n%s", got, out)
+	}
+}
+
+// TestSceneRobustnessDeterministic pins the house rule for the sweep:
+// same scale, same axes, same numbers.
+func TestSceneRobustnessDeterministic(t *testing.T) {
+	s := NewSuite(tinyScale())
+	ax := SceneAxes{Occlusion: []float64{0.25}, Noise: []float64{4}, Objects: []int{2}, Scenes: 2}
+	a := s.SceneRobustness(pipeline.DefaultHybrid(pipeline.WeightedSum), ax)
+	b := s.SceneRobustness(pipeline.DefaultHybrid(pipeline.WeightedSum), ax)
+	if len(a.Cells) != 1 || len(b.Cells) != 1 || a.Cells[0] != b.Cells[0] {
+		t.Fatalf("sweep not deterministic: %+v vs %+v", a.Cells, b.Cells)
+	}
+}

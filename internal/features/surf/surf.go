@@ -400,7 +400,7 @@ func orientation(it *imaging.Integral, kp surfKp) float32 {
 	type resp struct {
 		angle, gx, gy float64
 	}
-	var sampleBuf [113]resp // 113 grid points satisfy dx*dx+dy*dy < 36
+	var sampleBuf [113]resp  // 113 grid points satisfy dx*dx+dy*dy < 36
 	samples := sampleBuf[:0] // stack-backed: the bound is fixed by the window
 	haarSize := 4 * s
 	for dy := -6; dy <= 6; dy++ {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 
+	"snmatch/internal/arena"
 	"snmatch/internal/imaging"
 )
 
@@ -20,11 +21,20 @@ type Hist struct {
 
 // New returns an empty histogram with the given number of bins per
 // channel. It panics unless 1 <= bins <= 256.
-func New(bins int) *Hist {
+func New(bins int) *Hist { return NewIn(nil, bins) }
+
+// NewIn is New with the header and the bin counts drawn from the arena
+// (nil falls back to the heap), for the pooled query paths that build a
+// throwaway histogram per classification. Arena-backed histograms are
+// zeroed exactly like heap ones, and are reclaimed by the arena's Reset.
+func NewIn(a *arena.Arena, bins int) *Hist {
 	if bins < 1 || bins > 256 {
 		panic(fmt.Sprintf("histogram: invalid bin count %d", bins))
 	}
-	return &Hist{Bins: bins, Counts: make([]float64, bins*bins*bins)}
+	h := arena.NewOf[Hist](a)
+	h.Bins = bins
+	h.Counts = arena.Slice[float64](a, bins*bins*bins)
+	return h
 }
 
 // index returns the flat cell index for an RGB value.
@@ -70,8 +80,12 @@ func (h *Hist) Clone() *Hist {
 }
 
 // Compute builds the RGB histogram of the whole image.
-func Compute(img *imaging.Image, bins int) *Hist {
-	h := New(bins)
+func Compute(img *imaging.Image, bins int) *Hist { return ComputeIn(nil, img, bins) }
+
+// ComputeIn is Compute with the histogram drawn from the arena (nil
+// falls back to the heap).
+func ComputeIn(a *arena.Arena, img *imaging.Image, bins int) *Hist {
+	h := NewIn(a, bins)
 	for i := 0; i < len(img.Pix); i += 3 {
 		h.Add(imaging.RGB{R: img.Pix[i], G: img.Pix[i+1], B: img.Pix[i+2]})
 	}
@@ -81,10 +95,16 @@ func Compute(img *imaging.Image, bins int) *Hist {
 // ComputeMasked builds the histogram over pixels whose mask value is
 // nonzero. The mask must match the image size.
 func ComputeMasked(img *imaging.Image, mask *imaging.Gray, bins int) *Hist {
+	return ComputeMaskedIn(nil, img, mask, bins)
+}
+
+// ComputeMaskedIn is ComputeMasked with the histogram drawn from the
+// arena (nil falls back to the heap).
+func ComputeMaskedIn(a *arena.Arena, img *imaging.Image, mask *imaging.Gray, bins int) *Hist {
 	if mask.W != img.W || mask.H != img.H {
 		panic("histogram: mask size mismatch")
 	}
-	h := New(bins)
+	h := NewIn(a, bins)
 	for p, i := 0, 0; p < len(mask.Pix); p, i = p+1, i+3 {
 		if mask.Pix[p] == 0 {
 			continue

@@ -79,6 +79,19 @@ func NewImageFilled(w, h int, c RGB) *Image {
 	return img
 }
 
+// NewImageIn is NewImage with the header and pixel buffer drawn from
+// the arena (nil falls back to the heap). Arena-backed images are zeroed
+// exactly like heap ones, and are reclaimed by the arena's Reset.
+func NewImageIn(a *arena.Arena, w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: invalid image size %dx%d", w, h))
+	}
+	m := arena.NewOf[Image](a)
+	m.W, m.H = w, h
+	m.Pix = arena.Slice[uint8](a, 3*w*h)
+	return m
+}
+
 // Fill sets every pixel of m to c.
 func (m *Image) Fill(c RGB) {
 	for i := 0; i < len(m.Pix); i += 3 {
@@ -124,20 +137,28 @@ func (m *Image) Set(x, y int, c RGB) {
 }
 
 // Clone returns a deep copy of m.
-func (m *Image) Clone() *Image {
-	out := NewImage(m.W, m.H)
+func (m *Image) Clone() *Image { return m.CloneIn(nil) }
+
+// CloneIn is Clone with the copy drawn from the arena (nil falls back
+// to the heap).
+func (m *Image) CloneIn(a *arena.Arena) *Image {
+	out := NewImageIn(a, m.W, m.H)
 	copy(out.Pix, m.Pix)
 	return out
 }
 
 // Crop returns a copy of the sub-image covered by r (clamped to bounds).
 // It returns nil when the clamped rectangle is empty.
-func (m *Image) Crop(r geom.Rect) *Image {
+func (m *Image) Crop(r geom.Rect) *Image { return m.CropIn(nil, r) }
+
+// CropIn is Crop with the sub-image drawn from the arena (nil falls
+// back to the heap).
+func (m *Image) CropIn(a *arena.Arena, r geom.Rect) *Image {
 	r = r.ClampTo(m.W, m.H)
 	if r.Empty() {
 		return nil
 	}
-	out := NewImage(r.W(), r.H())
+	out := NewImageIn(a, r.W(), r.H())
 	for y := 0; y < out.H; y++ {
 		src := ((r.MinY+y)*m.W + r.MinX) * 3
 		dst := y * out.W * 3
@@ -219,12 +240,16 @@ func (g *Gray) Clone() *Gray {
 
 // Crop returns a copy of the sub-image covered by r (clamped to bounds),
 // or nil when the clamped rectangle is empty.
-func (g *Gray) Crop(r geom.Rect) *Gray {
+func (g *Gray) Crop(r geom.Rect) *Gray { return g.CropIn(nil, r) }
+
+// CropIn is Crop with the sub-image drawn from the arena (nil falls
+// back to the heap).
+func (g *Gray) CropIn(a *arena.Arena, r geom.Rect) *Gray {
 	r = r.ClampTo(g.W, g.H)
 	if r.Empty() {
 		return nil
 	}
-	out := NewGray(r.W(), r.H())
+	out := NewGrayIn(a, r.W(), r.H())
 	for y := 0; y < out.H; y++ {
 		src := (r.MinY+y)*g.W + r.MinX
 		copy(out.Pix[y*out.W:(y+1)*out.W], g.Pix[src:src+out.W])

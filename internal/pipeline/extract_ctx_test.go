@@ -7,7 +7,9 @@ import (
 	"snmatch/internal/arena"
 	"snmatch/internal/dataset"
 	"snmatch/internal/features"
+	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
+	"snmatch/internal/moments"
 	"snmatch/internal/rng"
 )
 
@@ -158,6 +160,33 @@ func TestQueryPathAllocs(t *testing.T) {
 			t.Errorf("warm Classify allocates %.1f times per query, want 0", n)
 		}
 	})
+
+	// The contour/histogram pipelines run on the shared prep-context
+	// pool: preprocessing planes, border tracing, the crop, the query
+	// histogram and the hybrid score vector are all pooled, so the warm
+	// shape-only, colour-only and hybrid (WeightedSum) classify paths
+	// are allocation-free end to end — the detector's per-crop loop
+	// depends on this.
+	for _, tc := range []struct {
+		name string
+		p    Pipeline
+	}{
+		{"shape", ShapeOnly{Method: moments.MatchI3}},
+		{"color", ColorOnly{Metric: histogram.Hellinger}},
+		{"hybrid", DefaultHybrid(WeightedSum)},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 3; i++ { // grow the pooled context to steady state
+				tc.p.Classify(img, gallery1)
+			}
+			if n := testing.AllocsPerRun(20, func() {
+				tc.p.Classify(img, gallery1)
+			}); n != 0 {
+				t.Errorf("warm %s Classify allocates %.1f times per query, want 0", tc.name, n)
+			}
+		})
+	}
 }
 
 // TestOversizedContextIsDropped pins the pool hygiene rule: a context

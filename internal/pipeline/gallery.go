@@ -7,6 +7,7 @@
 package pipeline
 
 import (
+	"sort"
 	"sync"
 
 	"snmatch/internal/arena"
@@ -115,16 +116,7 @@ func huOf(pre contour.PreprocessResult) moments.Hu {
 // restricted to the foreground mask, so the surrounding background
 // (black NYU masks, white ShapeNet canvases) does not dominate the
 // colour statistics — the "marginal noise reduction" goal of §3.2.
-func histOf(pre contour.PreprocessResult) *histogram.Hist {
-	mask := pre.Binary.Crop(pre.Box)
-	if mask != nil {
-		h := histogram.ComputeMasked(pre.Cropped, mask, HistBins)
-		if h.Total() > 0 {
-			return h.Normalize()
-		}
-	}
-	return histogram.Compute(pre.Cropped, HistBins).Normalize()
-}
+func histOf(pre contour.PreprocessResult) *histogram.Hist { return histOfIn(nil, pre) }
 
 // DescriptorParams bundles extractor settings. Zero values select CPU
 // friendly defaults matching the paper's configuration where stated
@@ -241,6 +233,21 @@ func (g *Gallery) IndexStats(kind DescriptorKind) (descriptors, views int) {
 		return ix.Len(), ix.NumViews
 	}
 	return 0, 0
+}
+
+// IndexedKinds returns the descriptor kinds whose flat indexes have
+// been built, in ascending kind order — what the serving layer reports
+// as "prepared". Unlike a hardcoded kind list, it stays truthful as
+// kinds come and go (e.g. a snapshot that persisted only ORB).
+func (g *Gallery) IndexedKinds() []DescriptorKind {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	kinds := make([]DescriptorKind, 0, len(g.idx))
+	for k := range g.idx {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
 }
 
 // descriptorSnapshot returns every view's cached descriptor set of the

@@ -3,7 +3,7 @@ package pipeline
 import (
 	"fmt"
 
-	"snmatch/internal/contour"
+	"snmatch/internal/arena"
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
 	"snmatch/internal/moments"
@@ -65,37 +65,44 @@ func (p Hybrid) Name() string {
 	return fmt.Sprintf("Shape+Color (%s)", p.Strategy)
 }
 
-// Classify implements Pipeline.
+// Classify implements Pipeline. Preprocessing, the query histogram and
+// the per-view score vector all run on a pooled context, so the warm
+// WeightedSum query path performs no heap allocation (the averaging
+// strategies still build their grouping maps); results are identical to
+// computing from scratch.
 func (p Hybrid) Classify(img *imaging.Image, g *Gallery) Prediction {
-	pre := contour.Preprocess(img)
+	c := getPrepCtx()
+	pre := c.preprocess(img)
 	hu := huOf(pre)
-	h := histOf(pre)
+	h := histOfIn(c.a, pre)
 
-	theta := make([]float64, g.Len())
+	theta := arena.Slice[float64](c.a, g.Len())
 	for i := range g.Views {
 		s := moments.MatchShapes(hu, g.Views[i].Hu, p.ShapeMethod)
-		c := histogram.Distance(histogram.Compare(h, g.Views[i].Hist, p.ColorMetric), p.ColorMetric)
-		theta[i] = p.Alpha*s + p.Beta*c
+		d := histogram.Distance(histogram.Compare(h, g.Views[i].Hist, p.ColorMetric), p.ColorMetric)
+		theta[i] = p.Alpha*s + p.Beta*d
 	}
 
+	var best Prediction
 	switch p.Strategy {
 	case MicroAvg:
-		return argminGrouped(g, theta, func(v *View) string {
+		best = argminGrouped(g, theta, func(v *View) string {
 			return fmt.Sprintf("%d/%d", v.Sample.Class, v.Sample.Model)
 		})
 	case MacroAvg:
-		return argminGrouped(g, theta, func(v *View) string {
+		best = argminGrouped(g, theta, func(v *View) string {
 			return fmt.Sprintf("%d", v.Sample.Class)
 		})
 	default:
-		best := Prediction{Index: -1}
+		best = Prediction{Index: -1}
 		for i, t := range theta {
 			if best.Index < 0 || t < best.Score {
 				best = Prediction{Class: g.ClassOf(i), Index: i, Score: t}
 			}
 		}
-		return best
 	}
+	putPrepCtx(c)
+	return best
 }
 
 // argminGrouped averages theta within groups and returns the class of

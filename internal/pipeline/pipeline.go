@@ -1,7 +1,6 @@
 package pipeline
 
 import (
-	"snmatch/internal/contour"
 	"snmatch/internal/dataset"
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
@@ -103,9 +102,12 @@ type ShapeOnly struct {
 // Name implements Pipeline.
 func (p ShapeOnly) Name() string { return "Shape only " + p.Method.String() }
 
-// Classify implements Pipeline.
+// Classify implements Pipeline. Preprocessing runs on a pooled context,
+// so the warm query path performs no heap allocation; results are
+// identical to preprocessing from scratch.
 func (p ShapeOnly) Classify(img *imaging.Image, g *Gallery) Prediction {
-	hu := huOf(contour.Preprocess(img))
+	c := getPrepCtx()
+	hu := huOf(c.preprocess(img))
 	best := Prediction{Index: -1, Score: 0}
 	for i := range g.Views {
 		d := moments.MatchShapes(hu, g.Views[i].Hu, p.Method)
@@ -113,6 +115,7 @@ func (p ShapeOnly) Classify(img *imaging.Image, g *Gallery) Prediction {
 			best = Prediction{Class: g.ClassOf(i), Index: i, Score: d}
 		}
 	}
+	putPrepCtx(c)
 	return best
 }
 
@@ -126,9 +129,12 @@ type ColorOnly struct {
 // Name implements Pipeline.
 func (p ColorOnly) Name() string { return "Color only " + p.Metric.String() }
 
-// Classify implements Pipeline.
+// Classify implements Pipeline. Preprocessing and the query histogram
+// run on a pooled context, so the warm query path performs no heap
+// allocation; results are identical to computing from scratch.
 func (p ColorOnly) Classify(img *imaging.Image, g *Gallery) Prediction {
-	h := histOf(contour.Preprocess(img))
+	c := getPrepCtx()
+	h := histOfIn(c.a, c.preprocess(img))
 	best := Prediction{Index: -1}
 	for i := range g.Views {
 		s := histogram.Compare(h, g.Views[i].Hist, p.Metric)
@@ -144,5 +150,6 @@ func (p ColorOnly) Classify(img *imaging.Image, g *Gallery) Prediction {
 			best = Prediction{Class: g.ClassOf(i), Index: i, Score: s}
 		}
 	}
+	putPrepCtx(c)
 	return best
 }

@@ -1,0 +1,61 @@
+package pipeline
+
+import (
+	"sync"
+
+	"snmatch/internal/arena"
+	"snmatch/internal/contour"
+	"snmatch/internal/histogram"
+	"snmatch/internal/imaging"
+)
+
+// prepCtx is the pooled per-query context of the contour/histogram
+// pipelines (shape-only, colour-only, hybrid): one arena for the dense
+// preprocessing planes, the crop and the histogram bins, plus the border
+// tracer's persistent spines. It is the preprocessing-side counterpart
+// of ExtractCtx — a warm context classifies with zero heap allocation
+// from grayscale conversion to the gallery scan.
+//
+// The pool is package-level because these pipelines are stateless value
+// types: unlike *Descriptor they have no instance to hang a pool off,
+// and sharing warmed contexts across all of them is exactly right — the
+// working sets are the same planes and bins.
+type prepCtx struct {
+	a    *arena.Arena
+	cont contour.Scratch
+}
+
+var prepCtxs = sync.Pool{New: func() any { return &prepCtx{a: arena.New()} }}
+
+func getPrepCtx() *prepCtx { return prepCtxs.Get().(*prepCtx) }
+
+// putPrepCtx recycles the context's arena and returns it to the pool,
+// applying the same footprint cap as Descriptor.putCtx so one oversized
+// query cannot pin its high-water working set in the pool forever.
+func putPrepCtx(c *prepCtx) {
+	c.a.Reset()
+	if c.a.Footprint() > maxPooledCtxBytes {
+		return
+	}
+	prepCtxs.Put(c)
+}
+
+// preprocessCtx runs the §3.2 cascade entirely on the context. The
+// result (contours and crop included) is valid only while the context is
+// checked out.
+func (c *prepCtx) preprocess(img *imaging.Image) contour.PreprocessResult {
+	return contour.PreprocessScratch(c.a, &c.cont, img)
+}
+
+// histOfIn is histOf with the mask crop and the histogram drawn from the
+// arena (nil falls back to the heap, which is exactly histOf).
+func histOfIn(a *arena.Arena, pre contour.PreprocessResult) *histogram.Hist {
+	mask := pre.Binary.CropIn(a, pre.Box)
+	if mask != nil {
+		h := histogram.ComputeMaskedIn(a, pre.Cropped, mask, HistBins)
+		if h.Total() > 0 {
+			return h.Normalize()
+		}
+	}
+	return histogram.ComputeIn(a, pre.Cropped, HistBins).Normalize()
+}

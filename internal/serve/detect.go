@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"snmatch/internal/geom"
+	"snmatch/internal/imaging"
+	"snmatch/internal/pipeline"
+)
+
+// BoxJSON is a region box in scene coordinates.
+type BoxJSON struct {
+	X int `json:"x"`
+	Y int `json:"y"`
+	W int `json:"w"`
+	H int `json:"h"`
+}
+
+func boxJSON(b geom.Rect) BoxJSON {
+	return BoxJSON{X: b.MinX, Y: b.MinY, W: b.W(), H: b.H()}
+}
+
+// RegionJSON is one /detect result entry: the proposal box plus the
+// classification of its masked crop.
+type RegionJSON struct {
+	Box       BoxJSON `json:"box"`
+	Class     string  `json:"class"`
+	ClassID   int     `json:"class_id"`
+	View      int     `json:"view"`
+	Score     float64 `json:"score"`
+	Batched   int     `json:"batched"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// DetectResponse is the /detect response document. Regions come back in
+// the proposer's deterministic top-to-bottom, left-to-right order.
+type DetectResponse struct {
+	Gallery  string       `json:"gallery"`
+	Pipeline string       `json:"pipeline"`
+	Regions  []RegionJSON `json:"regions"`
+}
+
+// handleDetect is the scene endpoint: one PNG in, per-region
+// classifications out. Region proposal runs inline (it is cheap and
+// deterministic); the per-crop classifications ride the same batcher,
+// admission gate and drain machinery as /classify, so a multi-object
+// scene coalesces into batches exactly like a JSON image batch does.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a PNG scene")
+		return
+	}
+	if !s.gate.TryEnter() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "server at admission capacity")
+		return
+	}
+	defer s.gate.Leave()
+
+	name, _, err := s.reg.Resolve(r.URL.Query().Get("gallery"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	pipeName := r.URL.Query().Get("pipeline")
+	if pipeName == "" {
+		pipeName = "hybrid"
+	}
+	p, err := ParsePipeline(pipeName, s.cfg.Ratio)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBodyMB)<<20)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("serve: request body exceeds the %d MiB limit", s.cfg.MaxBodyMB))
+			return
+		}
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	img, err := decodePNG(raw, s.cfg.MaxImagePixels)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	regions, crops := pipeline.ProposeCrops(img, pipeline.DetectParams{MaxRegions: s.cfg.MaxRegions})
+	resp := DetectResponse{Gallery: name, Pipeline: p.Name(), Regions: make([]RegionJSON, len(regions))}
+	if len(regions) == 0 {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	b, err := s.batcherFor(name, pipeName, p)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	var firstErr error
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	for i := range regions {
+		wg.Add(1)
+		go func(i int, box geom.Rect, crop *imaging.Image) {
+			defer wg.Done()
+			res, err := b.SubmitWait(r.Context(), crop)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			resp.Regions[i] = RegionJSON{
+				Box:       boxJSON(box),
+				Class:     res.Pred.Class.String(),
+				ClassID:   int(res.Pred.Class),
+				View:      res.Pred.Index,
+				Score:     res.Pred.Score,
+				Batched:   res.Batched,
+				LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+			}
+		}(i, regions[i], crops[i])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(firstErr, ErrOverloaded) || errors.Is(firstErr, errClosed) {
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		}
+		httpError(w, status, firstErr.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -30,6 +30,7 @@ type Config struct {
 	Ratio       float64       // descriptor ratio-test threshold (default 0.5, the paper's)
 	MaxBodyMB   int           // request body cap in MiB (default 32)
 	MaxImages   int           // images accepted per JSON batch request (default 64)
+	MaxRegions  int           // region proposals classified per /detect scene (default 32)
 
 	// MaxImagePixels caps the DECODED dimensions of a query image
 	// (default 4 Mpx ≈ 2048x2048). The body-size cap alone cannot
@@ -61,6 +62,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxImages <= 0 {
 		c.MaxImages = 64
+	}
+	if c.MaxRegions <= 0 {
+		c.MaxRegions = 32
 	}
 	if c.MaxImagePixels <= 0 {
 		c.MaxImagePixels = 4 << 20
@@ -144,6 +148,7 @@ func (s *Server) retireStale(name string) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/detect", s.handleDetect)
 	mux.HandleFunc("/galleries", s.handleGalleries)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -395,7 +400,11 @@ func decodePNG(raw []byte, maxPixels int) (*imaging.Image, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: decode png: %w", err)
 	}
-	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width*cfg.Height > maxPixels {
+	// The pixel bound divides instead of multiplying: a PNG header can
+	// declare dimensions up to 2^31-1 each, whose product overflows —
+	// and on 32-bit ints wraps to a small or negative count that would
+	// sail through a multiplied check straight into the full decode.
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.Width > maxPixels/cfg.Height {
 		return nil, fmt.Errorf("serve: image is %dx%d; decoded size exceeds the %d-pixel limit",
 			cfg.Width, cfg.Height, maxPixels)
 	}
@@ -429,7 +438,11 @@ func (s *Server) handleGalleries(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		info := GalleryInfo{Name: n, Views: sg.G.Len(), Shards: sg.Shards, Descriptors: map[string]int{}}
-		for _, k := range []pipeline.DescriptorKind{pipeline.SIFT, pipeline.SURF, pipeline.ORB} {
+		// Enumerate the kinds the gallery actually has indexes for rather
+		// than a hardcoded family list, so the listing stays truthful if
+		// the set of kinds ever diverges from the built-in three (e.g. a
+		// snapshot that persisted a subset, or a future family).
+		for _, k := range sg.G.IndexedKinds() {
 			if nd, _ := sg.G.IndexStats(k); nd > 0 {
 				info.Descriptors[k.String()] = nd
 			}
@@ -449,13 +462,15 @@ type HealthSnapshot struct {
 	Seed    uint64 `json:"seed"`
 }
 
-// HealthGallery is one /healthz gallery entry: the serving shape plus
-// the snapshot provenance when the gallery was registered with one.
+// HealthGallery is one /healthz gallery entry: the serving shape, the
+// descriptor kinds with built indexes, plus the snapshot provenance
+// when the gallery was registered with one.
 type HealthGallery struct {
-	Name     string          `json:"name"`
-	Views    int             `json:"views"`
-	Shards   int             `json:"shards"`
-	Snapshot *HealthSnapshot `json:"snapshot,omitempty"`
+	Name        string          `json:"name"`
+	Views       int             `json:"views"`
+	Shards      int             `json:"shards"`
+	Descriptors []string        `json:"descriptors,omitempty"`
+	Snapshot    *HealthSnapshot `json:"snapshot,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -475,6 +490,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		info := HealthGallery{Name: n, Views: sg.G.Len(), Shards: sg.Shards}
+		for _, k := range sg.G.IndexedKinds() {
+			info.Descriptors = append(info.Descriptors, k.String())
+		}
 		if hasMeta {
 			info.Snapshot = &HealthSnapshot{Dataset: meta.Dataset, Size: meta.Size, Seed: meta.Seed}
 		}

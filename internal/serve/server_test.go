@@ -332,6 +332,11 @@ func TestGalleriesAndHealthz(t *testing.T) {
 	if doc.Galleries[0].Views != fixtureGallery.Len() || doc.Galleries[0].Descriptors["ORB"] == 0 {
 		t.Fatalf("gallery info: %+v", doc.Galleries[0])
 	}
+	// The listing enumerates what is actually prepared: the fixture
+	// built only the ORB index, so SIFT and SURF must not appear.
+	if len(doc.Galleries[0].Descriptors) != 1 {
+		t.Fatalf("descriptor listing not truthful: %+v", doc.Galleries[0].Descriptors)
+	}
 
 	resp, err = http.Get(ts.URL + "/healthz")
 	if err != nil {
@@ -356,6 +361,9 @@ func TestGalleriesAndHealthz(t *testing.T) {
 	gi := health.Info[0]
 	if gi.Name != "sns1" || gi.Views != fixtureGallery.Len() || gi.Shards != 4 {
 		t.Fatalf("healthz gallery shape: %+v", gi)
+	}
+	if len(gi.Descriptors) != 1 || gi.Descriptors[0] != "ORB" {
+		t.Fatalf("healthz descriptor listing: %+v", gi.Descriptors)
 	}
 	if gi.Snapshot == nil {
 		t.Fatalf("healthz gallery provenance missing: %+v", gi)

@@ -10,7 +10,17 @@ import (
 type SceneObject struct {
 	Class Class
 	Model int
-	Box   geom.Rect // placement box in scene coordinates
+	// Box is the object's ground-truth box in scene coordinates: the
+	// grid composer records the placement cell, the cluttered composer
+	// (ComposeSceneP) the tight bounding box of the drawn silhouette —
+	// what a detector should localise.
+	Box geom.Rect
+	// Occluded is the fraction of this object's drawn silhouette pixels
+	// that objects drawn later (painter's order) overpainted — i.e. how
+	// much of the object a detector can no longer see. 0 for
+	// unobstructed objects, 1 when nothing of it remains visible. Only
+	// ComposeSceneP populates it; the grid composer never overlaps.
+	Occluded float64
 }
 
 // Scene is a composited room view with ground-truth annotations, used by
@@ -25,14 +35,21 @@ type Scene struct {
 // render canvas.
 var chromaKey = imaging.C(1, 2, 3)
 
+// Room palette shared by the scene composers and the NYU-style crop
+// masking in CropObject.
+var (
+	wallColor  = imaging.C(126, 127, 130)
+	floorColor = imaging.C(105, 100, 96)
+)
+
 // ComposeScene renders the given classes into a w x h room image with a
 // mid-gray wall and floor, placing objects on a loose grid so they do
 // not overlap. Object sizes vary; ground-truth boxes are returned.
 func ComposeScene(classes []Class, w, h int, seed uint64) Scene {
 	r := rng.New(seed)
-	img := imaging.NewImageFilled(w, h, imaging.C(126, 127, 130))
+	img := imaging.NewImageFilled(w, h, wallColor)
 	// Floor band darkens the lower quarter for a hint of structure.
-	img.FillRect(geom.Rect{MinX: 0, MinY: h * 3 / 4, MaxX: w, MaxY: h}, imaging.C(105, 100, 96))
+	img.FillRect(geom.Rect{MinX: 0, MinY: h * 3 / 4, MaxX: w, MaxY: h}, floorColor)
 
 	scene := Scene{Image: img}
 	if len(classes) == 0 {
@@ -63,6 +80,224 @@ func ComposeScene(classes []Class, w, h int, seed uint64) Scene {
 	return scene
 }
 
+// SceneParams controls the cluttered scene composer. The zero value of
+// every field is a sensible default; only Classes is required.
+type SceneParams struct {
+	W, H    int     // canvas size (defaults 320 x 240)
+	Seed    uint64  // scene-level seed; equal params compose equal scenes
+	Classes []Class // one object per entry, drawn in order
+
+	ObjectSize  int     // base object canvas side (default min(W, H)/3)
+	ScaleJitter float64 // relative size jitter in [0, 1): size *= 1 ± jitter
+	Occlusion   float64 // target overlap fraction onto an earlier object, [0, 1]
+	NoiseSigma  float64 // per-channel Gaussian pixel noise sigma (0 = off)
+	Blur        float64 // Gaussian blur sigma applied last (0 = off)
+	Clutter     int     // low-contrast background distractor primitives
+}
+
+// ComposeSceneP composes a cluttered room scene: background clutter
+// primitives near the wall/floor palette, then the requested objects in
+// painter's order with controlled overlap. Ground-truth boxes, labels and
+// per-object occluded fractions are recorded before noise and blur are
+// applied, so they describe the ideal segmentation. Equal params yield
+// byte-identical scenes.
+func ComposeSceneP(p SceneParams) Scene {
+	w, h := p.W, p.H
+	if w <= 0 {
+		w = 320
+	}
+	if h <= 0 {
+		h = 240
+	}
+	r := rng.New(p.Seed ^ 0x5ce2ec0796f05e6d)
+	img := imaging.NewImageFilled(w, h, wallColor)
+	img.FillRect(geom.Rect{MinX: 0, MinY: h * 3 / 4, MaxX: w, MaxY: h}, floorColor)
+
+	// Background clutter: primitives a few luma steps off the wall/floor
+	// palette. They perturb thresholding the way skirting boards and wall
+	// marks do, without reading as objects to the ground truth.
+	for k := 0; k < p.Clutter; k++ {
+		base := wallColor
+		if r.Bool(0.4) {
+			base = floorColor
+		}
+		d := r.IntRange(-9, 9)
+		col := imaging.C(clutterChan(base.R, d), clutterChan(base.G, d), clutterChan(base.B, d))
+		cx := r.Float64() * float64(w)
+		cy := r.Float64() * float64(h)
+		switch r.Intn(3) {
+		case 0:
+			rw := int(r.Range(8, float64(w)/4))
+			rh := int(r.Range(4, float64(h)/6))
+			img.FillRect(geom.Rect{MinX: int(cx), MinY: int(cy), MaxX: int(cx) + rw, MaxY: int(cy) + rh}, col)
+		case 1:
+			img.FillEllipse(geom.Pt(cx, cy), r.Range(4, float64(w)/10), r.Range(4, float64(h)/10), col)
+		default:
+			ex := cx + r.Range(-float64(w)/4, float64(w)/4)
+			ey := cy + r.Range(-float64(h)/4, float64(h)/4)
+			img.Line(geom.Pt(cx, cy), geom.Pt(ex, ey), r.Range(1, 4), col)
+		}
+	}
+
+	scene := Scene{Image: img}
+	base := p.ObjectSize
+	if base <= 0 {
+		base = minInt(w, h) / 3
+	}
+	occ := clampF(p.Occlusion, 0, 1)
+	// owner tracks which object's silhouette painted each pixel last, so
+	// occlusion ground truth is pixel-accurate, not box-approximate.
+	owner := make([]int32, w*h)
+	for i := range owner {
+		owner[i] = -1
+	}
+	drawn := make([]int, len(p.Classes)) // silhouette pixels per object
+	for i, cls := range p.Classes {
+		size := base
+		if p.ScaleJitter > 0 {
+			size = int(float64(base) * (1 + p.ScaleJitter*(2*r.Float64()-1)))
+		}
+		if size < 24 {
+			size = 24
+		}
+		if size > minInt(w, h) {
+			size = minInt(w, h)
+		}
+		model := r.Intn(4)
+		view := r.Intn(4)
+		obj := RenderOnBackground(cls, model, view, chromaKey, Params{Size: size, Seed: p.Seed})
+
+		var dx, dy int
+		if i > 0 && occ > 0 {
+			// Slide this object's canvas toward an earlier object's centre
+			// so it occludes roughly the requested fraction (painter's
+			// order: later covers earlier). At occ = 1 the canvas centres
+			// on the anchor for maximal cover; lateral jitter shrinks with
+			// occ so the aim tightens as the overlap target grows.
+			anchor := scene.Objects[r.Intn(i)].Box
+			acx := (anchor.MinX + anchor.MaxX) / 2
+			acy := (anchor.MinY + anchor.MaxY) / 2
+			dir := 1
+			if r.Bool(0.5) {
+				dir = -1
+			}
+			jit := int(float64(size) / 8 * (1 - occ))
+			if r.Bool(0.5) {
+				off := int(float64(anchor.W()+size) / 2 * (1 - occ))
+				dx = acx - size/2 + dir*off
+				dy = acy - size/2
+				if jit > 0 {
+					dy += r.IntRange(-jit, jit)
+				}
+			} else {
+				off := int(float64(anchor.H()+size) / 2 * (1 - occ))
+				dy = acy - size/2 + dir*off
+				dx = acx - size/2
+				if jit > 0 {
+					dx += r.IntRange(-jit, jit)
+				}
+			}
+		} else {
+			// Rejection-sample a placement clear of earlier objects; after
+			// enough failures accept the last candidate (crowded canvas).
+			for try := 0; try < 40; try++ {
+				dx = r.Intn(maxInt(w-size, 1))
+				dy = r.Intn(maxInt(h-size, 1))
+				box := geom.Rect{MinX: dx, MinY: dy, MaxX: dx + size, MaxY: dy + size}
+				clear := true
+				for _, o := range scene.Objects {
+					if !box.Intersect(o.Box).Empty() {
+						clear = false
+						break
+					}
+				}
+				if clear {
+					break
+				}
+			}
+		}
+		dx = clampI(dx, 0, maxInt(w-size, 0))
+		dy = clampI(dy, 0, maxInt(h-size, 0))
+
+		// Composite the silhouette by hand (chroma-keyed, clipped — the
+		// DrawImage semantics) so the owner plane and the tight
+		// ground-truth box come from the same pass.
+		tight := geom.Rect{}
+		for oy := 0; oy < obj.H; oy++ {
+			sy := dy + oy
+			if sy < 0 || sy >= h {
+				continue
+			}
+			for ox := 0; ox < obj.W; ox++ {
+				sx := dx + ox
+				if sx < 0 || sx >= w {
+					continue
+				}
+				q := (oy*obj.W + ox) * 3
+				c := imaging.RGB{R: obj.Pix[q], G: obj.Pix[q+1], B: obj.Pix[q+2]}
+				if c == chromaKey {
+					continue
+				}
+				t := (sy*w + sx) * 3
+				img.Pix[t], img.Pix[t+1], img.Pix[t+2] = c.R, c.G, c.B
+				owner[sy*w+sx] = int32(i)
+				drawn[i]++
+				tight = tight.Union(geom.Rect{MinX: sx, MinY: sy, MaxX: sx + 1, MaxY: sy + 1})
+			}
+		}
+		if tight.Empty() {
+			tight = geom.Rect{MinX: dx, MinY: dy, MaxX: dx + size, MaxY: dy + size}.ClampTo(w, h)
+		}
+		scene.Objects = append(scene.Objects, SceneObject{Class: cls, Model: model, Box: tight})
+	}
+
+	// Ground-truth occlusion: the fraction of each object's silhouette
+	// that later objects overpainted.
+	visible := make([]int, len(scene.Objects))
+	for _, o := range owner {
+		if o >= 0 {
+			visible[o]++
+		}
+	}
+	for i := range scene.Objects {
+		if drawn[i] > 0 {
+			scene.Objects[i].Occluded = 1 - float64(visible[i])/float64(drawn[i])
+		}
+	}
+
+	// Sensor degradation last, so ground truth describes the clean scene.
+	if p.NoiseSigma > 0 {
+		for i := range img.Pix {
+			img.Pix[i] = clamp8i(float64(img.Pix[i]) + r.NormRange(0, p.NoiseSigma))
+		}
+	}
+	if p.Blur > 0 {
+		copy(img.Pix, img.GaussianBlur(p.Blur).Pix)
+	}
+	return scene
+}
+
+func clutterChan(v uint8, d int) uint8 {
+	n := int(v) + d
+	if n < 0 {
+		n = 0
+	}
+	if n > 255 {
+		n = 255
+	}
+	return uint8(n)
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // CropObject extracts an object's region from the scene as an NYU-style
 // segmented crop: pixels outside the object silhouette (equal to the
 // room background) are masked to black.
@@ -75,7 +310,7 @@ func (s *Scene) CropObject(i int) *imaging.Image {
 	// Mask the two known background colours to black.
 	for p := 0; p < crop.W*crop.H; p++ {
 		c := imaging.RGB{R: crop.Pix[3*p], G: crop.Pix[3*p+1], B: crop.Pix[3*p+2]}
-		if nearColor(c, imaging.C(126, 127, 130), 10) || nearColor(c, imaging.C(105, 100, 96), 10) {
+		if nearColor(c, wallColor, 10) || nearColor(c, floorColor, 10) {
 			crop.Pix[3*p], crop.Pix[3*p+1], crop.Pix[3*p+2] = 0, 0, 0
 		}
 	}

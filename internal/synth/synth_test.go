@@ -181,6 +181,98 @@ func TestComposeScene(t *testing.T) {
 	}
 }
 
+func TestComposeScenePDeterministic(t *testing.T) {
+	// Same params (including every degradation knob) must produce a
+	// byte-identical scene and identical ground truth, for several seeds.
+	for seed := uint64(1); seed <= 5; seed++ {
+		p := SceneParams{
+			W: 200, H: 160, Seed: seed,
+			Classes:     []Class{Chair, Bottle, Lamp},
+			ScaleJitter: 0.25, Occlusion: 0.3, NoiseSigma: 5, Blur: 0.6, Clutter: 4,
+		}
+		a := ComposeSceneP(p)
+		b := ComposeSceneP(p)
+		if len(a.Objects) != len(p.Classes) {
+			t.Fatalf("seed %d: objects = %d", seed, len(a.Objects))
+		}
+		for i := range a.Image.Pix {
+			if a.Image.Pix[i] != b.Image.Pix[i] {
+				t.Fatalf("seed %d: scene not deterministic at byte %d", seed, i)
+			}
+		}
+		for i := range a.Objects {
+			if a.Objects[i] != b.Objects[i] {
+				t.Fatalf("seed %d: ground truth not deterministic: %+v vs %+v",
+					seed, a.Objects[i], b.Objects[i])
+			}
+			if a.Objects[i].Box.Empty() || a.Objects[i].Box.MinX < 0 || a.Objects[i].Box.MinY < 0 ||
+				a.Objects[i].Box.MaxX > p.W || a.Objects[i].Box.MaxY > p.H {
+				t.Errorf("seed %d: object %d box out of canvas: %+v", seed, i, a.Objects[i].Box)
+			}
+		}
+	}
+}
+
+func TestComposeScenePVariesWithSeed(t *testing.T) {
+	p := SceneParams{W: 160, H: 120, Classes: []Class{Chair, Sofa}}
+	a := ComposeSceneP(p)
+	p.Seed = 99
+	b := ComposeSceneP(p)
+	same := 0
+	for i := range a.Image.Pix {
+		if a.Image.Pix[i] == b.Image.Pix[i] {
+			same++
+		}
+	}
+	if same == len(a.Image.Pix) {
+		t.Error("different seeds produced an identical scene")
+	}
+}
+
+func TestComposeScenePOcclusion(t *testing.T) {
+	// Occlusion 1 with zero jitter: the second object's canvas centres on
+	// the first. The ground truth is pixel-accurate, so the measured
+	// fraction reflects how much of the bottle the chair silhouette —
+	// gaps, legs and all — actually hides, not the box overlap; a
+	// sparse occluder never reaches 1.
+	full := ComposeSceneP(SceneParams{
+		W: 160, H: 160, Seed: 3, Classes: []Class{Bottle, Chair}, Occlusion: 1,
+	})
+	if got := full.Objects[0].Occluded; got < 0.2 {
+		t.Errorf("full occlusion: Occluded = %v, want a substantial fraction", got)
+	}
+	if full.Objects[1].Occluded != 0 {
+		t.Errorf("last-drawn object occluded: %v", full.Objects[1].Occluded)
+	}
+	// Partial occlusion hides less of the anchor than the full setting
+	// but still some of it.
+	part := ComposeSceneP(SceneParams{
+		W: 200, H: 160, Seed: 3, Classes: []Class{Bottle, Chair}, Occlusion: 0.5,
+	})
+	if got := part.Objects[0].Occluded; got <= 0 || got >= full.Objects[0].Occluded {
+		t.Errorf("partial occlusion: Occluded = %v, want in (0, %v)", got, full.Objects[0].Occluded)
+	}
+	// No occlusion requested: rejection sampling keeps objects clear.
+	clear := ComposeSceneP(SceneParams{
+		W: 320, H: 240, Seed: 3, Classes: []Class{Bottle, Chair, Lamp},
+	})
+	for i, o := range clear.Objects {
+		if o.Occluded != 0 {
+			t.Errorf("object %d unexpectedly occluded: %v", i, o.Occluded)
+		}
+	}
+}
+
+func TestComposeScenePEmpty(t *testing.T) {
+	sc := ComposeSceneP(SceneParams{W: 80, H: 60, Seed: 1})
+	if len(sc.Objects) != 0 {
+		t.Errorf("objects = %d", len(sc.Objects))
+	}
+	if sc.Image == nil || sc.Image.W != 80 || sc.Image.H != 60 {
+		t.Error("empty scene image wrong")
+	}
+}
+
 func TestComposeSceneEmpty(t *testing.T) {
 	sc := ComposeScene(nil, 100, 100, 1)
 	if len(sc.Objects) != 0 || sc.Image == nil {
