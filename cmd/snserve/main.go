@@ -66,8 +66,13 @@ func main() {
 	maxRegions := fs.Int("max-regions", 32, "region proposals classified per /detect scene")
 	pprofPort := fs.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 disables)")
 	workers := cliutil.Workers(fs)
+	idxFlags := cliutil.RegisterIndexFlags(fs)
 	flag.Parse()
 	w := cliutil.ResolveWorkers(*workers)
+	spec, err := idxFlags.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	reg := serve.NewRegistry()
 	for _, path := range snaps {
@@ -80,6 +85,9 @@ func main() {
 				log.Fatalf("map %s: %v", path, err)
 			}
 			snap := m.Snap
+			if err := snap.Gallery.SetIndexSpec(spec); err != nil {
+				log.Fatal(err)
+			}
 			if err := reg.AddMapped(snap.Name, pipeline.NewShardedGallery(snap.Gallery, *shards), snap.Meta, m); err != nil {
 				log.Fatal(err)
 			}
@@ -92,6 +100,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("load %s: %v", path, err)
 		}
+		if err := snap.Gallery.SetIndexSpec(spec); err != nil {
+			log.Fatal(err)
+		}
 		if err := reg.AddWithMeta(snap.Name, pipeline.NewShardedGallery(snap.Gallery, *shards), snap.Meta); err != nil {
 			log.Fatal(err)
 		}
@@ -101,6 +112,9 @@ func main() {
 	}
 	if *build != "" {
 		name, g := buildGallery(*build, *size, *seed, *descs, w)
+		if err := g.SetIndexSpec(spec); err != nil {
+			log.Fatal(err)
+		}
 		meta := snapshot.Meta{Dataset: name, Size: *size, Seed: *seed}
 		if err := reg.AddWithMeta(name, pipeline.NewShardedGallery(g, *shards), meta); err != nil {
 			log.Fatal(err)
@@ -137,8 +151,8 @@ func main() {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d galleries on %s (shards=%d batch=%d wait=%s inflight=%d)",
-		reg.Len(), *addr, *shards, *maxBatch, *batchWait, *maxInFlight)
+	log.Printf("serving %d galleries on %s (index=%s shards=%d batch=%d wait=%s inflight=%d)",
+		reg.Len(), *addr, spec, *shards, *maxBatch, *batchWait, *maxInFlight)
 
 	select {
 	case err := <-done:

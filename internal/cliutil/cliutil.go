@@ -146,6 +146,51 @@ func SaveSnapshot(path string, meta snapshot.Meta, g *pipeline.Gallery) error {
 	return snapshot.Save(path, &snapshot.Snapshot{Name: meta.Dataset, Meta: meta, Gallery: g})
 }
 
+// IndexFlags is the destination of the shared matching-backend flags —
+// one value per knob, registered by RegisterIndexFlags and resolved to
+// a pipeline.IndexSpec by Resolve after fs.Parse.
+type IndexFlags struct {
+	Kind         *string
+	MIHBits      *int
+	MIHRadius    *int
+	MIHBucketCap *int
+	IVFNLists    *int
+	IVFNProbe    *int
+}
+
+// RegisterIndexFlags registers the matching-backend selection flags
+// shared by every binary that builds or serves galleries: -index picks
+// the backend, the rest tune it. Defaults mirror the library defaults
+// (exact scan; MIH 16-bit substrings at radius 1; IVF auto nlists,
+// nprobe 8).
+func RegisterIndexFlags(fs *flag.FlagSet) *IndexFlags {
+	return &IndexFlags{
+		Kind:         fs.String("index", "exact", "matching index backend: exact, mih (binary/ORB only) or ivf (any descriptor family)"),
+		MIHBits:      fs.Int("mih-bits", 0, "mih substring width in bits (0 = default 16; must divide 64, max 16)"),
+		MIHRadius:    fs.Int("mih-radius", 0, "mih per-substring Hamming probe radius (0 = default 1; >= mih-bits probes exhaustively = exact)"),
+		MIHBucketCap: fs.Int("mih-bucketcap", 0, "mih stop-bucket threshold: drop buckets larger than this (0 = off; capping costs recall on low-entropy codes)"),
+		IVFNLists:    fs.Int("ivf-nlists", 0, "ivf coarse list count (0 = auto ~2*sqrt(rows))"),
+		IVFNProbe:    fs.Int("ivf-nprobe", 0, "ivf lists scanned per query descriptor (0 = default 8; >= nlists scans all = exact)"),
+	}
+}
+
+// Resolve validates the parsed flags into an IndexSpec.
+func (f *IndexFlags) Resolve() (pipeline.IndexSpec, error) {
+	kind, err := pipeline.ParseIndexKind(*f.Kind)
+	if err != nil {
+		return pipeline.IndexSpec{}, err
+	}
+	spec := pipeline.IndexSpec{
+		Kind: kind,
+		MIH:  pipeline.MIHParams{SubstrBits: *f.MIHBits, Radius: *f.MIHRadius, BucketCap: *f.MIHBucketCap},
+		IVF:  pipeline.IVFParams{NLists: *f.IVFNLists, NProbe: *f.IVFNProbe},
+	}
+	if err := spec.Validate(); err != nil {
+		return pipeline.IndexSpec{}, err
+	}
+	return spec, nil
+}
+
 // ParseDescriptorKinds parses a comma-separated descriptor family list
 // ("sift,orb"); empty elements are skipped, unknown ones are an error.
 func ParseDescriptorKinds(s string) ([]pipeline.DescriptorKind, error) {

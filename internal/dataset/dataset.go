@@ -42,11 +42,15 @@ type Set struct {
 // Len returns the number of samples.
 func (s *Set) Len() int { return len(s.Samples) }
 
-// CountByClass tallies samples per class.
+// CountByClass tallies samples per Table 1 class. Synthetic classes
+// beyond the Table 1 taxonomy (BuildLarge galleries) are skipped rather
+// than counted, since the fixed-size tally has no slot for them.
 func (s *Set) CountByClass() [synth.NumClasses]int {
 	var out [synth.NumClasses]int
 	for _, sm := range s.Samples {
-		out[sm.Class]++
+		if sm.Class >= 0 && int(sm.Class) < synth.NumClasses {
+			out[sm.Class]++
+		}
 	}
 	return out
 }
@@ -133,6 +137,42 @@ func BuildNYU(cfg Config) *Set {
 				Class: cls, Model: model, View: i,
 			})
 		}
+	}
+	return set
+}
+
+// BuildLarge wraps synth.LargeGallery as a Set: a scaled synthetic
+// reference gallery of classes x viewsPerClass clean views, one model
+// per synthetic class, for ANN benchmarks that need realistic gallery
+// sizes. Classes beyond the Table 1 ten are valid here (they reuse the
+// base drawing families with distinct models); such sets classify and
+// index normally but fall outside the fixed Table 1 tallies.
+func BuildLarge(classes, viewsPerClass int, seed uint64) *Set {
+	return largeSet(fmt.Sprintf("Large-%dx%d", classes, viewsPerClass),
+		synth.LargeGallery(classes, viewsPerClass, seed))
+}
+
+// BuildLargeAt is BuildLarge with an explicit render size: the recall
+// benchmarks enroll at 128px so every view carries enough keypoints for
+// sharp match-score margins.
+func BuildLargeAt(classes, viewsPerClass, size int, seed uint64) *Set {
+	return largeSet(fmt.Sprintf("Large-%dx%d@%d", classes, viewsPerClass, size),
+		synth.LargeGalleryAt(classes, viewsPerClass, size, seed))
+}
+
+// BuildLargeQueriesAt wraps synth.LargeQueriesAt as a Set: unseen poses
+// of the models BuildLargeAt enrolls, for recall@1 measurements.
+func BuildLargeQueriesAt(classes, perClass, size int, seed uint64) *Set {
+	return largeSet(fmt.Sprintf("LargeQ-%dx%d@%d", classes, perClass, size),
+		synth.LargeQueriesAt(classes, perClass, size, seed))
+}
+
+func largeSet(name string, views []synth.LargeView) *Set {
+	set := &Set{Name: name}
+	for _, lv := range views {
+		set.Samples = append(set.Samples, Sample{
+			Image: lv.Image, Class: lv.Class, Model: lv.Model, View: lv.View,
+		})
 	}
 	return set
 }

@@ -1,0 +1,440 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/features"
+	"snmatch/internal/parallel"
+	"snmatch/internal/rng"
+)
+
+// fullProbeMIH is an MIH spec whose radius covers the whole substring:
+// the backend must delegate to the flat kernel and be bit-identical.
+var fullProbeMIH = IndexSpec{Kind: MIHKind, MIH: MIHParams{SubstrBits: 16, Radius: 16}}
+
+// fullProbeIVF probes more lists than any gallery builds: bit-identical
+// delegation to the flat kernel.
+var fullProbeIVF = IndexSpec{Kind: IVFKind, IVF: IVFParams{NProbe: 1 << 20}}
+
+// randGallerySets draws a random multi-view gallery including empty and
+// single-descriptor views (the flat scan's edge cases).
+func randGallerySets(r *rng.RNG, nViews int, binary bool, vocab int) []*features.Set {
+	sets := make([]*features.Set, nViews)
+	for v := range sets {
+		n := r.Intn(9)
+		if binary {
+			sets[v] = randBinarySet(r, n, 32)
+		} else {
+			sets[v] = randFloatSet(r, n, 6, vocab)
+		}
+	}
+	return sets
+}
+
+// TestFullProbeBitIdenticalToFlat is the house determinism contract for
+// both backends: at full-probe settings, counts must equal the flat
+// scan bit for bit — directly and through every sharded fan-out width.
+func TestFullProbeBitIdenticalToFlat(t *testing.T) {
+	r := rng.New(977)
+	for trial := 0; trial < 12; trial++ {
+		binary := trial%2 == 1
+		vocab := 2 + r.Intn(9)
+		sets := randGallerySets(r, 1+r.Intn(10), binary, vocab)
+		ix := NewDescriptorIndex(sets)
+		// IVF quantizes both representations; MIH applies to binary rows.
+		spec := fullProbeIVF
+		if binary && trial%4 == 1 {
+			spec = fullProbeMIH
+		}
+		mi := buildMatchIndex(ix, spec)
+		if ix.Len() > 0 && mi == MatchIndex(ix) {
+			t.Fatalf("trial %d: full-probe spec %v built no backend", trial, spec)
+		}
+		var query *features.Set
+		if binary {
+			query = randBinarySet(r, 1+r.Intn(8), 32)
+		} else {
+			query = randFloatSet(r, 1+r.Intn(8), 6, vocab)
+		}
+		want := make([]int32, ix.NumViews)
+		got := make([]int32, ix.NumViews)
+		for _, ratio := range []float64{0.5, 0.8, 1.0} {
+			ix.GoodMatchCounts(query, ratio, want)
+			mi.GoodMatchCounts(query, ratio, got)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d (binary=%v) ratio %v view %d: %d != %d",
+						trial, binary, ratio, v, got[v], want[v])
+				}
+			}
+			for _, shards := range []int{1, 4, 16} {
+				sx := NewShardedIndex(mi, shards)
+				sx.GoodMatchCounts(query, ratio, got)
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("trial %d (binary=%v) ratio %v shards=%d view %d: %d != %d",
+							trial, binary, ratio, shards, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMIHZeroPaddedRowsExactAtRadiusZero pins the non-delegating probe
+// path against the flat scan where equality is provable: 4-byte rows
+// pack into one 64-bit word whose upper substrings are all zero, so the
+// zero-key buckets of those tables hold every indexable row and the
+// candidate set is always complete. Radius 0 must then reproduce the
+// flat counts exactly — any drift is a bug in the probe/fold
+// arithmetic, not approximation.
+func TestMIHZeroPaddedRowsExactAtRadiusZero(t *testing.T) {
+	r := rng.New(431)
+	for trial := 0; trial < 10; trial++ {
+		sets := make([]*features.Set, 1+r.Intn(8))
+		for v := range sets {
+			sets[v] = randBinarySet(r, r.Intn(9), 4)
+		}
+		ix := NewDescriptorIndex(sets)
+		if ix.Len() == 0 {
+			continue
+		}
+		mi := NewMIHIndex(ix, MIHParams{SubstrBits: 16, Radius: -1}) // -1 clamps to 0
+		if mi.full {
+			t.Fatal("radius 0 must not delegate")
+		}
+		query := randBinarySet(r, 1+r.Intn(8), 4)
+		want := make([]int32, ix.NumViews)
+		got := make([]int32, ix.NumViews)
+		for _, ratio := range []float64{0.5, 0.8, 1.0} {
+			ix.GoodMatchCounts(query, ratio, want)
+			mi.GoodMatchCounts(query, ratio, got)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("trial %d ratio %v view %d: %d != %d", trial, ratio, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+// TestIVFDegenerateClustersExact drives the non-delegating IVF scan
+// where equality is provable: all rows identical means k-means
+// collapses every row into the lowest-index cluster, so nprobe=1 scans
+// the whole gallery and must reproduce the flat counts exactly. The
+// remaining lists are empty — the degenerate-cluster path.
+func TestIVFDegenerateClustersExact(t *testing.T) {
+	row := []float32{3, 1, 4, 1, 5, 9}
+	sets := make([]*features.Set, 5)
+	for v := range sets {
+		s := &features.Set{}
+		for i := 0; i < 4; i++ {
+			s.Float = append(s.Float, append([]float32(nil), row...))
+			s.Keypoints = append(s.Keypoints, features.Keypoint{})
+		}
+		sets[v] = s
+	}
+	ix := NewDescriptorIndex(sets)
+	iv := NewIVFIndex(ix, IVFParams{NLists: 4, NProbe: 1})
+	if iv.full {
+		t.Fatal("nprobe=1 of nlists=4 must not delegate")
+	}
+	r := rng.New(7)
+	query := randFloatSet(r, 6, 6, 12)
+	want := make([]int32, ix.NumViews)
+	got := make([]int32, ix.NumViews)
+	ix.GoodMatchCounts(query, 0.9, want)
+	iv.GoodMatchCounts(query, 0.9, got)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("view %d: %d != %d", v, got[v], want[v])
+		}
+	}
+}
+
+// TestBuildMatchIndexFallbacks: wrong representation or an empty index
+// must fall back to the flat scan rather than build a dead backend.
+func TestBuildMatchIndexFallbacks(t *testing.T) {
+	r := rng.New(11)
+	floatIx := NewDescriptorIndex([]*features.Set{randFloatSet(r, 4, 6, 8)})
+	binIx := NewDescriptorIndex([]*features.Set{randBinarySet(r, 4, 32)})
+	emptyIx := NewDescriptorIndex(nil)
+
+	if mi := buildMatchIndex(floatIx, IndexSpec{Kind: MIHKind}); mi != MatchIndex(floatIx) {
+		t.Fatal("MIH over float rows must fall back to the flat index")
+	}
+	if _, ok := buildMatchIndex(binIx, IndexSpec{Kind: IVFKind}).(*IVFIndex); !ok {
+		t.Fatal("IVF over binary rows must build the Hamming-quantized backend")
+	}
+	if mi := buildMatchIndex(emptyIx, IndexSpec{Kind: MIHKind}); mi != MatchIndex(emptyIx) {
+		t.Fatal("empty gallery must fall back to the flat index")
+	}
+	if k := floatIx.IndexKind(); k != ExactKind {
+		t.Fatalf("flat index kind = %v", k)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("representation-mismatched constructor did not panic")
+			}
+		}()
+		NewMIHIndex(floatIx, MIHParams{})
+	}()
+}
+
+// TestIndexSpecValidateAndParse covers the config surface: kind
+// parsing, the String round-trip, and rejected parameter combinations.
+func TestIndexSpecValidateAndParse(t *testing.T) {
+	for _, k := range []IndexKind{ExactKind, MIHKind, IVFKind} {
+		got, err := ParseIndexKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseIndexKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseIndexKind("annoy"); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if k, err := ParseIndexKind(""); err != nil || k != ExactKind {
+		t.Fatalf("empty kind = %v, %v", k, err)
+	}
+
+	bad := []IndexSpec{
+		{Kind: MIHKind, MIH: MIHParams{SubstrBits: 12}},            // does not divide 64
+		{Kind: MIHKind, MIH: MIHParams{SubstrBits: 32}},            // tables too large
+		{Kind: MIHKind, MIH: MIHParams{SubstrBits: 16, Radius: 3}}, // unsupported radius
+		{Kind: IVFKind, IVF: IVFParams{NLists: -1}},
+		{Kind: IVFKind, IVF: IVFParams{NProbe: -2}},
+		{Kind: IndexKind(99)},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("spec %d (%+v) must fail validation", i, s)
+		}
+	}
+	good := []IndexSpec{
+		{Kind: ExactKind},
+		{Kind: MIHKind},
+		{Kind: MIHKind, MIH: MIHParams{SubstrBits: 8, Radius: 2}},
+		{Kind: MIHKind, MIH: MIHParams{SubstrBits: 16, Radius: 16}}, // exact full probe
+		{Kind: IVFKind},
+		{Kind: IVFKind, IVF: IVFParams{NLists: 32, NProbe: 64}},
+	}
+	for i, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("spec %d (%+v): %v", i, s, err)
+		}
+	}
+	if got := (IndexSpec{Kind: MIHKind}).String(); got != "mih(bits=16,radius=1)" {
+		t.Fatalf("mih spec string = %q", got)
+	}
+	if got := (IndexSpec{Kind: IVFKind}).String(); !strings.Contains(got, "ivf(") {
+		t.Fatalf("ivf spec string = %q", got)
+	}
+}
+
+// TestMixedRepresentationQueryPanics pins the backends to the flat
+// scan's error contract for mismatched queries.
+func TestMixedRepresentationQueryPanics(t *testing.T) {
+	r := rng.New(23)
+	binIx := NewDescriptorIndex([]*features.Set{randBinarySet(r, 4, 32), randBinarySet(r, 4, 32)})
+	mih := NewMIHIndex(binIx, MIHParams{})
+	floatIx := NewDescriptorIndex([]*features.Set{randFloatSet(r, 4, 6, 8), randFloatSet(r, 4, 6, 8)})
+	ivf := NewIVFIndex(floatIx, IVFParams{NLists: 2, NProbe: 1})
+	counts := make([]int32, 2)
+	for name, fn := range map[string]func(){
+		"mih-float-query":  func() { mih.GoodMatchCounts(randFloatSet(r, 3, 6, 8), 0.8, counts) },
+		"ivf-binary-query": func() { ivf.GoodMatchCounts(randBinarySet(r, 3, 32), 0.8, counts) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: mixed representation did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestGalleryIndexSpecPlumbing exercises the serving surface end to
+// end: SetIndexSpec builds (and caches) the right backend per kind,
+// falls back where the representation does not match, and a spec change
+// drops the stale backend.
+func TestGalleryIndexSpecPlumbing(t *testing.T) {
+	g := NewGalleryWorkers(dataset.BuildLarge(6, 3, 5), 0)
+	params := DefaultDescriptorParams()
+	g.PrepareDescriptorsWorkers(ORB, params, 0)
+	g.PrepareDescriptorsWorkers(SIFT, params, 0)
+
+	if spec := g.IndexSpec(); spec.Kind != ExactKind {
+		t.Fatalf("default spec = %v", spec)
+	}
+	if k := g.MatchIndexFor(ORB, params).IndexKind(); k != ExactKind {
+		t.Fatalf("default ORB backend = %v", k)
+	}
+
+	if err := g.SetIndexSpec(IndexSpec{Kind: MIHKind}); err != nil {
+		t.Fatal(err)
+	}
+	if k := g.MatchIndexFor(ORB, params).IndexKind(); k != MIHKind {
+		t.Fatalf("ORB backend under mih spec = %v", k)
+	}
+	// SIFT rows are float: the MIH spec cannot apply and must fall back.
+	if k := g.MatchIndexFor(SIFT, params).IndexKind(); k != ExactKind {
+		t.Fatalf("SIFT backend under mih spec = %v", k)
+	}
+	mi := g.MatchIndexFor(ORB, params)
+	if again := g.MatchIndexFor(ORB, params); again != mi {
+		t.Fatal("backend not cached across calls")
+	}
+
+	if err := g.SetIndexSpec(IndexSpec{Kind: IVFKind}); err != nil {
+		t.Fatal(err)
+	}
+	// IVF quantizes both representations: binary ORB rows get the
+	// Hamming k-majority quantizer, float SIFT rows the L2 one.
+	if k := g.MatchIndexFor(ORB, params).IndexKind(); k != IVFKind {
+		t.Fatalf("ORB backend under ivf spec = %v", k)
+	}
+	if k := g.MatchIndexFor(SIFT, params).IndexKind(); k != IVFKind {
+		t.Fatalf("SIFT backend under ivf spec = %v", k)
+	}
+
+	if err := g.SetIndexSpec(IndexSpec{Kind: MIHKind, MIH: MIHParams{SubstrBits: 12}}); err == nil {
+		t.Fatal("invalid spec must be rejected")
+	}
+}
+
+// TestANNFullProbePredictionsBitIdentical runs whole classifications —
+// extraction, backend scan, argmax — through ShardedGallery at workers
+// 1, 4 and 16 with full-probe specs, and requires the exact flat-scan
+// prediction for every query. Run under -race this is also the
+// concurrency soak for the backend caches and pooled scratch.
+func TestANNFullProbePredictionsBitIdentical(t *testing.T) {
+	g := NewGalleryWorkers(dataset.BuildLarge(8, 3, 3), 0)
+	params := DefaultDescriptorParams()
+	g.PrepareDescriptorsWorkers(ORB, params, 0)
+	g.PrepareDescriptorsWorkers(SIFT, params, 0)
+	queries := dataset.BuildLarge(8, 2, 77) // fresh seed: unseen renders
+
+	type run struct {
+		kind DescriptorKind
+		spec IndexSpec
+	}
+	runs := []run{
+		{ORB, fullProbeMIH},
+		{SIFT, fullProbeIVF},
+	}
+	for _, rn := range runs {
+		p := NewDescriptor(rn.kind, 0.5)
+		if err := g.SetIndexSpec(IndexSpec{Kind: ExactKind}); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]Prediction, queries.Len())
+		for i, q := range queries.Samples {
+			want[i] = p.Classify(q.Image, g)
+		}
+		if err := g.SetIndexSpec(rn.spec); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 16} {
+			sg := NewShardedGallery(g, workers)
+			got := make([]Prediction, queries.Len())
+			parallel.ForEach(workers, queries.Len(), func(i int) {
+				got[i] = sg.Classify(p, queries.Samples[i].Image)
+			})
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v workers=%d query %d: %+v != %+v",
+						rn.spec, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestANNDefaultSettingsRecallFloor is the recall@1 regression gate at
+// the default approximate settings: over a scaled synthetic gallery the
+// MIH and IVF predictions must agree with the exact scan on at least 95%
+// of queries — the floor the CI smoke also enforces. Queries are unseen
+// poses of the enrolled models (the serving regime: novel viewpoints of
+// known objects), rendered at 128px so views carry enough keypoints for
+// sharp match-score margins.
+func TestANNDefaultSettingsRecallFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gallery build is seconds-scale")
+	}
+	g := NewGalleryWorkers(dataset.BuildLargeAt(12, 6, 128, 9), 0)
+	params := DefaultDescriptorParams()
+	g.PrepareDescriptorsWorkers(ORB, params, 0)
+	g.PrepareDescriptorsWorkers(SIFT, params, 0)
+	queries := dataset.BuildLargeQueriesAt(12, 3, 128, 9)
+
+	const floor = 0.95
+	for _, rn := range []struct {
+		kind DescriptorKind
+		spec IndexSpec
+	}{
+		{ORB, IndexSpec{Kind: MIHKind}},
+		{SIFT, IndexSpec{Kind: IVFKind}},
+	} {
+		p := NewDescriptor(rn.kind, 0.5)
+		if err := g.SetIndexSpec(IndexSpec{Kind: ExactKind}); err != nil {
+			t.Fatal(err)
+		}
+		exact := make([]Prediction, queries.Len())
+		for i, q := range queries.Samples {
+			exact[i] = p.Classify(q.Image, g)
+		}
+		if err := g.SetIndexSpec(rn.spec); err != nil {
+			t.Fatal(err)
+		}
+		agree := 0
+		for i, q := range queries.Samples {
+			if p.Classify(q.Image, g).Index == exact[i].Index {
+				agree++
+			}
+		}
+		recall := float64(agree) / float64(queries.Len())
+		t.Logf("%s %v: recall@1 %.3f (%d/%d)", rn.kind, rn.spec, recall, agree, queries.Len())
+		if recall < floor {
+			t.Fatalf("%s %v: recall@1 %.3f below the %.2f floor", rn.kind, rn.spec, recall, floor)
+		}
+	}
+}
+
+// TestLargeGalleryShape pins the scaled-taxonomy helper: deterministic,
+// class-distinct, and sized classes x viewsPerClass.
+func TestLargeGalleryShape(t *testing.T) {
+	a := dataset.BuildLarge(13, 4, 5)
+	b := dataset.BuildLarge(13, 4, 5)
+	if a.Len() != 13*4 || b.Len() != a.Len() {
+		t.Fatalf("size %d != %d", a.Len(), 13*4)
+	}
+	for i := range a.Samples {
+		sa, sb := a.Samples[i], b.Samples[i]
+		if sa.Class != sb.Class || sa.Model != sb.Model || sa.View != sb.View {
+			t.Fatalf("sample %d metadata not deterministic", i)
+		}
+		ia, ib := sa.Image, sb.Image
+		if ia.W != ib.W || ia.H != ib.H {
+			t.Fatalf("sample %d image shape not deterministic", i)
+		}
+		for j := range ia.Pix {
+			if ia.Pix[j] != ib.Pix[j] {
+				t.Fatalf("sample %d pixels not deterministic", i)
+			}
+		}
+	}
+	// Classes beyond the Table 1 ten stay representable and countable.
+	if c := a.Samples[a.Len()-1].Class; int(c) != 12 {
+		t.Fatalf("last class = %d", int(c))
+	}
+	_ = a.CountByClass() // must not panic on classes >= NumClasses
+	if dataset.BuildLarge(0, 4, 5).Len() != 0 {
+		t.Fatal("zero classes must yield an empty set")
+	}
+}

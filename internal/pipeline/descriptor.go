@@ -113,10 +113,13 @@ func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
 }
 
 // ClassifyStats implements StatsClassifier: Classify plus the
-// extraction timing of this query.
+// extraction timing of this query. The scan runs on the matching
+// backend the gallery's IndexSpec selects (flat by default); the count
+// scratch always pools on the flat index, so backend swaps don't change
+// the zero-allocation query path.
 func (p *Descriptor) ClassifyStats(img *imaging.Image, g *Gallery) (Prediction, QueryStats) {
-	ix := g.descriptorIndex(p.Kind, p.Params)
-	return p.classifyOn(img, g, ix, ix)
+	mi := g.MatchIndexFor(p.Kind, p.Params)
+	return p.classifyOn(img, g, mi.Flat(), mi)
 }
 
 // matchCounter fills per-view good-match counts for one query — the

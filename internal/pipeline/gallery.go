@@ -67,8 +67,10 @@ type View struct {
 type Gallery struct {
 	Views []View
 
-	mu  sync.RWMutex // guards lazy Desc/idx writes during concurrent Classify
-	idx map[DescriptorKind]*DescriptorIndex
+	mu   sync.RWMutex // guards lazy Desc/idx/ann writes during concurrent Classify
+	idx  map[DescriptorKind]*DescriptorIndex
+	spec IndexSpec
+	ann  map[DescriptorKind]MatchIndex
 }
 
 // NewGallery preprocesses every sample of the reference set (§3.2
@@ -87,6 +89,7 @@ func NewGalleryWorkers(s *dataset.Set, workers int) *Gallery {
 	g := &Gallery{
 		Views: make([]View, s.Len()),
 		idx:   map[DescriptorKind]*DescriptorIndex{},
+		ann:   map[DescriptorKind]MatchIndex{},
 	}
 	parallel.ForEachChunk(workers, s.Len(), func(_ int, sp parallel.Span) {
 		a := arena.New()
@@ -189,6 +192,63 @@ func (g *Gallery) DescriptorIndexFor(kind DescriptorKind, p DescriptorParams) *D
 	return g.descriptorIndex(kind, p)
 }
 
+// SetIndexSpec selects the matching backend built over this gallery's
+// flat indexes. It drops any previously built approximate indexes, so a
+// spec change takes effect on the next query. Snapshots persist only the
+// flat indexes; restore paths re-apply the spec and the backend is
+// rebuilt deterministically from the restored rows.
+func (g *Gallery) SetIndexSpec(spec IndexSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.spec = spec
+	g.ann = map[DescriptorKind]MatchIndex{}
+	g.mu.Unlock()
+	return nil
+}
+
+// IndexSpec returns the gallery's configured matching backend spec.
+func (g *Gallery) IndexSpec() IndexSpec {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.spec
+}
+
+// MatchIndexFor returns the matching engine for the kind under the
+// gallery's IndexSpec: the flat index itself for ExactKind (or when the
+// backend does not apply to the kind's representation), the cached
+// approximate backend otherwise. Like the flat cache it is safe under
+// concurrent Classify traffic — the build is a pure function of the
+// flat index and the spec, so racing builders agree and the first store
+// wins. A cached backend is discarded when the flat index it wraps is
+// no longer the gallery's current one.
+func (g *Gallery) MatchIndexFor(kind DescriptorKind, p DescriptorParams) MatchIndex {
+	flat := g.descriptorIndex(kind, p)
+	g.mu.RLock()
+	spec := g.spec
+	mi := g.ann[kind]
+	g.mu.RUnlock()
+	if spec.Kind == ExactKind {
+		return flat
+	}
+	if mi != nil && mi.Flat() == flat {
+		return mi
+	}
+	mi = buildMatchIndex(flat, spec)
+	g.mu.Lock()
+	if cur := g.ann[kind]; cur != nil && cur.Flat() == flat && g.spec == spec {
+		mi = cur
+	} else if g.spec == spec {
+		if g.ann == nil {
+			g.ann = map[DescriptorKind]MatchIndex{}
+		}
+		g.ann[kind] = mi
+	}
+	g.mu.Unlock()
+	return mi
+}
+
 // Indexes returns the descriptor indexes built so far, keyed by kind —
 // what a snapshot persists. The map is a copy; the indexes are shared
 // (they are immutable once built).
@@ -209,7 +269,11 @@ func (g *Gallery) Indexes() map[DescriptorKind]*DescriptorIndex {
 // the index cache is seeded so no re-extraction happens for persisted
 // kinds.
 func RestoreGallery(views []View, idx map[DescriptorKind]*DescriptorIndex) *Gallery {
-	g := &Gallery{Views: views, idx: map[DescriptorKind]*DescriptorIndex{}}
+	g := &Gallery{
+		Views: views,
+		idx:   map[DescriptorKind]*DescriptorIndex{},
+		ann:   map[DescriptorKind]MatchIndex{},
+	}
 	for i := range g.Views {
 		if g.Views[i].Desc == nil {
 			g.Views[i].Desc = map[DescriptorKind]*features.Set{}

@@ -243,6 +243,12 @@ func RestoreDescriptorIndex(sets []*features.Set, floats []float32, words []uint
 // Len returns the total number of indexed descriptors.
 func (ix *DescriptorIndex) Len() int { return ix.Starts[ix.NumViews] }
 
+// Flat implements MatchIndex: the flat index is its own exact storage.
+func (ix *DescriptorIndex) Flat() *DescriptorIndex { return ix }
+
+// IndexKind implements MatchIndex.
+func (ix *DescriptorIndex) IndexKind() IndexKind { return ExactKind }
+
 // getCounts borrows a per-view count buffer from the pool. Contents
 // are unspecified — GoodMatchCounts zeroes its output itself.
 func (ix *DescriptorIndex) getCounts() *[]int32 {

@@ -8,27 +8,32 @@ import (
 	"snmatch/internal/parallel"
 )
 
-// ShardedIndex splits a flat DescriptorIndex into contiguous view ranges
-// at its Starts boundaries, so one query can be scanned by several
-// workers at once. Shards never cut through a view: the within-view 2-NN
-// search and ratio test are evaluated by exactly one shard with exactly
-// the arithmetic of the full scan, and every shard writes a disjoint
-// range of the shared per-view count buffer — so sharded results are bit
-// identical to the unsharded index at every shard count.
+// ShardedIndex splits a matching index into contiguous view ranges at
+// the flat index's Starts boundaries, so one query can be scanned by
+// several workers at once. Shards never cut through a view: the
+// within-view 2-NN search and ratio test are evaluated by exactly one
+// shard with exactly the arithmetic of the unsharded scan, and every
+// shard writes a disjoint range of the shared per-view count buffer —
+// so sharded results are bit identical to the unsharded index at every
+// shard count. This holds for any MatchIndex backend, exact or
+// approximate: GoodMatchCountsRange's contract is per-view results
+// independent of the [v0, v1) split.
 //
 // Shard boundaries are balanced by descriptor rows (the scan cost), not
 // by view count: galleries with uneven views per class still split into
 // near-equal work.
 type ShardedIndex struct {
+	mi    MatchIndex
 	ix    *DescriptorIndex
 	spans []parallel.Span // non-empty view ranges partitioning [0, NumViews)
 }
 
-// NewShardedIndex shards ix into at most `shards` row-balanced view
+// NewShardedIndex shards mi into at most `shards` row-balanced view
 // ranges (shards <= 1 keeps the whole index as one shard; a shard count
 // beyond the view count degrades to one view per shard).
-func NewShardedIndex(ix *DescriptorIndex, shards int) *ShardedIndex {
-	sx := &ShardedIndex{ix: ix}
+func NewShardedIndex(mi MatchIndex, shards int) *ShardedIndex {
+	ix := mi.Flat()
+	sx := &ShardedIndex{mi: mi, ix: ix}
 	nv := ix.NumViews
 	if shards < 1 {
 		shards = 1
@@ -73,6 +78,9 @@ func (sx *ShardedIndex) NumShards() int { return len(sx.spans) }
 // Index returns the underlying flat index.
 func (sx *ShardedIndex) Index() *DescriptorIndex { return sx.ix }
 
+// MatchIndex returns the wrapped matching backend.
+func (sx *ShardedIndex) MatchIndex() MatchIndex { return sx.mi }
+
 // Spans returns a copy of the shard view ranges.
 func (sx *ShardedIndex) Spans() []parallel.Span {
 	out := make([]parallel.Span, len(sx.spans))
@@ -80,19 +88,19 @@ func (sx *ShardedIndex) Spans() []parallel.Span {
 	return out
 }
 
-// GoodMatchCounts fills the per-view good-match counts exactly like
-// DescriptorIndex.GoodMatchCounts, scanning the shards concurrently on
+// GoodMatchCounts fills the per-view good-match counts exactly like the
+// wrapped backend's GoodMatchCounts, scanning the shards concurrently on
 // the worker pool (one worker per shard). counts must have NumViews
 // entries and is overwritten.
 func (sx *ShardedIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
 	if len(sx.spans) <= 1 {
-		sx.ix.GoodMatchCounts(query, ratio, counts)
+		sx.mi.GoodMatchCounts(query, ratio, counts)
 		return
 	}
 	query.Pack() // build the packed mirror before the fan-out shares it
 	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) {
 		sp := sx.spans[s]
-		sx.ix.GoodMatchCountsRange(query, ratio, counts, sp.Start, sp.End)
+		sx.mi.GoodMatchCountsRange(query, ratio, counts, sp.Start, sp.End)
 	})
 }
 
@@ -116,20 +124,23 @@ func NewShardedGallery(g *Gallery, shards int) *ShardedGallery {
 	return &ShardedGallery{G: g, Shards: shards, sharded: map[DescriptorKind]*ShardedIndex{}}
 }
 
-// ShardedIndexFor returns the sharded view of the gallery's flat index
-// for the given kind, building (and caching) both on first use. Like the
-// flat index cache it is safe under concurrent Classify traffic: the
-// split is a pure function of the index, so racing builders agree.
+// ShardedIndexFor returns the sharded view of the gallery's matching
+// index for the given kind — the backend the gallery's IndexSpec
+// selects — building (and caching) both on first use. Like the flat
+// index cache it is safe under concurrent Classify traffic: the split
+// is a pure function of the index, so racing builders agree. A cached
+// shard set is rebuilt when the gallery's backend has changed under it
+// (SetIndexSpec after serving started).
 func (s *ShardedGallery) ShardedIndexFor(kind DescriptorKind, p DescriptorParams) *ShardedIndex {
 	s.mu.RLock()
 	sx := s.sharded[kind]
 	s.mu.RUnlock()
-	if sx != nil {
+	if sx != nil && sx.mi == s.G.MatchIndexFor(kind, p) {
 		return sx
 	}
-	sx = NewShardedIndex(s.G.DescriptorIndexFor(kind, p), s.Shards)
+	sx = NewShardedIndex(s.G.MatchIndexFor(kind, p), s.Shards)
 	s.mu.Lock()
-	if cur := s.sharded[kind]; cur != nil {
+	if cur := s.sharded[kind]; cur != nil && cur.mi == sx.mi {
 		sx = cur
 	} else {
 		s.sharded[kind] = sx

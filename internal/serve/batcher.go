@@ -26,19 +26,24 @@ type Result struct {
 	Extract time.Duration // descriptor-extraction share of the latency (0 when unknown)
 }
 
+// job is one queue entry: a scene's crops travelling together. A plain
+// classify submits a single-image job; /detect submits one job fanning
+// to all of a scene's region crops, so an N-object scene costs one
+// queue round-trip instead of N.
 type job struct {
-	img      *imaging.Image
+	imgs     []*imaging.Image
 	enqueued time.Time
-	done     chan Result
+	done     chan []Result // one Result per image, in submission order
 }
 
 // Batcher coalesces concurrent classification requests against one
-// (gallery, pipeline) pair into batches: the first queued query opens a
+// (gallery, pipeline) pair into batches: the first queued entry opens a
 // batch, which closes after maxWait or at maxBatch queries, whichever
-// comes first. A single-query batch fans its one scan out across the
-// gallery shards (latency); a multi-query batch classifies queries in
-// parallel on the pool with one flat scan each (throughput). Both paths
-// are bit-identical to the serial unsharded pipeline.
+// comes first (a scene entry counts once per crop). A single-query
+// batch fans its one scan out across the gallery shards (latency); a
+// multi-query batch classifies queries in parallel on the pool with one
+// scan each (throughput). Both paths are bit-identical to the serial
+// unsharded pipeline.
 type Batcher struct {
 	sg      *pipeline.ShardedGallery
 	p       pipeline.Pipeline
@@ -98,7 +103,7 @@ func newBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, workers, maxBa
 // error if the caller gives up while queued (the query is still
 // classified; its result is discarded).
 func (b *Batcher) Submit(ctx context.Context, img *imaging.Image) (Result, error) {
-	return b.submit(ctx, img, false)
+	return b.submitOne(ctx, img, false)
 }
 
 // SubmitWait is Submit with a blocking enqueue: a full queue waits for
@@ -107,36 +112,56 @@ func (b *Batcher) Submit(ctx context.Context, img *imaging.Image) (Result, error
 // batcher rather than deterministically failing — overall admission
 // stays bounded by the server's gate, not by each batcher's queue.
 func (b *Batcher) SubmitWait(ctx context.Context, img *imaging.Image) (Result, error) {
-	return b.submit(ctx, img, true)
+	return b.submitOne(ctx, img, true)
 }
 
-func (b *Batcher) submit(ctx context.Context, img *imaging.Image, wait bool) (Result, error) {
+func (b *Batcher) submitOne(ctx context.Context, img *imaging.Image, wait bool) (Result, error) {
+	rs, err := b.submit(ctx, []*imaging.Image{img}, wait)
+	if err != nil {
+		return Result{}, err
+	}
+	return rs[0], nil
+}
+
+// SubmitSceneWait enqueues one scene's crops as a single queue entry and
+// waits for all their predictions (in crop order). Compared with one
+// SubmitWait per crop this pays the queue hand-off and batch window
+// once, and the crops are guaranteed to ride in the same batch. An
+// empty crop list returns nil without touching the queue.
+func (b *Batcher) SubmitSceneWait(ctx context.Context, imgs []*imaging.Image) ([]Result, error) {
+	if len(imgs) == 0 {
+		return nil, nil
+	}
+	return b.submit(ctx, imgs, true)
+}
+
+func (b *Batcher) submit(ctx context.Context, imgs []*imaging.Image, wait bool) ([]Result, error) {
 	select {
 	case <-b.stop:
-		return Result{}, errClosed
+		return nil, errClosed
 	default:
 	}
-	j := &job{img: img, enqueued: time.Now(), done: make(chan Result, 1)}
+	j := &job{imgs: imgs, enqueued: time.Now(), done: make(chan []Result, 1)}
 	if wait {
 		select {
 		case b.queue <- j:
 		case <-ctx.Done():
-			return Result{}, ctx.Err()
+			return nil, ctx.Err()
 		case <-b.stop:
-			return Result{}, errClosed
+			return nil, errClosed
 		}
 	} else {
 		select {
 		case b.queue <- j:
 		default:
-			return Result{}, ErrOverloaded
+			return nil, ErrOverloaded
 		}
 	}
 	select {
 	case res := <-j.done:
 		return res, nil
 	case <-ctx.Done():
-		return Result{}, ctx.Err()
+		return nil, ctx.Err()
 	case <-b.closed:
 		// The loop exited; it drains the queue before closing, so a
 		// result may still have landed. Jobs that raced past the stop
@@ -145,7 +170,7 @@ func (b *Batcher) submit(ctx context.Context, img *imaging.Image, wait bool) (Re
 		case res := <-j.done:
 			return res, nil
 		default:
-			return Result{}, errClosed
+			return nil, errClosed
 		}
 	}
 }
@@ -173,7 +198,7 @@ func (b *Batcher) loop() {
 			for {
 				select {
 				case j := <-b.queue:
-					b.run([]*job{j})
+					b.run([]*job{j}, len(j.imgs))
 				default:
 					return
 				}
@@ -183,17 +208,20 @@ func (b *Batcher) loop() {
 }
 
 // collect grows a batch around the first job until maxWait elapses or
-// the batch is full, then classifies it.
+// the batch holds maxBatch images (a scene job counts all its crops),
+// then classifies it.
 func (b *Batcher) collect(first *job) {
 	batch := append(make([]*job, 0, b.maxBatch), first)
+	total := len(first.imgs)
 	if b.maxWait > 0 && b.maxBatch > 1 {
 		timer := time.NewTimer(b.maxWait)
 		defer timer.Stop()
 	fill:
-		for len(batch) < b.maxBatch {
+		for total < b.maxBatch {
 			select {
 			case j := <-b.queue:
 				batch = append(batch, j)
+				total += len(j.imgs)
 			case <-timer.C:
 				break fill
 			case <-b.stop:
@@ -203,40 +231,50 @@ func (b *Batcher) collect(first *job) {
 	} else {
 		// No coalescing window: just take whatever is already queued.
 	fillNow:
-		for len(batch) < b.maxBatch {
+		for total < b.maxBatch {
 			select {
 			case j := <-b.queue:
 				batch = append(batch, j)
+				total += len(j.imgs)
 			default:
 				break fillNow
 			}
 		}
 	}
-	b.run(batch)
+	b.run(batch, total)
 }
 
-func (b *Batcher) run(batch []*job) {
-	n := len(batch)
-	if n == 1 {
+func (b *Batcher) run(batch []*job, total int) {
+	if total == 1 {
 		j := batch[0]
-		pred, stats := b.sg.ClassifyStats(b.p, j.img)
-		j.done <- Result{Pred: pred, Batched: 1, Latency: time.Since(j.enqueued), Extract: stats.Extract}
+		pred, stats := b.sg.ClassifyStats(b.p, j.imgs[0])
+		j.done <- []Result{{Pred: pred, Batched: 1, Latency: time.Since(j.enqueued), Extract: stats.Extract}}
 		return
 	}
-	preds := make([]pipeline.Prediction, n)
-	exts := make([]time.Duration, n)
+	flat := make([]*imaging.Image, 0, total)
+	for _, j := range batch {
+		flat = append(flat, j.imgs...)
+	}
+	preds := make([]pipeline.Prediction, total)
+	exts := make([]time.Duration, total)
 	sc, hasStats := b.p.(pipeline.StatsClassifier)
-	parallel.ForEach(b.workers, n, func(i int) {
+	parallel.ForEach(b.workers, total, func(i int) {
 		if hasStats {
 			var st pipeline.QueryStats
-			preds[i], st = sc.ClassifyStats(batch[i].img, b.sg.G)
+			preds[i], st = sc.ClassifyStats(flat[i], b.sg.G)
 			exts[i] = st.Extract
 		} else {
-			preds[i] = b.p.Classify(batch[i].img, b.sg.G)
+			preds[i] = b.p.Classify(flat[i], b.sg.G)
 		}
 	})
 	now := time.Now()
-	for i, j := range batch {
-		j.done <- Result{Pred: preds[i], Batched: n, Latency: now.Sub(j.enqueued), Extract: exts[i]}
+	off := 0
+	for _, j := range batch {
+		rs := make([]Result, len(j.imgs))
+		for i := range rs {
+			rs[i] = Result{Pred: preds[off+i], Batched: total, Latency: now.Sub(j.enqueued), Extract: exts[off+i]}
+		}
+		off += len(j.imgs)
+		j.done <- rs
 	}
 }

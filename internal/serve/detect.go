@@ -5,11 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sync"
 	"time"
 
 	"snmatch/internal/geom"
-	"snmatch/internal/imaging"
 	"snmatch/internal/pipeline"
 )
 
@@ -107,42 +105,29 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	var firstErr error
-	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	for i := range regions {
-		wg.Add(1)
-		go func(i int, box geom.Rect, crop *imaging.Image) {
-			defer wg.Done()
-			res, err := b.SubmitWait(r.Context(), crop)
-			if err != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				errMu.Unlock()
-				return
-			}
-			resp.Regions[i] = RegionJSON{
-				Box:       boxJSON(box),
-				Class:     res.Pred.Class.String(),
-				ClassID:   int(res.Pred.Class),
-				View:      res.Pred.Index,
-				Score:     res.Pred.Score,
-				Batched:   res.Batched,
-				LatencyMS: float64(res.Latency) / float64(time.Millisecond),
-			}
-		}(i, regions[i], crops[i])
-	}
-	wg.Wait()
-	if firstErr != nil {
+	// The whole scene travels as one queue entry: one hand-off, one
+	// batch window, and the crops are classified together instead of
+	// racing N goroutines through the queue.
+	results, err := b.SubmitSceneWait(r.Context(), crops)
+	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(firstErr, ErrOverloaded) || errors.Is(firstErr, errClosed) {
+		if errors.Is(err, ErrOverloaded) || errors.Is(err, errClosed) {
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", "1")
 		}
-		httpError(w, status, firstErr.Error())
+		httpError(w, status, err.Error())
 		return
+	}
+	for i, res := range results {
+		resp.Regions[i] = RegionJSON{
+			Box:       boxJSON(regions[i]),
+			Class:     res.Pred.Class.String(),
+			ClassID:   int(res.Pred.Class),
+			View:      res.Pred.Index,
+			Score:     res.Pred.Score,
+			Batched:   res.Batched,
+			LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -420,6 +420,7 @@ type GalleryInfo struct {
 	Name        string         `json:"name"`
 	Views       int            `json:"views"`
 	Shards      int            `json:"shards"`
+	Index       string         `json:"index"`       // matching backend spec, e.g. "exact" or "mih(bits=16,radius=1)"
 	Descriptors map[string]int `json:"descriptors"` // prepared kinds -> indexed descriptor rows
 }
 
@@ -437,7 +438,7 @@ func (s *Server) handleGalleries(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		info := GalleryInfo{Name: n, Views: sg.G.Len(), Shards: sg.Shards, Descriptors: map[string]int{}}
+		info := GalleryInfo{Name: n, Views: sg.G.Len(), Shards: sg.Shards, Index: sg.G.IndexSpec().String(), Descriptors: map[string]int{}}
 		// Enumerate the kinds the gallery actually has indexes for rather
 		// than a hardcoded family list, so the listing stays truthful if
 		// the set of kinds ever diverges from the built-in three (e.g. a
@@ -469,6 +470,7 @@ type HealthGallery struct {
 	Name        string          `json:"name"`
 	Views       int             `json:"views"`
 	Shards      int             `json:"shards"`
+	Index       string          `json:"index"` // matching backend spec
 	Descriptors []string        `json:"descriptors,omitempty"`
 	Snapshot    *HealthSnapshot `json:"snapshot,omitempty"`
 }
@@ -489,7 +491,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			continue
 		}
-		info := HealthGallery{Name: n, Views: sg.G.Len(), Shards: sg.Shards}
+		info := HealthGallery{Name: n, Views: sg.G.Len(), Shards: sg.Shards, Index: sg.G.IndexSpec().String()}
 		for _, k := range sg.G.IndexedKinds() {
 			info.Descriptors = append(info.Descriptors, k.String())
 		}
