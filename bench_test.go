@@ -24,6 +24,7 @@ import (
 	"snmatch/internal/histogram"
 	"snmatch/internal/moments"
 	"snmatch/internal/nn"
+	"snmatch/internal/obs"
 	"snmatch/internal/pipeline"
 	"snmatch/internal/rng"
 	"snmatch/internal/serve"
@@ -334,6 +335,41 @@ func BenchmarkQueryExtract(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				pipeline.ExtractDescriptorsCtx(img, kind, params, ctx)
 				ctx.Reset()
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the instrumentation tax on the warm
+// single-query classify path: the identical workload with the pipeline
+// metrics disabled (every record site is one atomic pointer load and a
+// branch) vs enabled (stage trace, ANN scan histograms, context-pool
+// counters). Both runs stay at 0 allocs/op; the ns/op delta is the
+// overhead budget the observability work is held to (≤ 2%).
+func BenchmarkObsOverhead(b *testing.B) {
+	s := getBenchSuite(b)
+	img := s.SNS2.Samples[0].Image
+	p := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	p.Prepare(s.GallerySNS1, 1)
+	for _, on := range []bool{false, true} {
+		name := "obs=off"
+		if on {
+			name = "obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			if on {
+				pipeline.EnableObs(obs.NewRegistry())
+				defer pipeline.DisableObs()
+			} else {
+				pipeline.DisableObs()
+			}
+			for i := 0; i < 3; i++ { // warm the context pool
+				p.Classify(img, s.GallerySNS1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Classify(img, s.GallerySNS1)
 			}
 		})
 	}

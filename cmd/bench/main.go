@@ -53,11 +53,11 @@ type Report struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bench: ")
-	benchRe := flag.String("bench", "BenchmarkRunParallelDescriptor|BenchmarkGoodMatchCount|BenchmarkRunParallel$|BenchmarkServeThroughput|BenchmarkServeBatcher|BenchmarkSnapshot$|BenchmarkSnapshotMap|BenchmarkQueryExtract|BenchmarkDetectScene|BenchmarkSceneRobustness|BenchmarkANNRecall",
+	benchRe := flag.String("bench", "BenchmarkRunParallelDescriptor|BenchmarkGoodMatchCount|BenchmarkRunParallel$|BenchmarkServeThroughput|BenchmarkServeBatcher|BenchmarkSnapshot$|BenchmarkSnapshotMap|BenchmarkQueryExtract|BenchmarkDetectScene|BenchmarkSceneRobustness|BenchmarkANNRecall|BenchmarkObsOverhead",
 		"benchmark regex passed to go test -bench")
 	benchTime := flag.String("benchtime", "3x", "go test -benchtime value")
 	count := flag.Int("count", 3, "go test -count repetitions (averaged)")
-	outPath := flag.String("out", "BENCH_7.json", "output JSON path")
+	outPath := flag.String("out", "BENCH_8.json", "output JSON path")
 	pkg := flag.String("pkg", ".", "package to benchmark")
 	note := flag.String("note", "", "free-form note recorded in the report")
 	comparePath := flag.String("compare", "", "prior BENCH_<n>.json to diff the new numbers against")

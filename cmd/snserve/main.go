@@ -7,14 +7,24 @@
 //	snserve -snapshot sns1.snap [-snapshot more.snap] [-addr :8080] [-shards 4]
 //	snserve -snapshot sns1.snap -mmap                             # zero-copy map the (v2) snapshot instead of decoding it
 //	snserve -build sns1 [-size 64] [-descriptors sift,surf,orb]   # no snapshot: render + extract at boot
-//	snserve -snapshot sns1.snap -pprof 6060                       # profiling on 127.0.0.1:6060/debug/pprof/
+//	snserve -snapshot sns1.snap -admin 6060                       # admin mux on 127.0.0.1:6060 (/metrics, /statz, /debug/pprof/)
+//	snserve -snapshot sns1.snap -slowlog-ms 250                   # JSON slow-query log for requests >= 250ms
 //
-// Endpoints:
+// Port layout: the serving address (-addr, default :8080) carries the
+// public endpoints, including /metrics and /statz so scrapers reach the
+// daemon without extra wiring. The optional admin port (-admin, always
+// bound to 127.0.0.1) carries the same /metrics and /statz plus the
+// net/http/pprof profiling handlers — profiling never rides the public
+// listener. -pprof PORT remains as a deprecated alias for -admin PORT.
+//
+// Endpoints (serving mux):
 //
 //	POST /classify?gallery=NAME&pipeline=P   raw PNG body, or JSON {"images": [base64 PNG, ...]}
 //	POST /detect?gallery=NAME&pipeline=P     raw PNG scene body -> per-region classifications
 //	GET  /galleries                          registered galleries and their prepared indexes
 //	GET  /healthz                            liveness + admission stats
+//	GET  /metrics                            Prometheus text metrics
+//	GET  /statz                              the same metrics as JSON (count/mean/p50/p90/p99)
 //
 // SIGINT/SIGTERM drain in-flight requests and exit cleanly.
 package main
@@ -34,6 +44,7 @@ import (
 	"time"
 
 	"snmatch/internal/cliutil"
+	"snmatch/internal/obs"
 	"snmatch/internal/pipeline"
 	"snmatch/internal/serve"
 	"snmatch/internal/serve/snapshot"
@@ -64,7 +75,9 @@ func main() {
 	maxInFlight := fs.Int("max-inflight", 256, "admission bound on concurrent /classify requests")
 	ratio := fs.Float64("ratio", 0.5, "descriptor ratio-test threshold")
 	maxRegions := fs.Int("max-regions", 32, "region proposals classified per /detect scene")
-	pprofPort := fs.Int("pprof", 0, "serve net/http/pprof on 127.0.0.1:PORT (0 disables)")
+	adminPort := fs.Int("admin", 0, "serve the admin mux (/metrics, /statz, /debug/pprof/) on 127.0.0.1:PORT (0 disables)")
+	pprofPort := fs.Int("pprof", 0, "deprecated alias for -admin")
+	slowlogMS := fs.Int("slowlog-ms", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
 	workers := cliutil.Workers(fs)
 	idxFlags := cliutil.RegisterIndexFlags(fs)
 	flag.Parse()
@@ -131,18 +144,27 @@ func main() {
 		MaxInFlight: *maxInFlight,
 		Ratio:       *ratio,
 		MaxRegions:  *maxRegions,
+		SlowLog:     time.Duration(*slowlogMS) * time.Millisecond,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
-	if *pprofPort > 0 {
-		// Profiling stays loopback-only and off the serving mux: the
-		// pprof handlers register on http.DefaultServeMux, which only
-		// this listener exposes.
-		pprofAddr := fmt.Sprintf("127.0.0.1:%d", *pprofPort)
+	if *adminPort == 0 {
+		*adminPort = *pprofPort // deprecated alias
+	}
+	if *adminPort > 0 {
+		// The admin mux stays loopback-only and off the serving listener:
+		// metrics and statz for local inspection, plus the pprof handlers
+		// (registered on http.DefaultServeMux by the blank import), which
+		// only this listener exposes.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", obs.PromHandler(obs.Default))
+		mux.HandleFunc("/statz", obs.StatzHandler(obs.Default))
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		adminAddr := fmt.Sprintf("127.0.0.1:%d", *adminPort)
 		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", pprofAddr)
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				log.Printf("pprof: %v", err)
+			log.Printf("admin mux listening on http://%s (/metrics, /statz, /debug/pprof/)", adminAddr)
+			if err := http.ListenAndServe(adminAddr, mux); err != nil {
+				log.Printf("admin: %v", err)
 			}
 		}()
 	}

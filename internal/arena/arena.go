@@ -22,8 +22,21 @@ package arena
 import (
 	"math/bits"
 	"reflect"
+	"sync/atomic"
 	"unsafe"
 )
+
+// totalAllocated counts every byte of fresh buffer capacity any arena
+// in the process has ever drawn from the heap. It only moves on the
+// cold path (a loan no free buffer could satisfy), so the atomic add
+// costs nothing at steady state — a warm arena never touches it.
+var totalAllocated atomic.Int64
+
+// TotalAllocated returns the process-lifetime bytes of arena buffer
+// capacity allocated from the heap — the observability feed for the
+// arena footprint metric (a counter: arenas never shrink, and pooled
+// contexts dropped for GC are not subtracted).
+func TotalAllocated() int64 { return totalAllocated.Load() }
 
 // recycler is the type-erased view of a typed pool that Reset iterates.
 type recycler interface{ recycle() }
@@ -115,7 +128,9 @@ func (p *pool[T]) loan(n int, footprint *int) []T {
 		}
 	}
 	buf := make([]T, 1<<k)
-	*footprint += (1 << k) * int(unsafe.Sizeof(*new(T)))
+	sz := (1 << k) * int(unsafe.Sizeof(*new(T)))
+	*footprint += sz
+	totalAllocated.Add(int64(sz))
 	p.loaned = append(p.loaned, buf)
 	return buf
 }

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE headers, one
+// sample line per cell, histograms as cumulative _bucket/_sum/_count
+// series with le bounds in exported units.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.families() {
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.kind + "\n")
+		switch f.kind {
+		case kindCounter:
+			if f.fn != nil {
+				writeSample(bw, f.name, "", "", "", float64(f.fn()))
+				break
+			}
+			for i, c := range f.counters {
+				writeSample(bw, f.name, "", f.label, labelValue(f, i), float64(c.Value()))
+			}
+		case kindGauge:
+			if f.fn != nil {
+				writeSample(bw, f.name, "", "", "", float64(f.fn()))
+				break
+			}
+			for i, g := range f.gauges {
+				writeSample(bw, f.name, "", f.label, labelValue(f, i), float64(g.Value()))
+			}
+		case kindHistogram:
+			for i, h := range f.hists {
+				writeHistogram(bw, f.name, f.label, labelValue(f, i), h.Snapshot())
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// labelValue returns cell i's label value ("" for unlabelled
+// single-cell families).
+func labelValue(f *family, i int) string {
+	if f.label == "" {
+		return ""
+	}
+	return f.values[i]
+}
+
+// writeSample emits one `name{label="value"} v` line; an empty label
+// emits bare `name v`.
+func writeSample(bw *bufio.Writer, name, suffix, label, value string, v float64) {
+	bw.WriteString(name + suffix)
+	if label != "" {
+		bw.WriteString("{" + label + "=\"" + value + "\"}")
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// writeHistogram emits the cumulative bucket series plus _sum and
+// _count, folding the family label (when present) in front of le.
+func writeHistogram(bw *bufio.Writer, name, label, value string, s HistSnapshot) {
+	prefix := "{"
+	if label != "" {
+		prefix = "{" + label + "=\"" + value + "\","
+	}
+	cum := int64(0)
+	for k := 0; k < NumBuckets; k++ {
+		cum += s.Buckets[k]
+		if k < NumBuckets-1 && s.Buckets[k] == 0 && !bucketIsEdge(s, k) {
+			continue // sparse output: only populated buckets and the edges around them
+		}
+		le := "+Inf"
+		if b := BucketBound(k); !math.IsInf(b, 1) {
+			le = formatFloat(b * s.Scale)
+		}
+		bw.WriteString(name + "_bucket" + prefix + "le=\"" + le + "\"} ")
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	writeSample(bw, name, "_sum", label, value, float64(s.Sum)*s.Scale)
+	bw.WriteString(name + "_count")
+	if label != "" {
+		bw.WriteString("{" + label + "=\"" + value + "\"}")
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(s.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// bucketIsEdge reports whether bucket k borders a populated bucket —
+// kept in the sparse rendering so cumulative series stay
+// interpolatable at the occupied buckets' boundaries.
+func bucketIsEdge(s HistSnapshot, k int) bool {
+	if k > 0 && s.Buckets[k-1] != 0 {
+		return true
+	}
+	return k+1 < NumBuckets && s.Buckets[k+1] != 0
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// StatzHistogram is one histogram's /statz rendering: count, mean and
+// quantile estimates in exported units.
+type StatzHistogram struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Statz is the /statz JSON document: every registered metric keyed by
+// its sample name (`name` or `name{label="value"}`).
+type Statz struct {
+	Counters   map[string]int64          `json:"counters"`
+	Gauges     map[string]int64          `json:"gauges"`
+	Histograms map[string]StatzHistogram `json:"histograms"`
+}
+
+// Snapshot collects the registry's current state as a Statz document.
+func (r *Registry) Snapshot() Statz {
+	st := Statz{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]StatzHistogram{},
+	}
+	for _, f := range r.families() {
+		switch f.kind {
+		case kindCounter:
+			if f.fn != nil {
+				st.Counters[f.name] = f.fn()
+				break
+			}
+			for i, c := range f.counters {
+				st.Counters[sampleKey(f, i)] = c.Value()
+			}
+		case kindGauge:
+			if f.fn != nil {
+				st.Gauges[f.name] = f.fn()
+				break
+			}
+			for i, g := range f.gauges {
+				st.Gauges[sampleKey(f, i)] = g.Value()
+			}
+		case kindHistogram:
+			for i, h := range f.hists {
+				s := h.Snapshot()
+				st.Histograms[sampleKey(f, i)] = StatzHistogram{
+					Count: s.Count,
+					Mean:  s.Mean(),
+					P50:   s.Quantile(0.50),
+					P90:   s.Quantile(0.90),
+					P99:   s.Quantile(0.99),
+				}
+			}
+		}
+	}
+	return st
+}
+
+func sampleKey(f *family, i int) string {
+	if f.label == "" {
+		return f.name
+	}
+	return f.name + "{" + f.label + "=\"" + f.values[i] + "\"}"
+}
+
+// WriteStatz renders the registry as indented JSON (map keys sort, so
+// the output is diff-stable).
+func (r *Registry) WriteStatz(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// PromHandler returns an http.HandlerFunc serving the registry in
+// Prometheus text format — mounted as /metrics by snserve's main and
+// admin muxes.
+func PromHandler(r *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	}
+}
+
+// StatzHandler returns an http.HandlerFunc serving the registry's JSON
+// twin — mounted as /statz.
+func StatzHandler(r *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteStatz(w)
+	}
+}
+
+// SortedSampleKeys returns every sample key of the registry, sorted —
+// a test helper for asserting a scrape's coverage.
+func (r *Registry) SortedSampleKeys() []string {
+	st := r.Snapshot()
+	keys := make([]string, 0, len(st.Counters)+len(st.Gauges)+len(st.Histograms))
+	for k := range st.Counters {
+		keys = append(keys, k)
+	}
+	for k := range st.Gauges {
+		keys = append(keys, k)
+	}
+	for k := range st.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Bucket k
+// (k < NumBuckets-1) counts observations v with 2^(k-1) < v <= 2^k in
+// the histogram's recorded integer unit (bucket 0 holds v <= 1); the
+// last bucket is the +Inf overflow. Log-2 bucketing over 40 buckets
+// spans 1ns..~4.6 minutes for nanosecond recordings and 1..~2.7e11 for
+// dimensionless counts — wide enough that the overflow bucket is never
+// hit by a healthy serving process, narrow enough that the whole
+// histogram is one cache line shy of 4 atomic words per record.
+const NumBuckets = 40
+
+// Scale constants for Registry.Histogram: the multiplier applied to
+// recorded integer values at export time.
+const (
+	// ScaleNone exports the recorded integers as-is (sizes, counts).
+	ScaleNone = 1.0
+	// ScaleNanos converts nanosecond recordings to exported seconds —
+	// the Prometheus base unit for time.
+	ScaleNanos = 1e-9
+)
+
+// Histogram is a fixed-array, log-2-bucketed histogram: Observe is
+// three atomic adds on preallocated storage (bucket, count, sum) —
+// lock-free, allocation-free, safe for any number of concurrent
+// recorders. Reads take a point-in-time Snapshot; a snapshot taken
+// concurrently with records may tear between buckets by a few in-flight
+// observations, which Prometheus's monotone cumulative semantics
+// tolerate. A nil *Histogram records nothing.
+type Histogram struct {
+	scale   float64
+	buckets [NumBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func newHistogram(scale float64) *Histogram {
+	if scale <= 0 {
+		scale = ScaleNone
+	}
+	return &Histogram{scale: scale}
+}
+
+// bucketOf maps a recorded value to its bucket: the smallest k with
+// v <= 2^k, clamped to the +Inf bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	k := bits.Len64(uint64(v - 1)) // ceil(log2 v)
+	if k >= NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return k
+}
+
+// BucketBound returns bucket k's inclusive upper bound in recorded
+// units (math.Inf for the last bucket).
+func BucketBound(k int) float64 {
+	if k >= NumBuckets-1 {
+		return math.Inf(1)
+	}
+	return float64(int64(1) << uint(k))
+}
+
+// Observe records one value (values below zero clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration given in nanoseconds — an alias
+// of Observe that documents the unit at call sites.
+func (h *Histogram) ObserveDuration(ns int64) { h.Observe(ns) }
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistSnapshot is a point-in-time copy of a histogram's state, in
+// recorded (unscaled) integer units. The zero value is an empty
+// snapshot, ready to Merge into.
+type HistSnapshot struct {
+	Scale   float64
+	Buckets [NumBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		s.Scale = ScaleNone
+		return s
+	}
+	s.Scale = h.scale
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Merge folds another snapshot into s (bucket-wise addition). Both
+// snapshots must carry the same scale; merging histograms of different
+// units is a wiring bug and panics.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if s.Count == 0 && s.Scale == 0 {
+		s.Scale = o.Scale // zero-value accumulator adopts the first unit
+	}
+	if s.Scale != o.Scale {
+		panic("obs: merging histogram snapshots with different scales")
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in exported
+// (scaled) units by linear interpolation within the covering bucket —
+// the usual log-bucket estimate: exact to within one bucket's width
+// (a factor of two in the raw unit). Returns 0 for an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := int64(0)
+	for k := 0; k < NumBuckets; k++ {
+		if s.Buckets[k] == 0 {
+			continue
+		}
+		prev := cum
+		cum += s.Buckets[k]
+		if float64(cum) < rank {
+			continue
+		}
+		lo, hi := 0.0, BucketBound(k)
+		if k > 0 {
+			lo = BucketBound(k - 1)
+		}
+		if math.IsInf(hi, 1) {
+			// The overflow bucket has no upper edge; report its floor.
+			return lo * s.Scale
+		}
+		frac := 0.0
+		if s.Buckets[k] > 0 {
+			frac = (rank - float64(prev)) / float64(s.Buckets[k])
+		}
+		return (lo + (hi-lo)*frac) * s.Scale
+	}
+	return 0
+}
+
+// Mean returns the average observed value in exported units (0 when
+// empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count) * s.Scale
+}

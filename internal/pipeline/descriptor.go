@@ -7,11 +7,17 @@ import (
 	"snmatch/internal/features"
 	"snmatch/internal/features/match"
 	"snmatch/internal/imaging"
+	"snmatch/internal/obs"
 )
 
 // QueryStats carries per-query serving timings alongside a Prediction.
+// Match and Verify are populated only while pipeline instrumentation is
+// on (EnableObs); on a sharded gallery they are CPU time summed across
+// the shard workers, not wall time.
 type QueryStats struct {
 	Extract time.Duration // descriptor extraction (PNG-decoded image -> packed query set)
+	Match   time.Duration // index scan / approximate probe
+	Verify  time.Duration // approximate backends' exact shortlist re-scoring
 }
 
 // StatsClassifier is implemented by pipelines that can report per-query
@@ -58,7 +64,14 @@ func (p *Descriptor) Name() string { return p.Kind.String() }
 // when the pool is empty.
 func (p *Descriptor) getCtx() *ExtractCtx {
 	if c, ok := p.ctxs.Get().(*ExtractCtx); ok {
+		if pm := obsMetrics(); pm != nil {
+			pm.ctxHits.Inc()
+			pm.ctxPooled.Add(-int64(c.arena.Footprint()))
+		}
 		return c
+	}
+	if pm := obsMetrics(); pm != nil {
+		pm.ctxMisses.Inc()
 	}
 	return NewExtractCtx()
 }
@@ -79,8 +92,17 @@ const maxPooledCtxBytes = 128 << 20
 // last extraction returned — is invalid afterwards.
 func (p *Descriptor) putCtx(c *ExtractCtx) {
 	c.Reset()
+	pm := obsMetrics()
 	if c.arena.Footprint() > maxPooledCtxBytes {
+		if pm != nil {
+			pm.ctxDrops.Inc()
+		}
 		return
+	}
+	if pm != nil {
+		// Approximate by design: GC drains the pool without notice, so
+		// the gauge can read high until the next checkout cycle.
+		pm.ctxPooled.Add(int64(c.arena.Footprint()))
 	}
 	p.ctxs.Put(c)
 }
@@ -90,12 +112,24 @@ func (p *Descriptor) putCtx(c *ExtractCtx) {
 // pair, recycle — shared by the flat (Descriptor.ClassifyStats) and
 // sharded (ShardedGallery.ClassifyStats) serving paths so the checkout
 // discipline cannot drift between them.
+// The stage trace rides the pooled context (never a fresh heap object):
+// with instrumentation on, extraction and the scan's match/verify split
+// land in ctx.Trace and surface through QueryStats; with it off the
+// backends get a nil trace and skip their clocks entirely.
 func (p *Descriptor) classifyOn(img *imaging.Image, g *Gallery, ix *DescriptorIndex, mc matchCounter) (Prediction, QueryStats) {
 	ctx := p.getCtx()
+	var tr *obs.Trace
+	if obsMetrics() != nil {
+		tr = &ctx.Trace
+		tr.Reset()
+	}
 	start := time.Now()
 	q := ExtractDescriptorsCtx(img, p.Kind, p.Params, ctx)
 	stats := QueryStats{Extract: time.Since(start)}
-	pred := classifyCounts(g, ix, mc, q, p.Ratio)
+	tr.Set(obs.StageExtract, stats.Extract)
+	pred := classifyCounts(g, ix, mc, q, p.Ratio, tr)
+	stats.Match = tr.Get(obs.StageMatch)
+	stats.Verify = tr.Get(obs.StageVerify)
 	p.putCtx(ctx)
 	return pred, stats
 }
@@ -127,16 +161,17 @@ func (p *Descriptor) ClassifyStats(img *imaging.Image, g *Gallery) (Prediction, 
 // classifyCounts stay closure-free on the zero-allocation query path.
 type matchCounter interface {
 	GoodMatchCounts(query *features.Set, ratio float64, counts []int32)
+	GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace)
 }
 
 // classifyCounts runs one good-match-count fill over pooled scratch and
 // selects the winning view — the shared tail of flat and sharded
 // descriptor classification, kept in one place so the first-best
 // tie-break and Score semantics cannot drift between the two paths.
-func classifyCounts(g *Gallery, ix *DescriptorIndex, mc matchCounter, q *features.Set, ratio float64) Prediction {
+func classifyCounts(g *Gallery, ix *DescriptorIndex, mc matchCounter, q *features.Set, ratio float64, tr *obs.Trace) Prediction {
 	countsPtr := ix.getCounts()
 	counts := *countsPtr
-	mc.GoodMatchCounts(q, ratio, counts)
+	mc.GoodMatchCountsTraced(q, ratio, counts, tr)
 	best := Prediction{Index: -1, Score: -1}
 	for i := range counts {
 		if score := float64(counts[i]); score > best.Score {

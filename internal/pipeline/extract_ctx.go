@@ -7,6 +7,7 @@ import (
 	"snmatch/internal/features/sift"
 	"snmatch/internal/features/surf"
 	"snmatch/internal/imaging"
+	"snmatch/internal/obs"
 )
 
 // ExtractCtx is a per-worker extraction context: one arena shared by
@@ -28,6 +29,12 @@ type ExtractCtx struct {
 	sift  sift.Scratch
 	surf  surf.Scratch
 	orb   orb.Scratch
+
+	// Trace is the per-request stage timer: because it lives inside the
+	// pooled context, passing &ctx.Trace through the matching interfaces
+	// costs no heap allocation on the warm query path (a stack-local
+	// trace would escape per call).
+	Trace obs.Trace
 }
 
 // NewExtractCtx returns an empty context; its buffers are grown by the

@@ -10,6 +10,7 @@ import (
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
 	"snmatch/internal/moments"
+	"snmatch/internal/obs"
 	"snmatch/internal/rng"
 )
 
@@ -147,17 +148,54 @@ func TestQueryPathAllocs(t *testing.T) {
 
 	// The full single-query serve path — pooled extraction plus the
 	// flat-index scan and argmax — is allocation-free too once the
-	// pipeline's context pool is warm.
-	t.Run("classify", func(t *testing.T) {
+	// pipeline's context pool is warm. The obs=on run repeats it with
+	// live instrumentation (stage trace, counters, histograms): the
+	// record path is pure atomic arithmetic, so the gate holds with
+	// metrics enabled — the invariant the CI obs alloc-gate step pins.
+	for _, on := range []bool{false, true} {
+		name := "classify/obs=off"
+		if on {
+			name = "classify/obs=on"
+		}
+		t.Run(name, func(t *testing.T) {
+			if on {
+				EnableObs(obs.NewRegistry())
+				defer DisableObs()
+			} else {
+				DisableObs()
+			}
+			p := NewDescriptor(ORB, 0.5)
+			p.Prepare(gallery1, 1)
+			for i := 0; i < 3; i++ {
+				p.Classify(img, gallery1)
+			}
+			if n := testing.AllocsPerRun(20, func() {
+				p.Classify(img, gallery1)
+			}); n != 0 {
+				t.Errorf("warm Classify allocates %.1f times per query, want 0", n)
+			}
+		})
+	}
+
+	// The traced approximate path — MIH probe, shortlist bookkeeping,
+	// exact verification, all with instrumentation on — must hold the
+	// gate too.
+	t.Run("classify/obs=on/mih", func(t *testing.T) {
+		EnableObs(obs.NewRegistry())
+		defer DisableObs()
+		g := NewGallery(&dataset.Set{Name: "mih-alloc", Samples: sns1.Samples[:12]})
+		if err := g.SetIndexSpec(IndexSpec{Kind: MIHKind}); err != nil {
+			t.Fatal(err)
+		}
 		p := NewDescriptor(ORB, 0.5)
-		p.Prepare(gallery1, 1)
+		p.Prepare(g, 1)
 		for i := 0; i < 3; i++ {
-			p.Classify(img, gallery1)
+			p.Classify(img, g)
 		}
 		if n := testing.AllocsPerRun(20, func() {
-			p.Classify(img, gallery1)
+			p.Classify(img, g)
 		}); n != 0 {
-			t.Errorf("warm Classify allocates %.1f times per query, want 0", n)
+			t.Errorf("warm traced MIH Classify allocates %.1f times per query, want 0", n)
 		}
 	})
 

@@ -3,8 +3,10 @@ package pipeline
 import (
 	"math"
 	"sync"
+	"time"
 
 	"snmatch/internal/features"
+	"snmatch/internal/obs"
 )
 
 // DescriptorIndex is a gallery-level flat index for §3.3 descriptor
@@ -295,6 +297,23 @@ func (ix *DescriptorIndex) GoodMatchCountsRange(query *features.Set, ratio float
 	} else {
 		ix.floatCounts(qp, ratio, counts, v0, v1)
 	}
+}
+
+// GoodMatchCountsTraced implements MatchIndex: the exact scan has no
+// probe/verify split, so the whole scan books as match time.
+func (ix *DescriptorIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
+	ix.GoodMatchCountsRangeTraced(query, ratio, counts, 0, ix.NumViews, tr)
+}
+
+// GoodMatchCountsRangeTraced implements MatchIndex.
+func (ix *DescriptorIndex) GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace) {
+	if tr == nil {
+		ix.GoodMatchCountsRange(query, ratio, counts, v0, v1)
+		return
+	}
+	start := time.Now()
+	ix.GoodMatchCountsRange(query, ratio, counts, v0, v1)
+	tr.Add(obs.StageMatch, time.Since(start))
 }
 
 func (ix *DescriptorIndex) floatCounts(qp *features.Packed, ratio float64, counts []int32, v0, v1 int) {

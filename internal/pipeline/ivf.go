@@ -4,8 +4,10 @@ import (
 	"math"
 	mbits "math/bits"
 	"sync"
+	"time"
 
 	"snmatch/internal/features"
+	"snmatch/internal/obs"
 	"snmatch/internal/parallel"
 	"snmatch/internal/rng"
 )
@@ -26,7 +28,6 @@ const ivfMaxTrain = 4096
 // ≥ 0.99 against the flat scan; 0.5 takes the middle of that plateau
 // and drops roughly half of the undiscounted rule's verification cost.
 const ivfHorizonScale = 0.5
-
 
 // IVFIndex is inverted-file coarse quantization over the flat index's
 // rows (the FAISS IVF-flat layout, adapted to the per-view ratio
@@ -423,15 +424,28 @@ func (sc *ivfScratch) next() {
 
 // GoodMatchCounts implements MatchIndex.
 func (iv *IVFIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
-	iv.GoodMatchCountsRange(query, ratio, counts, 0, iv.ix.NumViews)
+	iv.GoodMatchCountsRangeTraced(query, ratio, counts, 0, iv.ix.NumViews, nil)
 }
 
 // GoodMatchCountsRange implements MatchIndex: the flat scan's contract
 // over the nprobe nearest lists. Views outside [v0, v1) are untouched,
 // so sharded fan-out composes exactly as with the flat index.
 func (iv *IVFIndex) GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int) {
+	iv.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, nil)
+}
+
+// GoodMatchCountsTraced implements MatchIndex.
+func (iv *IVFIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
+	iv.GoodMatchCountsRangeTraced(query, ratio, counts, 0, iv.ix.NumViews, tr)
+}
+
+// GoodMatchCountsRangeTraced implements MatchIndex: the coarse probe
+// and list scans book as match time, the exact shortlist re-scoring as
+// verify time; the shortlist/probe histograms record just before
+// verification.
+func (iv *IVFIndex) GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace) {
 	if iv.full {
-		iv.ix.GoodMatchCountsRange(query, ratio, counts, v0, v1)
+		iv.ix.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, tr)
 		return
 	}
 	for i := v0; i < v1; i++ {
@@ -444,6 +458,11 @@ func (iv *IVFIndex) GoodMatchCountsRange(query *features.Set, ratio float64, cou
 		panic("match: mixed descriptor representations")
 	}
 	qp := query.Pack().Packed
+	pm := obsMetrics()
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
+	}
 	if iv.ix.Binary {
 		if qp.WordsPerRow != iv.ix.WordsPerRow {
 			panic("pipeline: query descriptor width does not match index")
@@ -455,7 +474,16 @@ func (iv *IVFIndex) GoodMatchCountsRange(query *features.Set, ratio float64, cou
 		}
 		iv.scanFloat(qp, ratio, counts, v0, v1)
 	}
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageMatch, now.Sub(start))
+		start = now
+	}
+	pm.recordScan(IVFKind, counts, v0, v1, qp.N*iv.params.NProbe)
 	verifyShortlist(iv.ix, query, ratio, counts, v0, v1)
+	if tr != nil {
+		tr.Add(obs.StageVerify, time.Since(start))
+	}
 }
 
 // scanFloat is the approximate probe over float rows: L2 centroid

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"snmatch/internal/features"
+	"snmatch/internal/obs"
 )
 
 // MatchIndex is the matching engine behind descriptor classification:
@@ -29,6 +30,16 @@ type MatchIndex interface {
 	IndexKind() IndexKind
 	GoodMatchCounts(query *features.Set, ratio float64, counts []int32)
 	GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int)
+	// GoodMatchCountsTraced and GoodMatchCountsRangeTraced are the
+	// instrumented variants: identical counts, but the backend splits
+	// its elapsed time into tr's match (probe/scan) and verify (exact
+	// re-scoring) stages and feeds the aggregate ANN histograms. A nil
+	// trace records stage times nowhere; the untraced methods are
+	// exactly the nil-trace calls. tr accumulates with atomic adds, so
+	// the sharded fan-out's concurrent workers share one trace — its
+	// match/verify stages then read as CPU time, not wall time.
+	GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace)
+	GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace)
 }
 
 // IndexKind enumerates the matching index backends.

@@ -3,8 +3,10 @@ package pipeline
 import (
 	"math"
 	"sync"
+	"time"
 
 	"snmatch/internal/features"
+	"snmatch/internal/obs"
 )
 
 // MIHIndex is multi-index hashing over the flat index's word-packed
@@ -194,15 +196,42 @@ func clearInt32(s []int32) {
 
 // GoodMatchCounts implements MatchIndex.
 func (mi *MIHIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
-	mi.GoodMatchCountsRange(query, ratio, counts, 0, mi.ix.NumViews)
+	mi.GoodMatchCountsRangeTraced(query, ratio, counts, 0, mi.ix.NumViews, nil)
 }
 
 // GoodMatchCountsRange implements MatchIndex: the flat scan's contract
 // over the probed candidate sets. Views outside [v0, v1) are untouched,
 // so sharded fan-out composes exactly as with the flat index.
 func (mi *MIHIndex) GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int) {
+	mi.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, nil)
+}
+
+// GoodMatchCountsTraced implements MatchIndex.
+func (mi *MIHIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
+	mi.GoodMatchCountsRangeTraced(query, ratio, counts, 0, mi.ix.NumViews, tr)
+}
+
+// probesPerQueryDescr is the number of bucket visits one query
+// descriptor makes: every substring probes its own key plus all keys
+// within the Hamming radius.
+func (mi *MIHIndex) probesPerQueryDescr() int {
+	per := 1
+	b := int(mi.bits)
+	if mi.params.Radius >= 1 {
+		per += b
+	}
+	if mi.params.Radius >= 2 {
+		per += b * (b - 1) / 2
+	}
+	return mi.m * per
+}
+
+// GoodMatchCountsRangeTraced implements MatchIndex: the probe phase
+// books as match time and the exact shortlist re-scoring as verify
+// time; the shortlist/probe histograms record just before verification.
+func (mi *MIHIndex) GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace) {
 	if mi.full {
-		mi.ix.GoodMatchCountsRange(query, ratio, counts, v0, v1)
+		mi.ix.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, tr)
 		return
 	}
 	for i := v0; i < v1; i++ {
@@ -217,6 +246,12 @@ func (mi *MIHIndex) GoodMatchCountsRange(query *features.Set, ratio float64, cou
 	qp := query.Pack().Packed
 	if qp.WordsPerRow != mi.ix.WordsPerRow {
 		panic("pipeline: query descriptor width does not match index")
+	}
+
+	pm := obsMetrics()
+	var start time.Time
+	if tr != nil {
+		start = time.Now()
 	}
 
 	radius := mi.params.Radius
@@ -252,7 +287,16 @@ func (mi *MIHIndex) GoodMatchCountsRange(query *features.Set, ratio float64, cou
 		}
 	}
 	mi.scratch.Put(sc)
+	if tr != nil {
+		now := time.Now()
+		tr.Add(obs.StageMatch, now.Sub(start))
+		start = now
+	}
+	pm.recordScan(MIHKind, counts, v0, v1, qp.N*mi.probesPerQueryDescr())
 	verifyShortlist(mi.ix, query, ratio, counts, v0, v1)
+	if tr != nil {
+		tr.Add(obs.StageVerify, time.Since(start))
+	}
 }
 
 // probe folds one bucket's rows into the query's per-view running

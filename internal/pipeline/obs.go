@@ -1,0 +1,90 @@
+package pipeline
+
+import (
+	"sync/atomic"
+
+	"snmatch/internal/arena"
+	"snmatch/internal/obs"
+)
+
+// pipeMetrics is the pipeline's aggregate instrumentation: per-backend
+// ANN scan statistics and the extraction-context pool's health. All
+// cells are pre-resolved at EnableObs so the record path is pure atomic
+// arithmetic. Backend arrays index by IndexKind.
+type pipeMetrics struct {
+	shortlist [3]*obs.Histogram // views shortlisted per scan call
+	verifyPct [3]*obs.Histogram // percent of the scanned view range verified
+	probes    [3]*obs.Histogram // buckets (mih) / lists (ivf) probed per scan call
+
+	ctxHits   *obs.Counter
+	ctxMisses *obs.Counter
+	ctxDrops  *obs.Counter
+	ctxPooled *obs.Gauge
+}
+
+// pmx holds the active pipeline metrics; nil means instrumentation is
+// off and every record site short-circuits on one atomic pointer load —
+// the no-op baseline BenchmarkObsOverhead compares against.
+var pmx atomic.Pointer[pipeMetrics]
+
+func obsMetrics() *pipeMetrics { return pmx.Load() }
+
+// EnableObs wires the pipeline's aggregate metrics into r and turns
+// per-request stage tracing on. Registration is get-or-create, so
+// repeated calls (every serve.New in a test binary) share cells.
+func EnableObs(r *obs.Registry) {
+	pm := &pipeMetrics{}
+	kinds := []string{ExactKind.String(), MIHKind.String(), IVFKind.String()}
+	sl := r.HistogramVec("snmatch_ann_shortlist_views",
+		"Views shortlisted by one index scan call for exact verification, by backend.",
+		obs.ScaleNone, "kind", kinds...)
+	vp := r.HistogramVec("snmatch_ann_verify_percent",
+		"Percent of the scanned view range the approximate backends re-scored exactly, by backend.",
+		obs.ScaleNone, "kind", kinds...)
+	pr := r.HistogramVec("snmatch_ann_probes",
+		"Hash buckets (mih) or inverted lists (ivf) probed by one index scan call, by backend.",
+		obs.ScaleNone, "kind", kinds...)
+	for k, name := range kinds {
+		pm.shortlist[k] = sl.With(name)
+		pm.verifyPct[k] = vp.With(name)
+		pm.probes[k] = pr.With(name)
+	}
+	pm.ctxHits = r.Counter("snmatch_ctx_pool_hits_total",
+		"Extraction-context checkouts served by the warm pool.")
+	pm.ctxMisses = r.Counter("snmatch_ctx_pool_misses_total",
+		"Extraction-context checkouts that built a fresh context.")
+	pm.ctxDrops = r.Counter("snmatch_ctx_pool_drops_total",
+		"Contexts dropped at recycle because an oversized query inflated them past the pool cap.")
+	pm.ctxPooled = r.Gauge("snmatch_ctx_pooled_bytes",
+		"Approximate arena bytes parked in the extraction-context pool (GC pool drains are not observed, so this can read high).")
+	r.CounterFunc("snmatch_arena_allocated_bytes_total",
+		"Process-lifetime arena buffer capacity allocated from the heap.",
+		arena.TotalAllocated)
+	pmx.Store(pm)
+}
+
+// DisableObs turns pipeline instrumentation off (registered metrics
+// keep their last values; nothing records into them).
+func DisableObs() { pmx.Store(nil) }
+
+// recordScan folds one index scan call's shortlist statistics into the
+// backend's histograms: the number of shortlisted (non-zero) views in
+// [v0, v1) just before exact verification, the fraction of the range
+// that represents, and how many buckets/lists the probe walked. The
+// count pass only runs when instrumentation is on.
+func (pm *pipeMetrics) recordScan(kind IndexKind, counts []int32, v0, v1, probes int) {
+	if pm == nil {
+		return
+	}
+	n := 0
+	for v := v0; v < v1; v++ {
+		if counts[v] != 0 {
+			n++
+		}
+	}
+	pm.shortlist[kind].Observe(int64(n))
+	if span := v1 - v0; span > 0 {
+		pm.verifyPct[kind].Observe(int64(n * 100 / span))
+	}
+	pm.probes[kind].Observe(int64(probes))
+}

@@ -5,6 +5,7 @@ import (
 
 	"snmatch/internal/features"
 	"snmatch/internal/imaging"
+	"snmatch/internal/obs"
 	"snmatch/internal/parallel"
 )
 
@@ -93,14 +94,22 @@ func (sx *ShardedIndex) Spans() []parallel.Span {
 // the worker pool (one worker per shard). counts must have NumViews
 // entries and is overwritten.
 func (sx *ShardedIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
+	sx.GoodMatchCountsTraced(query, ratio, counts, nil)
+}
+
+// GoodMatchCountsTraced is the traced fan-out: every shard worker adds
+// its own elapsed match/verify time into the shared trace (Trace adds
+// are atomic), so on a multi-shard scan those stages read as CPU time
+// summed across workers, not wall time.
+func (sx *ShardedIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
 	if len(sx.spans) <= 1 {
-		sx.mi.GoodMatchCounts(query, ratio, counts)
+		sx.mi.GoodMatchCountsTraced(query, ratio, counts, tr)
 		return
 	}
 	query.Pack() // build the packed mirror before the fan-out shares it
 	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) {
 		sp := sx.spans[s]
-		sx.mi.GoodMatchCountsRange(query, ratio, counts, sp.Start, sp.End)
+		sx.mi.GoodMatchCountsRangeTraced(query, ratio, counts, sp.Start, sp.End, tr)
 	})
 }
 

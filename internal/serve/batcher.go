@@ -24,6 +24,10 @@ type Result struct {
 	Batched int           // size of the batch this query rode in
 	Latency time.Duration // enqueue-to-prediction time
 	Extract time.Duration // descriptor-extraction share of the latency (0 when unknown)
+	Queue   time.Duration // enqueue-to-batch-start wait (queueing + coalescing)
+	Batch   time.Duration // batch classification wall time
+	Match   time.Duration // index-scan share (CPU time across shard workers; 0 when unknown)
+	Verify  time.Duration // shortlist re-scoring share (approximate backends only)
 }
 
 // job is one queue entry: a scene's crops travelling together. A plain
@@ -62,6 +66,8 @@ type Batcher struct {
 	queue  chan *job
 	stop   chan struct{}
 	closed chan struct{}
+
+	obs *serveMetrics // process-wide serving metrics (never nil)
 }
 
 // NewBatcher builds a standalone batcher over one (gallery, pipeline)
@@ -93,6 +99,7 @@ func newBatcher(sg *pipeline.ShardedGallery, p pipeline.Pipeline, workers, maxBa
 		queue:    make(chan *job, queueCap),
 		stop:     make(chan struct{}),
 		closed:   make(chan struct{}),
+		obs:      serveObs(),
 	}
 	go b.loop()
 	return b
@@ -145,6 +152,7 @@ func (b *Batcher) submit(ctx context.Context, imgs []*imaging.Image, wait bool) 
 	if wait {
 		select {
 		case b.queue <- j:
+			b.obs.queueDepth.Add(1)
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-b.stop:
@@ -153,7 +161,9 @@ func (b *Batcher) submit(ctx context.Context, imgs []*imaging.Image, wait bool) 
 	} else {
 		select {
 		case b.queue <- j:
+			b.obs.queueDepth.Add(1)
 		default:
+			b.obs.sheds.Inc()
 			return nil, ErrOverloaded
 		}
 	}
@@ -170,6 +180,9 @@ func (b *Batcher) submit(ctx context.Context, imgs []*imaging.Image, wait bool) 
 		case res := <-j.done:
 			return res, nil
 		default:
+			// The job was enqueued but the drain never saw it — rebalance
+			// the depth gauge it incremented on enqueue.
+			b.obs.queueDepth.Add(-1)
 			return nil, errClosed
 		}
 	}
@@ -245,10 +258,24 @@ func (b *Batcher) collect(first *job) {
 }
 
 func (b *Batcher) run(batch []*job, total int) {
+	// Book the batch: the jobs have left the queue (the gauge counts
+	// channel occupancy plus at most one batch being assembled), the
+	// batch shape is final, and the oldest job's enqueue bounds the
+	// coalescing wait.
+	start := time.Now()
+	b.obs.queueDepth.Add(-int64(len(batch)))
+	b.obs.batchSize.Observe(int64(total))
+	b.obs.coalesce.ObserveDuration(int64(start.Sub(batch[0].enqueued)))
 	if total == 1 {
 		j := batch[0]
 		pred, stats := b.sg.ClassifyStats(b.p, j.imgs[0])
-		j.done <- []Result{{Pred: pred, Batched: 1, Latency: time.Since(j.enqueued), Extract: stats.Extract}}
+		now := time.Now()
+		j.done <- []Result{{
+			Pred: pred, Batched: 1,
+			Latency: now.Sub(j.enqueued), Extract: stats.Extract,
+			Queue: start.Sub(j.enqueued), Batch: now.Sub(start),
+			Match: stats.Match, Verify: stats.Verify,
+		}}
 		return
 	}
 	flat := make([]*imaging.Image, 0, total)
@@ -256,13 +283,11 @@ func (b *Batcher) run(batch []*job, total int) {
 		flat = append(flat, j.imgs...)
 	}
 	preds := make([]pipeline.Prediction, total)
-	exts := make([]time.Duration, total)
+	stats := make([]pipeline.QueryStats, total)
 	sc, hasStats := b.p.(pipeline.StatsClassifier)
 	parallel.ForEach(b.workers, total, func(i int) {
 		if hasStats {
-			var st pipeline.QueryStats
-			preds[i], st = sc.ClassifyStats(flat[i], b.sg.G)
-			exts[i] = st.Extract
+			preds[i], stats[i] = sc.ClassifyStats(flat[i], b.sg.G)
 		} else {
 			preds[i] = b.p.Classify(flat[i], b.sg.G)
 		}
@@ -272,7 +297,13 @@ func (b *Batcher) run(batch []*job, total int) {
 	for _, j := range batch {
 		rs := make([]Result, len(j.imgs))
 		for i := range rs {
-			rs[i] = Result{Pred: preds[off+i], Batched: total, Latency: now.Sub(j.enqueued), Extract: exts[off+i]}
+			st := stats[off+i]
+			rs[i] = Result{
+				Pred: preds[off+i], Batched: total,
+				Latency: now.Sub(j.enqueued), Extract: st.Extract,
+				Queue: start.Sub(j.enqueued), Batch: now.Sub(start),
+				Match: st.Match, Verify: st.Verify,
+			}
 		}
 		off += len(j.imgs)
 		j.done <- rs

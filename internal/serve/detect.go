@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"snmatch/internal/geom"
+	"snmatch/internal/obs"
 	"snmatch/internal/pipeline"
 )
 
@@ -33,6 +34,10 @@ type RegionJSON struct {
 	Score     float64 `json:"score"`
 	Batched   int     `json:"batched"`
 	LatencyMS float64 `json:"latency_ms"`
+
+	// StagesMS breaks the crop's latency_ms down by pipeline stage (see
+	// PredictionJSON.StagesMS).
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
 }
 
 // DetectResponse is the /detect response document. Regions come back in
@@ -41,6 +46,10 @@ type DetectResponse struct {
 	Gallery  string       `json:"gallery"`
 	Pipeline string       `json:"pipeline"`
 	Regions  []RegionJSON `json:"regions"`
+
+	// StagesMS holds the scene-level stages (decode, admission,
+	// propose); the per-region maps cover the rest.
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
 }
 
 // handleDetect is the scene endpoint: one PNG in, per-region
@@ -49,19 +58,28 @@ type DetectResponse struct {
 // admission gate and drain machinery as /classify, so a multi-object
 // scene coalesces into batches exactly like a JSON image batch does.
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	m := s.obs
+	m.detect.reqs.Inc()
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
+		m.detect.errs.Inc()
 		httpError(w, http.StatusMethodNotAllowed, "POST a PNG scene")
 		return
 	}
 	if !s.gate.TryEnter() {
+		m.detect.errs.Inc()
+		m.admissionRejects.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "server at admission capacity")
 		return
 	}
 	defer s.gate.Leave()
+	var tr obs.Trace
+	tr.Set(obs.StageAdmission, time.Since(t0))
 
 	name, _, err := s.reg.Resolve(r.URL.Query().Get("gallery"))
 	if err != nil {
+		m.detect.errs.Inc()
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
@@ -71,13 +89,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := ParsePipeline(pipeName, s.cfg.Ratio)
 	if err != nil {
+		m.detect.errs.Inc()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
 	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBodyMB)<<20)
+	decStart := time.Now()
 	raw, err := io.ReadAll(r.Body)
 	if err != nil {
+		m.detect.errs.Inc()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge,
@@ -88,20 +109,28 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	img, err := decodePNG(raw, s.cfg.MaxImagePixels)
+	tr.Set(obs.StageDecode, time.Since(decStart))
 	if err != nil {
+		m.detect.errs.Inc()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 
+	propStart := time.Now()
 	regions, crops := pipeline.ProposeCrops(img, pipeline.DetectParams{MaxRegions: s.cfg.MaxRegions})
+	tr.Set(obs.StagePropose, time.Since(propStart))
 	resp := DetectResponse{Gallery: name, Pipeline: p.Name(), Regions: make([]RegionJSON, len(regions))}
 	if len(regions) == 0 {
+		m.observeStages(&tr)
+		m.detect.latency.ObserveDuration(int64(time.Since(t0)))
+		resp.StagesMS = tr.MSMap()
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
 	b, err := s.batcherFor(name, pipeName, p)
 	if err != nil {
+		m.detect.errs.Inc()
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -115,10 +144,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", "1")
 		}
+		m.detect.errs.Inc()
 		httpError(w, status, err.Error())
 		return
 	}
+	var worst Result
 	for i, res := range results {
+		m.observeResult(res)
+		if res.Latency > worst.Latency {
+			worst = res
+		}
 		resp.Regions[i] = RegionJSON{
 			Box:       boxJSON(regions[i]),
 			Class:     res.Pred.Class.String(),
@@ -127,7 +162,22 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			Score:     res.Pred.Score,
 			Batched:   res.Batched,
 			LatencyMS: float64(res.Latency) / float64(time.Millisecond),
+			StagesMS:  resultStagesMS(res),
 		}
 	}
+	m.observeStages(&tr)
+	elapsed := time.Since(t0)
+	m.detect.latency.ObserveDuration(int64(elapsed))
+	resp.StagesMS = tr.MSMap()
 	writeJSON(w, http.StatusOK, resp)
+	if s.cfg.SlowLog > 0 && elapsed >= s.cfg.SlowLog {
+		stages := tr.MSMap()
+		if stages == nil {
+			stages = map[string]float64{}
+		}
+		for k, v := range resultStagesMS(worst) {
+			stages[k] = v
+		}
+		s.slowLog("detect", name, p.Name(), len(crops), http.StatusOK, elapsed, stages)
+	}
 }

@@ -86,6 +86,7 @@ func (r *Registry) add(name string, e entry) error {
 	}
 	r.mu.Unlock()
 	if old.sg != nil && old.sg != e.sg {
+		serveObs().swaps.Inc()
 		// Replacement: notify watchers (the server retires the stale
 		// batchers eagerly, so a replaced gallery's backing storage is
 		// released after its in-flight drain even if no request for

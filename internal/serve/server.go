@@ -16,6 +16,7 @@ import (
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
 	"snmatch/internal/moments"
+	"snmatch/internal/obs"
 	"snmatch/internal/parallel"
 	"snmatch/internal/pipeline"
 )
@@ -39,6 +40,16 @@ type Config struct {
 	// and inflate the pooled extraction contexts far past the
 	// footprint they are allowed to carry back into their pool.
 	MaxImagePixels int
+
+	// SlowLog enables the structured slow-query log: every /classify or
+	// /detect request whose end-to-end latency reaches this threshold is
+	// written as one JSON line (endpoint, gallery, pipeline, status and
+	// the full stage breakdown) to SlowLogW. 0 disables it.
+	SlowLog time.Duration
+
+	// SlowLogW receives slow-query lines (default os.Stderr). Writes are
+	// serialised, so any io.Writer works.
+	SlowLogW io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +112,8 @@ type Server struct {
 	gate    *parallel.Gate
 	start   time.Time
 	unwatch func()
+	obs     *serveMetrics
+	slowMu  sync.Mutex // serialises slow-query log lines
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
@@ -115,6 +128,7 @@ func New(reg *Registry, cfg Config) *Server {
 		cfg:      cfg,
 		gate:     parallel.NewGate(cfg.MaxInFlight),
 		start:    time.Now(),
+		obs:      serveObs(),
 		batchers: map[string]*Batcher{},
 	}
 	s.unwatch = reg.watch(s.retireStale)
@@ -144,13 +158,18 @@ func (s *Server) retireStale(name string) {
 	}
 }
 
-// Handler returns the daemon's route table.
+// Handler returns the daemon's route table. /metrics (Prometheus text)
+// and /statz (its JSON twin) render the process-wide obs registry, so
+// they see every server, batcher, pipeline and snapshot metric in the
+// process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/detect", s.handleDetect)
-	mux.HandleFunc("/galleries", s.handleGalleries)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/galleries", instrumented(&s.obs.galleries, s.handleGalleries))
+	mux.HandleFunc("/healthz", instrumented(&s.obs.healthz, s.handleHealthz))
+	mux.HandleFunc("/metrics", obs.PromHandler(obs.Default))
+	mux.HandleFunc("/statz", obs.StatzHandler(obs.Default))
 	return mux
 }
 
@@ -237,6 +256,12 @@ type PredictionJSON struct {
 	Batched   int     `json:"batched"`
 	LatencyMS float64 `json:"latency_ms"`
 	ExtractMS float64 `json:"extract_ms"` // descriptor-extraction share of latency_ms
+
+	// StagesMS breaks latency_ms down by pipeline stage (queue, batch,
+	// extract, and — on descriptor pipelines — match and verify; the
+	// latter two are CPU time summed across shard workers, so they can
+	// exceed wall time).
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
 }
 
 // ClassifyResponse is the /classify response document.
@@ -244,6 +269,10 @@ type ClassifyResponse struct {
 	Gallery     string           `json:"gallery"`
 	Pipeline    string           `json:"pipeline"`
 	Predictions []PredictionJSON `json:"predictions"`
+
+	// StagesMS holds the request-level stages that precede batching
+	// (decode, admission) — the per-prediction maps cover the rest.
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
 }
 
 // classifyRequest is the JSON batch payload: PNG images, base64-encoded.
@@ -252,19 +281,28 @@ type classifyRequest struct {
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	m := s.obs
+	m.classify.reqs.Inc()
+	t0 := time.Now()
 	if r.Method != http.MethodPost {
+		m.classify.errs.Inc()
 		httpError(w, http.StatusMethodNotAllowed, "POST a PNG body or a JSON image batch")
 		return
 	}
 	if !s.gate.TryEnter() {
+		m.classify.errs.Inc()
+		m.admissionRejects.Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "server at admission capacity")
 		return
 	}
 	defer s.gate.Leave()
+	var tr obs.Trace
+	tr.Set(obs.StageAdmission, time.Since(t0))
 
 	name, _, err := s.reg.Resolve(r.URL.Query().Get("gallery"))
 	if err != nil {
+		m.classify.errs.Inc()
 		httpError(w, http.StatusNotFound, err.Error())
 		return
 	}
@@ -274,6 +312,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	p, err := ParsePipeline(pipeName, s.cfg.Ratio)
 	if err != nil {
+		m.classify.errs.Inc()
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -282,8 +321,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	// body as its own error type, so huge uploads get an honest 413
 	// instead of a misleading decode-failure 400.
 	r.Body = http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxBodyMB)<<20)
+	decStart := time.Now()
 	imgs, err := decodeImages(r, s.cfg.MaxImages, s.cfg.MaxImagePixels)
+	tr.Set(obs.StageDecode, time.Since(decStart))
 	if err != nil {
+		m.classify.errs.Inc()
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			httpError(w, http.StatusRequestEntityTooLarge,
@@ -296,26 +338,34 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 
 	b, err := s.batcherFor(name, pipeName, p)
 	if err != nil {
+		m.classify.errs.Inc()
 		httpError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	resp := ClassifyResponse{Gallery: name, Pipeline: p.Name(), Predictions: make([]PredictionJSON, len(imgs))}
 	var firstErr error
+	var worst Result // slowest query, for the slow-query log
 	var wg sync.WaitGroup
-	var errMu sync.Mutex
+	var resMu sync.Mutex
 	for i, img := range imgs {
 		wg.Add(1)
 		go func(i int, img *imaging.Image) {
 			defer wg.Done()
 			res, err := b.SubmitWait(r.Context(), img)
 			if err != nil {
-				errMu.Lock()
+				resMu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
-				errMu.Unlock()
+				resMu.Unlock()
 				return
 			}
+			m.observeResult(res)
+			resMu.Lock()
+			if res.Latency > worst.Latency {
+				worst = res
+			}
+			resMu.Unlock()
 			resp.Predictions[i] = PredictionJSON{
 				Class:     res.Pred.Class.String(),
 				ClassID:   int(res.Pred.Class),
@@ -324,20 +374,37 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 				Batched:   res.Batched,
 				LatencyMS: float64(res.Latency) / float64(time.Millisecond),
 				ExtractMS: float64(res.Extract) / float64(time.Millisecond),
+				StagesMS:  resultStagesMS(res),
 			}
 		}(i, img)
 	}
 	wg.Wait()
+	m.observeStages(&tr)
+	elapsed := time.Since(t0)
+	status := http.StatusOK
 	if firstErr != nil {
-		status := http.StatusInternalServerError
+		status = http.StatusInternalServerError
 		if errors.Is(firstErr, ErrOverloaded) || errors.Is(firstErr, errClosed) {
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", "1")
 		}
+		m.classify.errs.Inc()
 		httpError(w, status, firstErr.Error())
-		return
+	} else {
+		m.classify.latency.ObserveDuration(int64(elapsed))
+		resp.StagesMS = tr.MSMap()
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	if s.cfg.SlowLog > 0 && elapsed >= s.cfg.SlowLog {
+		stages := tr.MSMap()
+		if stages == nil {
+			stages = map[string]float64{}
+		}
+		for k, v := range resultStagesMS(worst) {
+			stages[k] = v
+		}
+		s.slowLog("classify", name, p.Name(), len(imgs), status, elapsed, stages)
+	}
 }
 
 // decodeImages parses the request body (already wrapped in a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 )
 
 // Mapping is a gallery snapshot whose large payloads alias a read-only
@@ -36,6 +37,8 @@ type Mapping struct {
 // payload is a serial stream with nothing to alias — and return
 // ErrVersion; load those with Load.
 func Map(path string) (*Mapping, error) {
+	loadMetrics()
+	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: map: %w", err)
@@ -73,6 +76,12 @@ func Map(path string) (*Mapping, error) {
 	}
 	m := &Mapping{Snap: snap, data: data, mapped: mapped, size: len(data)}
 	m.refs.Store(1)
+	liveMapRefs.Add(1)
+	if mapped {
+		recordLoad(loadObs.mapped, start)
+	} else {
+		recordLoad(loadObs.mapHeap, start)
+	}
 	return m, nil
 }
 
@@ -82,12 +91,14 @@ func (m *Mapping) Retain() {
 	if m.refs.Add(1) <= 1 {
 		panic("snapshot: Mapping.Retain after the final Release")
 	}
+	liveMapRefs.Add(1)
 }
 
 // Release drops one reference; the last drop unmaps the file, after
 // which the mapped gallery must not be touched again.
 func (m *Mapping) Release() {
 	n := m.refs.Add(-1)
+	liveMapRefs.Add(-1)
 	switch {
 	case n < 0:
 		panic("snapshot: Mapping.Release without a matching reference")

@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"snmatch/internal/features"
 	"snmatch/internal/histogram"
@@ -355,12 +356,18 @@ func syncDir(dir string) error {
 
 // Load reads the snapshot at path into heap memory.
 func Load(path string) (*Snapshot, error) {
+	loadMetrics()
+	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: load: %w", err)
 	}
 	defer f.Close()
-	return Read(f)
+	snap, err := Read(f)
+	if err == nil {
+		recordLoad(loadObs.load, start)
+	}
+	return snap, err
 }
 
 // --- view encoding (v1) ---
