@@ -9,6 +9,8 @@
 //	snserve -build sns1 [-size 64] [-descriptors sift,surf,orb]   # no snapshot: render + extract at boot
 //	snserve -snapshot sns1.snap -admin 6060                       # admin mux on 127.0.0.1:6060 (/metrics, /statz, /debug/pprof/)
 //	snserve -snapshot sns1.snap -slowlog-ms 250                   # JSON slow-query log for requests >= 250ms
+//	snserve -snapshot sns1.snap -request-timeout 500ms            # 504 (with partial stage trace) past the deadline
+//	snserve -snapshot sns1.snap -faults shard-scan:latency:delay=100ms:every=50   # fault injection (also $SNMATCH_FAULTS)
 //
 // Port layout: the serving address (-addr, default :8080) carries the
 // public endpoints, including /metrics and /statz so scrapers reach the
@@ -44,6 +46,7 @@ import (
 	"time"
 
 	"snmatch/internal/cliutil"
+	"snmatch/internal/fault"
 	"snmatch/internal/obs"
 	"snmatch/internal/pipeline"
 	"snmatch/internal/serve"
@@ -78,6 +81,9 @@ func main() {
 	adminPort := fs.Int("admin", 0, "serve the admin mux (/metrics, /statz, /debug/pprof/) on 127.0.0.1:PORT (0 disables)")
 	pprofPort := fs.Int("pprof", 0, "deprecated alias for -admin")
 	slowlogMS := fs.Int("slowlog-ms", 0, "log requests slower than this as JSON lines on stderr (0 disables)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline for /classify and /detect; expired requests get 504 with their partial stage trace (0 disables)")
+	faults := fs.String("faults", os.Getenv(fault.EnvVar),
+		"fault-injection spec, e.g. 'batcher-enqueue:error:every=100'; points: snapshot-read, batcher-enqueue, shard-scan, swap (default $"+fault.EnvVar+")")
 	workers := cliutil.Workers(fs)
 	idxFlags := cliutil.RegisterIndexFlags(fs)
 	flag.Parse()
@@ -85,6 +91,15 @@ func main() {
 	spec, err := idxFlags.Resolve()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *faults != "" {
+		// Armed before any snapshot read, so boot-path faults (e.g.
+		// snapshot-read:error) fire too. Disarmed runs compile every
+		// fault point down to one atomic load.
+		if err := fault.Arm(*faults); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("fault injection armed: %s", *faults)
 	}
 
 	reg := serve.NewRegistry()
@@ -145,6 +160,8 @@ func main() {
 		Ratio:       *ratio,
 		MaxRegions:  *maxRegions,
 		SlowLog:     time.Duration(*slowlogMS) * time.Millisecond,
+
+		RequestTimeout: *reqTimeout,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 	"time"
 
+	"snmatch/internal/fault"
 	"snmatch/internal/features"
 	"snmatch/internal/features/match"
 	"snmatch/internal/imaging"
@@ -116,22 +118,33 @@ func (p *Descriptor) putCtx(c *ExtractCtx) {
 // with instrumentation on, extraction and the scan's match/verify split
 // land in ctx.Trace and surface through QueryStats; with it off the
 // backends get a nil trace and skip their clocks entirely.
-func (p *Descriptor) classifyOn(img *imaging.Image, g *Gallery, ix *DescriptorIndex, mc matchCounter) (Prediction, QueryStats) {
-	ctx := p.getCtx()
+//
+// ctx is the request deadline: cancellation checkpoints sit between
+// the stages (before extraction, before the scan, and — on a sharded
+// gallery — before every shard's scan), so an expired request stops
+// burning CPU at the next stage boundary instead of running to
+// completion. The returned error is the context's; a non-nil error
+// means the prediction was not computed. Both checkpoints are plain
+// ctx.Err() calls, so the warm path stays allocation-free.
+func (p *Descriptor) classifyOn(ctx context.Context, img *imaging.Image, g *Gallery, ix *DescriptorIndex, mc matchCounter) (Prediction, QueryStats, error) {
+	if err := ctxErr(ctx); err != nil {
+		return Prediction{}, QueryStats{}, err
+	}
+	c := p.getCtx()
 	var tr *obs.Trace
 	if obsMetrics() != nil {
-		tr = &ctx.Trace
+		tr = &c.Trace
 		tr.Reset()
 	}
 	start := time.Now()
-	q := ExtractDescriptorsCtx(img, p.Kind, p.Params, ctx)
+	q := ExtractDescriptorsCtx(img, p.Kind, p.Params, c)
 	stats := QueryStats{Extract: time.Since(start)}
 	tr.Set(obs.StageExtract, stats.Extract)
-	pred := classifyCounts(g, ix, mc, q, p.Ratio, tr)
+	pred, err := classifyCounts(ctx, g, ix, mc, q, p.Ratio, tr)
 	stats.Match = tr.Get(obs.StageMatch)
 	stats.Verify = tr.Get(obs.StageVerify)
-	p.putCtx(ctx)
-	return pred, stats
+	p.putCtx(c)
+	return pred, stats, err
 }
 
 // Classify implements Pipeline. The per-view good-match counts come
@@ -152,8 +165,26 @@ func (p *Descriptor) Classify(img *imaging.Image, g *Gallery) Prediction {
 // scratch always pools on the flat index, so backend swaps don't change
 // the zero-allocation query path.
 func (p *Descriptor) ClassifyStats(img *imaging.Image, g *Gallery) (Prediction, QueryStats) {
+	pred, stats, _ := p.ClassifyStatsCtx(context.Background(), img, g)
+	return pred, stats
+}
+
+// ClassifyStatsCtx is ClassifyStats under a request deadline: the
+// pipeline checks ctx between stages and returns its error instead of
+// finishing the query. context.Background() (or any never-done ctx)
+// makes it exactly ClassifyStats.
+func (p *Descriptor) ClassifyStatsCtx(ctx context.Context, img *imaging.Image, g *Gallery) (Prediction, QueryStats, error) {
 	mi := g.MatchIndexFor(p.Kind, p.Params)
-	return p.classifyOn(img, g, mi.Flat(), mi)
+	return p.classifyOn(ctx, img, g, mi.Flat(), mi)
+}
+
+// ctxErr is the stage-boundary cancellation checkpoint: nil-context
+// safe and allocation-free (Err returns preallocated sentinel errors).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // matchCounter fills per-view good-match counts for one query — the
@@ -168,10 +199,32 @@ type matchCounter interface {
 // selects the winning view — the shared tail of flat and sharded
 // descriptor classification, kept in one place so the first-best
 // tie-break and Score semantics cannot drift between the two paths.
-func classifyCounts(g *Gallery, ix *DescriptorIndex, mc matchCounter, q *features.Set, ratio float64, tr *obs.Trace) Prediction {
+//
+// The scan honours ctx: a sharded counter checks it before every
+// shard's scan (skipping the rest once expired), an unsharded one
+// before its single scan. A non-nil error means the counts are
+// incomplete and no prediction is returned — a partially-scanned
+// gallery must never masquerade as a result. The shard-scan fault
+// point fires here too; since a count fill has no error return, an
+// armed error surfaces as a panic for the per-request recovery to
+// convert (latency rules just stretch the scan in place).
+func classifyCounts(ctx context.Context, g *Gallery, ix *DescriptorIndex, mc matchCounter, q *features.Set, ratio float64, tr *obs.Trace) (Prediction, error) {
 	countsPtr := ix.getCounts()
 	counts := *countsPtr
-	mc.GoodMatchCountsTraced(q, ratio, counts, tr)
+	var err error
+	if sx, ok := mc.(*ShardedIndex); ok && ctx != nil {
+		err = sx.goodMatchCountsCtx(ctx, q, ratio, counts, tr)
+	} else if err = ctxErr(ctx); err == nil {
+		if ferr := fault.Check(fault.ShardScan); ferr != nil {
+			ix.putCounts(countsPtr)
+			panic(ferr)
+		}
+		mc.GoodMatchCountsTraced(q, ratio, counts, tr)
+	}
+	if err != nil {
+		ix.putCounts(countsPtr)
+		return Prediction{}, err
+	}
 	best := Prediction{Index: -1, Score: -1}
 	for i := range counts {
 		if score := float64(counts[i]); score > best.Score {
@@ -179,7 +232,7 @@ func classifyCounts(g *Gallery, ix *DescriptorIndex, mc matchCounter, q *feature
 		}
 	}
 	ix.putCounts(countsPtr)
-	return best
+	return best, nil
 }
 
 // classifyPerView is the legacy brute-force path — an independent 2-NN

@@ -1,8 +1,10 @@
 package pipeline
 
 import (
+	"context"
 	"sync"
 
+	"snmatch/internal/fault"
 	"snmatch/internal/features"
 	"snmatch/internal/imaging"
 	"snmatch/internal/obs"
@@ -113,6 +115,39 @@ func (sx *ShardedIndex) GoodMatchCountsTraced(query *features.Set, ratio float64
 	})
 }
 
+// goodMatchCountsCtx is the deadline-aware fan-out: every shard worker
+// re-checks ctx before scanning its span and skips the scan once the
+// deadline has expired, so a cancelled request stops burning scan CPU
+// at the next shard boundary instead of finishing the whole gallery.
+// The shard-scan fault point fires per shard (latency rules stretch one
+// shard's scan; error/panic rules panic out of the fan-out for the
+// per-request recovery). A non-nil return means at least one shard was
+// skipped and counts are incomplete — callers must discard them.
+func (sx *ShardedIndex) goodMatchCountsCtx(ctx context.Context, query *features.Set, ratio float64, counts []int32, tr *obs.Trace) error {
+	if len(sx.spans) <= 1 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if ferr := fault.Check(fault.ShardScan); ferr != nil {
+			panic(ferr)
+		}
+		sx.mi.GoodMatchCountsTraced(query, ratio, counts, tr)
+		return nil
+	}
+	query.Pack()
+	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) {
+		if ctx.Err() != nil {
+			return // deadline expired mid-fan-out; leave the span unscanned
+		}
+		if ferr := fault.Check(fault.ShardScan); ferr != nil {
+			panic(ferr) // re-panicked in the submitting goroutine by parallel.run
+		}
+		sp := sx.spans[s]
+		sx.mi.GoodMatchCountsRangeTraced(query, ratio, counts, sp.Start, sp.End, tr)
+	})
+	return ctx.Err()
+}
+
 // ShardedGallery pairs a prepared Gallery with per-kind sharded indexes,
 // the unit the serving registry hands out: descriptor queries fan out
 // across the shards for low latency, every other pipeline classifies
@@ -173,13 +208,27 @@ func (s *ShardedGallery) Classify(p Pipeline, img *imaging.Image) Prediction {
 // own ClassifyStats when they implement StatsClassifier and to plain
 // Classify otherwise.
 func (s *ShardedGallery) ClassifyStats(p Pipeline, img *imaging.Image) (Prediction, QueryStats) {
+	pred, stats, _ := s.ClassifyStatsCtx(context.Background(), p, img)
+	return pred, stats
+}
+
+// ClassifyStatsCtx is ClassifyStats under a request deadline: the
+// descriptor path checks ctx between extraction and the scan and before
+// every shard's scan; other pipelines check it once at entry (their
+// classification is a single unsliceable pass). A non-nil error is
+// the context's, and means no prediction was computed.
+func (s *ShardedGallery) ClassifyStatsCtx(ctx context.Context, p Pipeline, img *imaging.Image) (Prediction, QueryStats, error) {
 	d, ok := p.(*Descriptor)
 	if !ok {
-		if sc, ok := p.(StatsClassifier); ok {
-			return sc.ClassifyStats(img, s.G)
+		if err := ctxErr(ctx); err != nil {
+			return Prediction{}, QueryStats{}, err
 		}
-		return p.Classify(img, s.G), QueryStats{}
+		if sc, ok := p.(StatsClassifier); ok {
+			pred, stats := sc.ClassifyStats(img, s.G)
+			return pred, stats, nil
+		}
+		return p.Classify(img, s.G), QueryStats{}, nil
 	}
 	sx := s.ShardedIndexFor(d.Kind, d.Params)
-	return d.classifyOn(img, s.G, sx.Index(), sx)
+	return d.classifyOn(ctx, img, s.G, sx.Index(), sx)
 }

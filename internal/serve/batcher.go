@@ -3,8 +3,11 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"time"
 
+	"snmatch/internal/fault"
 	"snmatch/internal/imaging"
 	"snmatch/internal/parallel"
 	"snmatch/internal/pipeline"
@@ -15,8 +18,18 @@ import (
 // onto an already-saturated pool.
 var ErrOverloaded = errors.New("serve: classification queue full")
 
-// errClosed is returned for submissions after Close.
-var errClosed = errors.New("serve: batcher closed")
+// ErrClosed is returned for submissions against a closed (or closing)
+// batcher. The HTTP layer maps it to 503 with Retry-After, so a client
+// riding out a rolling restart retries another replica instead of
+// treating the shutdown as a request bug.
+var ErrClosed = errors.New("serve: batcher closed")
+
+// ErrPanic wraps a classification panic recovered on the query path —
+// a pipeline bug (or an armed panic-mode fault) costs that one query a
+// 500 instead of the whole process. The panic value is wrapped, so an
+// injected fault stays errors.Is-able as fault.ErrInjected through the
+// recovery.
+var ErrPanic = errors.New("serve: classification panicked")
 
 // Result is one classified query with its serving metadata.
 type Result struct {
@@ -28,13 +41,22 @@ type Result struct {
 	Batch   time.Duration // batch classification wall time
 	Match   time.Duration // index-scan share (CPU time across shard workers; 0 when unknown)
 	Verify  time.Duration // shortlist re-scoring share (approximate backends only)
+
+	// Err is this query's classification failure — the submitter's
+	// deadline expiring mid-batch, or a recovered pipeline panic. A
+	// failed query leaves Pred zero; its batch neighbours are classified
+	// normally and their results are bit-identical to a batch the failed
+	// query never joined.
+	Err error
 }
 
 // job is one queue entry: a scene's crops travelling together. A plain
 // classify submits a single-image job; /detect submits one job fanning
 // to all of a scene's region crops, so an N-object scene costs one
-// queue round-trip instead of N.
+// queue round-trip instead of N. The submitter's ctx rides along and
+// bounds each image's classification.
 type job struct {
+	ctx      context.Context
 	imgs     []*imaging.Image
 	enqueued time.Time
 	done     chan []Result // one Result per image, in submission order
@@ -66,6 +88,15 @@ type Batcher struct {
 	queue  chan *job
 	stop   chan struct{}
 	closed chan struct{}
+
+	// closeMu orders enqueues against Close: submitters hold the read
+	// side across the closing check and the queue send, Close flips
+	// closing under the write side before closing stop. Every job that
+	// ever reaches the queue is therefore enqueued before stop closes
+	// and is seen by the loop's drain — no submitter is left waiting on
+	// a result that will never come.
+	closeMu sync.RWMutex
+	closing bool
 
 	obs *serveMetrics // process-wide serving metrics (never nil)
 }
@@ -143,20 +174,53 @@ func (b *Batcher) SubmitSceneWait(ctx context.Context, imgs []*imaging.Image) ([
 }
 
 func (b *Batcher) submit(ctx context.Context, imgs []*imaging.Image, wait bool) ([]Result, error) {
-	select {
-	case <-b.stop:
-		return nil, errClosed
-	default:
+	if err := fault.Check(fault.BatcherEnqueue); err != nil {
+		return nil, err
 	}
-	j := &job{imgs: imgs, enqueued: time.Now(), done: make(chan []Result, 1)}
+	j := &job{ctx: ctx, imgs: imgs, enqueued: time.Now(), done: make(chan []Result, 1)}
+	if err := b.enqueue(ctx, j, wait); err != nil {
+		return nil, err
+	}
+	select {
+	case rs := <-j.done:
+		return rs, firstResultErr(rs)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-b.closed:
+		// The loop has drained and exited; enqueue's ordering guarantees
+		// it saw this job, so the result is already buffered.
+		select {
+		case rs := <-j.done:
+			return rs, firstResultErr(rs)
+		default:
+			// Unreachable under the closeMu ordering; kept so a future
+			// regression surfaces as a clean refusal (with the depth
+			// gauge rebalanced) rather than a hang.
+			b.obs.queueDepth.Add(-1)
+			return nil, ErrClosed
+		}
+	}
+}
+
+// enqueue places j in the queue under the read side of closeMu, so the
+// send cannot race Close's stop: either the job lands before closing
+// flips — and the drain classifies it — or the submitter observes
+// closing and gets ErrClosed with its job guaranteed never enqueued.
+// A blocking (wait-mode) send held under the read lock cannot deadlock
+// Close: the loop keeps draining until stop closes, and stop only
+// closes after this lock is released.
+func (b *Batcher) enqueue(ctx context.Context, j *job, wait bool) error {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closing {
+		return ErrClosed
+	}
 	if wait {
 		select {
 		case b.queue <- j:
 			b.obs.queueDepth.Add(1)
 		case <-ctx.Done():
-			return nil, ctx.Err()
-		case <-b.stop:
-			return nil, errClosed
+			return ctx.Err()
 		}
 	} else {
 		select {
@@ -164,33 +228,32 @@ func (b *Batcher) submit(ctx context.Context, imgs []*imaging.Image, wait bool) 
 			b.obs.queueDepth.Add(1)
 		default:
 			b.obs.sheds.Inc()
-			return nil, ErrOverloaded
+			return ErrOverloaded
 		}
 	}
-	select {
-	case res := <-j.done:
-		return res, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-b.closed:
-		// The loop exited; it drains the queue before closing, so a
-		// result may still have landed. Jobs that raced past the stop
-		// check and were enqueued after the drain are refused.
-		select {
-		case res := <-j.done:
-			return res, nil
-		default:
-			// The job was enqueued but the drain never saw it — rebalance
-			// the depth gauge it incremented on enqueue.
-			b.obs.queueDepth.Add(-1)
-			return nil, errClosed
-		}
-	}
+	return nil
 }
 
-// Close stops the collection loop after it drains the queued jobs.
+// firstResultErr surfaces a job's first per-image failure as the
+// submission error (single-image submissions have exactly one).
+func firstResultErr(rs []Result) error {
+	for i := range rs {
+		if rs[i].Err != nil {
+			return rs[i].Err
+		}
+	}
+	return nil
+}
+
+// Close stops the collection loop after it drains the queued jobs. It
+// is idempotent; every call blocks until the drain completes.
 func (b *Batcher) Close() {
-	close(b.stop)
+	b.closeMu.Lock()
+	if !b.closing {
+		b.closing = true
+		close(b.stop)
+	}
+	b.closeMu.Unlock()
 	<-b.closed
 }
 
@@ -206,8 +269,9 @@ func (b *Batcher) loop() {
 		case j := <-b.queue:
 			b.collect(j)
 		case <-b.stop:
-			// Drain stragglers that won the race against Submit's stop
-			// check, then exit.
+			// Drain the jobs that were enqueued before closing flipped
+			// (enqueue's lock ordering guarantees there are no others),
+			// then exit.
 			for {
 				select {
 				case j := <-b.queue:
@@ -257,6 +321,59 @@ func (b *Batcher) collect(first *job) {
 	b.run(batch, total)
 }
 
+// ctxStatsClassifier is implemented by pipelines whose classification
+// honours a request deadline (the descriptor pipelines); the batch path
+// threads each job's ctx through it so mid-batch cancellation stops
+// that query at its next stage boundary.
+type ctxStatsClassifier interface {
+	ClassifyStatsCtx(ctx context.Context, img *imaging.Image, g *pipeline.Gallery) (pipeline.Prediction, pipeline.QueryStats, error)
+}
+
+// recoverQuery converts a classification panic into a per-query error:
+// the worker survives, the panics counter ticks, and an error panic
+// value stays unwrappable (so an injected fault keeps reading as
+// fault.ErrInjected through the recovery).
+func (b *Batcher) recoverQuery(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	b.obs.panics.Inc()
+	if e, ok := r.(error); ok {
+		*errp = fmt.Errorf("%w: %w", ErrPanic, e)
+	} else {
+		*errp = fmt.Errorf("%w: %v", ErrPanic, r)
+	}
+}
+
+// classifyOne is the single-query path: the one scan fans out across
+// the gallery shards under the submitter's deadline. A shard-worker
+// panic is re-panicked here (the submitting goroutine) by the pool and
+// recovered into the query's error.
+func (b *Batcher) classifyOne(ctx context.Context, img *imaging.Image) (pred pipeline.Prediction, stats pipeline.QueryStats, err error) {
+	defer b.recoverQuery(&err)
+	return b.sg.ClassifyStatsCtx(ctx, b.p, img)
+}
+
+// classifyFlat is the batch path's per-image classification: one
+// unsharded scan per image, bounded by the image's own job deadline,
+// with per-image panic recovery so one poisoned query cannot take its
+// batch neighbours (or the process) down.
+func (b *Batcher) classifyFlat(ctx context.Context, img *imaging.Image) (pred pipeline.Prediction, stats pipeline.QueryStats, err error) {
+	defer b.recoverQuery(&err)
+	if err = ctx.Err(); err != nil {
+		return pred, stats, err
+	}
+	if csc, ok := b.p.(ctxStatsClassifier); ok {
+		return csc.ClassifyStatsCtx(ctx, img, b.sg.G)
+	}
+	if sc, ok := b.p.(pipeline.StatsClassifier); ok {
+		pred, stats = sc.ClassifyStats(img, b.sg.G)
+		return pred, stats, nil
+	}
+	return b.p.Classify(img, b.sg.G), stats, nil
+}
+
 func (b *Batcher) run(batch []*job, total int) {
 	// Book the batch: the jobs have left the queue (the gauge counts
 	// channel occupancy plus at most one batch being assembled), the
@@ -268,10 +385,10 @@ func (b *Batcher) run(batch []*job, total int) {
 	b.obs.coalesce.ObserveDuration(int64(start.Sub(batch[0].enqueued)))
 	if total == 1 {
 		j := batch[0]
-		pred, stats := b.sg.ClassifyStats(b.p, j.imgs[0])
+		pred, stats, err := b.classifyOne(j.ctx, j.imgs[0])
 		now := time.Now()
 		j.done <- []Result{{
-			Pred: pred, Batched: 1,
+			Pred: pred, Batched: 1, Err: err,
 			Latency: now.Sub(j.enqueued), Extract: stats.Extract,
 			Queue: start.Sub(j.enqueued), Batch: now.Sub(start),
 			Match: stats.Match, Verify: stats.Verify,
@@ -279,18 +396,18 @@ func (b *Batcher) run(batch []*job, total int) {
 		return
 	}
 	flat := make([]*imaging.Image, 0, total)
+	owner := make([]*job, 0, total)
 	for _, j := range batch {
-		flat = append(flat, j.imgs...)
+		for _, img := range j.imgs {
+			flat = append(flat, img)
+			owner = append(owner, j)
+		}
 	}
 	preds := make([]pipeline.Prediction, total)
 	stats := make([]pipeline.QueryStats, total)
-	sc, hasStats := b.p.(pipeline.StatsClassifier)
+	errs := make([]error, total)
 	parallel.ForEach(b.workers, total, func(i int) {
-		if hasStats {
-			preds[i], stats[i] = sc.ClassifyStats(flat[i], b.sg.G)
-		} else {
-			preds[i] = b.p.Classify(flat[i], b.sg.G)
-		}
+		preds[i], stats[i], errs[i] = b.classifyFlat(owner[i].ctx, flat[i])
 	})
 	now := time.Now()
 	off := 0
@@ -299,7 +416,7 @@ func (b *Batcher) run(batch []*job, total int) {
 		for i := range rs {
 			st := stats[off+i]
 			rs[i] = Result{
-				Pred: preds[off+i], Batched: total,
+				Pred: preds[off+i], Batched: total, Err: errs[off+i],
 				Latency: now.Sub(j.enqueued), Extract: st.Extract,
 				Queue: start.Sub(j.enqueued), Batch: now.Sub(start),
 				Match: st.Match, Verify: st.Verify,

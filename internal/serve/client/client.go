@@ -1,0 +1,227 @@
+// Package client is the serving fleet's retrying HTTP client: it
+// spreads requests round-robin over a set of snserve replicas and
+// retries transient failures — network errors, 5xx and 429 answers —
+// on the next replica after a capped exponential backoff with
+// deterministic (seeded) jitter, honouring a server's Retry-After
+// hint. Classification is read-only, so a request is always safe to
+// replay; with enough replicas behind the client, a killed or
+// restarting server costs callers retries (counted in
+// snmatch_client_retries_total), not failures.
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"snmatch/internal/obs"
+)
+
+// Config shapes a Client. Zero values select the defaults.
+type Config struct {
+	// Endpoints are the replica base URLs (e.g. "http://127.0.0.1:8080"),
+	// tried round-robin. At least one is required.
+	Endpoints []string
+
+	// MaxAttempts bounds the total tries per request (first attempt
+	// included). Default: two full passes over the fleet plus one.
+	MaxAttempts int
+
+	// BaseBackoff is the first retry's backoff (default 5ms); it
+	// doubles per attempt up to MaxBackoff (default 500ms). A server's
+	// Retry-After raises the wait, but never past MaxBackoff — a
+	// misbehaving server cannot stall the client indefinitely.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	// Seed drives the backoff jitter: the same seed replays the exact
+	// same wait sequence, so failover tests are reproducible.
+	Seed uint64
+
+	// HTTPClient overrides the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// Response is a terminal (non-retried) server answer. Status may still
+// be a client error like 400 — only transport failures, 5xx and 429
+// are retried.
+type Response struct {
+	Status int
+	Body   []byte
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	cfg   Config
+	httpc *http.Client
+
+	next    atomic.Uint64 // round-robin endpoint cursor
+	seq     atomic.Uint64 // jitter sequence (distinct wait per retry)
+	retries atomic.Uint64
+}
+
+// New validates cfg and builds the client.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("client: at least one endpoint is required")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 2*len(cfg.Endpoints) + 1
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 5 * time.Millisecond
+	}
+	if cfg.MaxBackoff < cfg.BaseBackoff {
+		cfg.MaxBackoff = 500 * time.Millisecond
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{cfg: cfg, httpc: httpc}, nil
+}
+
+// Retries reports the attempts beyond each request's first this client
+// has made — the price paid for failovers so far.
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// Classify posts one PNG query to the fleet's /classify. Empty gallery
+// or pipeline names are omitted (the server applies its defaults).
+func (c *Client) Classify(ctx context.Context, gallery, pipeline string, png []byte) (*Response, error) {
+	q := url.Values{}
+	if gallery != "" {
+		q.Set("gallery", gallery)
+	}
+	if pipeline != "" {
+		q.Set("pipeline", pipeline)
+	}
+	path := "/classify"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	return c.Post(ctx, path, "image/png", png)
+}
+
+// Post sends body to path on the fleet, retrying transient failures on
+// successive (round-robin) replicas until an attempt gets a terminal
+// answer, ctx expires, or MaxAttempts is exhausted.
+func (c *Client) Post(ctx context.Context, path, contentType string, body []byte) (*Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			retriesObs().Inc()
+		}
+		resp, retryAfter, err := c.once(ctx, path, contentType, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if attempt+1 < c.cfg.MaxAttempts {
+			if err := sleepCtx(ctx, c.wait(attempt, retryAfter)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nil, fmt.Errorf("client: request failed after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// once performs a single attempt against the next replica. A non-nil
+// error means the attempt is retryable (transport failure, 5xx, 429);
+// retryAfter carries the server's Retry-After hint when it sent one.
+func (c *Client) once(ctx context.Context, path, contentType string, body []byte) (resp *Response, retryAfter time.Duration, err error) {
+	ep := c.cfg.Endpoints[int((c.next.Add(1)-1)%uint64(len(c.cfg.Endpoints)))]
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ep+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	hr, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer hr.Body.Close()
+	b, err := io.ReadAll(hr.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if hr.StatusCode >= 500 || hr.StatusCode == http.StatusTooManyRequests {
+		if s, perr := strconv.Atoi(hr.Header.Get("Retry-After")); perr == nil && s >= 0 {
+			retryAfter = time.Duration(s) * time.Second
+		}
+		return nil, retryAfter, fmt.Errorf("client: %s%s answered %d: %s", ep, path, hr.StatusCode, bytes.TrimSpace(b))
+	}
+	return &Response{Status: hr.StatusCode, Body: b}, 0, nil
+}
+
+// wait computes the sleep before the next attempt: BaseBackoff doubled
+// per attempt, capped at MaxBackoff, then jittered into [d/2, d) by the
+// seeded sequence (full determinism for a given Config.Seed). A
+// Retry-After hint raises the wait, capped at MaxBackoff.
+func (c *Client) wait(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.cfg.MaxBackoff
+	if attempt < 20 { // beyond 2^20 the shift is past any sane cap anyway
+		if e := c.cfg.BaseBackoff << attempt; e > 0 && e < d {
+			d = e
+		}
+	}
+	half := d / 2
+	if half > 0 {
+		d = half + time.Duration(splitmix64(c.cfg.Seed+c.seq.Add(1))%uint64(half))
+	}
+	if retryAfter > d {
+		d = min(retryAfter, c.cfg.MaxBackoff)
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var (
+	obsOnce sync.Once
+	obsPtr  *obs.Counter
+)
+
+// retriesObs wires the retry counter into the process-wide registry on
+// first use, so embedders see failover pressure on /metrics next to
+// the serving metrics.
+func retriesObs() *obs.Counter {
+	obsOnce.Do(func() {
+		obsPtr = obs.Default.Counter("snmatch_client_retries_total",
+			"Client-side retries: attempts beyond each request's first (failovers paid, not failures).")
+	})
+	return obsPtr
+}
+
+// splitmix64 is the jitter generator (same construction the fault
+// package uses): one multiply-xor-shift chain per index, so wait
+// sequences are reproducible without shared RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,212 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastCfg(endpoints ...string) Config {
+	return Config{
+		Endpoints:   endpoints,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  10 * time.Millisecond,
+		Seed:        1,
+	}
+}
+
+// TestRetriesThenSucceeds pins the core loop: transient 503s are
+// retried (and counted) until a replica answers.
+func TestRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	c, err := New(fastCfg(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Post(context.Background(), "/classify", "image/png", []byte("png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK || string(resp.Body) != "ok" {
+		t.Fatalf("got %d %q", resp.Status, resp.Body)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestFailsOverToLiveReplica pins failover: a dead first endpoint
+// (connection refused) costs one retry, the second replica serves.
+func TestFailsOverToLiveReplica(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	dead := httptest.NewServer(nil)
+	deadURL := dead.URL
+	dead.Close() // the port is now refused
+
+	c, err := New(fastCfg(deadURL, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Post(context.Background(), "/x", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.Status)
+	}
+	if c.Retries() != 1 {
+		t.Fatalf("Retries() = %d, want 1", c.Retries())
+	}
+}
+
+// TestNoRetryOnClientError pins that 4xx answers (other than 429) are
+// terminal: the server said the request itself is wrong, so replaying
+// it elsewhere cannot help.
+func TestNoRetryOnClientError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad png", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c, err := New(fastCfg(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Post(context.Background(), "/classify", "image/png", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.Status)
+	}
+	if calls.Load() != 1 || c.Retries() != 0 {
+		t.Fatalf("made %d calls with %d retries, want 1 call, 0 retries", calls.Load(), c.Retries())
+	}
+}
+
+// TestExhaustsAttempts pins the bound: a fleet that only ever sheds
+// returns an error naming the attempt count, not a hang.
+func TestExhaustsAttempts(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 3
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Post(context.Background(), "/x", "text/plain", nil); err == nil {
+		t.Fatal("exhausted client returned nil error")
+	} else if !strings.Contains(err.Error(), "3 attempts") {
+		t.Fatalf("error %q does not name the attempt count", err)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestRetryAfterCapped pins that a hostile Retry-After cannot stall the
+// client past MaxBackoff.
+func TestRetryAfterCapped(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "later", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxBackoff = 20 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := c.Post(context.Background(), "/x", "text/plain", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Retry-After of an hour stalled the client %v; want the %v cap", d, cfg.MaxBackoff)
+	}
+}
+
+// TestDeterministicJitter pins the seeded wait sequence: two clients
+// with the same seed compute identical backoffs.
+func TestDeterministicJitter(t *testing.T) {
+	a, err := New(fastCfg("http://x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(fastCfg("http://x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if wa, wb := a.wait(i, 0), b.wait(i, 0); wa != wb {
+			t.Fatalf("attempt %d: same seed waited %v vs %v", i, wa, wb)
+		}
+	}
+	cfg := fastCfg("http://x")
+	cfg.Seed = 99
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 8; i++ {
+		if a.wait(i, 0) == c.wait(i, 0) {
+			same++
+		}
+	}
+	if same == 8 {
+		t.Fatal("different seeds produced identical wait sequences")
+	}
+}
+
+// TestContextCancelStopsRetries pins that a cancelled context wins over
+// the retry loop immediately.
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 1000
+	cfg.BaseBackoff = 50 * time.Millisecond
+	cfg.MaxBackoff = 50 * time.Millisecond
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Post(ctx, "/x", "text/plain", nil); err == nil {
+		t.Fatal("cancelled request returned nil error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled retry loop ran %v", d)
+	}
+}

@@ -1,0 +1,181 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"image/png"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"snmatch/internal/dataset"
+	"snmatch/internal/pipeline"
+	"snmatch/internal/serve/client"
+	"snmatch/internal/serve/snapshot"
+)
+
+// TestFailoverAcrossReplicas is the zero-downtime kill test: three
+// snserve processes serve the same memory-mapped snapshot, a retrying
+// client drives concurrent traffic over all of them, one replica is
+// SIGKILLed mid-traffic — and every client request still succeeds,
+// with the kill surfacing only as a non-zero retry count.
+func TestFailoverAcrossReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go toolchain unavailable: %v", err)
+	}
+	dir := t.TempDir()
+
+	// One small ORB-prepared gallery, snapshotted once and mapped by
+	// every replica — the fleet shares the file's page-cache copy.
+	cfg := dataset.Config{Size: 40, Seed: 6}
+	g := pipeline.NewGallery(dataset.BuildSNS1(cfg))
+	g.PrepareDescriptors(pipeline.ORB, pipeline.DefaultDescriptorParams())
+	snapPath := filepath.Join(dir, "sns1.snap")
+	snap := &snapshot.Snapshot{Name: "sns1", Meta: snapshot.Meta{Dataset: "sns1", Size: 40, Seed: 6}, Gallery: g}
+	if err := snapshot.Save(snapPath, snap); err != nil {
+		t.Fatal(err)
+	}
+	query := dataset.BuildSNS2(cfg).Samples[0].Image
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, query.ToStdImage()); err != nil {
+		t.Fatal(err)
+	}
+	pngBody := buf.Bytes()
+
+	bin := filepath.Join(dir, "snserve")
+	if out, err := exec.Command("go", "build", "-o", bin, "snmatch/cmd/snserve").CombinedOutput(); err != nil {
+		t.Fatalf("build snserve: %v\n%s", err, out)
+	}
+
+	const replicas = 3
+	endpoints := make([]string, replicas)
+	procs := make([]*exec.Cmd, replicas)
+	for i := 0; i < replicas; i++ {
+		addr := freeAddr(t)
+		endpoints[i] = "http://" + addr
+		cmd := exec.Command(bin, "-snapshot", snapPath, "-mmap", "-addr", addr, "-shards", "2", "-workers", "2")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start replica %d: %v", i, err)
+		}
+		procs[i] = cmd
+	}
+	t.Cleanup(func() {
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
+				p.Wait()
+			}
+		}
+	})
+	for i, ep := range endpoints {
+		waitHealthy(t, ep, 30*time.Second)
+		t.Logf("replica %d healthy on %s", i, ep)
+	}
+
+	c, err := client.New(client.Config{
+		Endpoints:   endpoints,
+		MaxAttempts: 8,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concurrent traffic with the kill landing midway: the barrier
+	// guarantees requests are still in flight (and more are coming)
+	// when replica 0 dies, so some request must ride through a
+	// connection failure and be retried onto a surviving replica.
+	const (
+		lanes   = 3
+		perLane = 10
+		killAt  = 4 // per-lane request index that releases the kill
+	)
+	var (
+		killOnce sync.Once
+		killed   = make(chan struct{})
+		failed   atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for lane := 0; lane < lanes; lane++ {
+		wg.Add(1)
+		go func(lane int) {
+			defer wg.Done()
+			for i := 0; i < perLane; i++ {
+				if i == killAt {
+					killOnce.Do(func() {
+						if err := procs[0].Process.Kill(); err != nil {
+							t.Errorf("kill replica 0: %v", err)
+						}
+						procs[0].Wait()
+						close(killed)
+					})
+					<-killed // every lane's tail requests run against a 2/3 fleet
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				resp, err := c.Classify(ctx, "sns1", "orb", pngBody)
+				cancel()
+				if err != nil {
+					failed.Add(1)
+					t.Errorf("lane %d request %d failed: %v", lane, i, err)
+					continue
+				}
+				if resp.Status != http.StatusOK {
+					failed.Add(1)
+					t.Errorf("lane %d request %d: status %d: %s", lane, i, resp.Status, resp.Body)
+				}
+			}
+		}(lane)
+	}
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d/%d requests failed across the kill; want 0", n, lanes*perLane)
+	}
+	if c.Retries() == 0 {
+		t.Fatal("no retries recorded — the kill never exercised failover")
+	}
+	t.Logf("all %d requests succeeded across the kill (%d retries)", lanes*perLane, c.Retries())
+}
+
+// freeAddr reserves a loopback port and releases it for the replica to
+// bind. The close-then-bind window is racy in principle; in practice
+// nothing else grabs the port in-process.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the replica answers 200.
+func waitHealthy(t *testing.T, endpoint string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(endpoint + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("replica on %s never became healthy within %v", endpoint, timeout)
+}

@@ -74,6 +74,8 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.Leave()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	var tr obs.Trace
 	tr.Set(obs.StageAdmission, time.Since(t0))
 
@@ -91,6 +93,15 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		m.detect.errs.Inc()
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// Same pre-decode deadline refusal as /classify: an expired request
+	// does no decode or proposal work.
+	if err := ctx.Err(); err != nil {
+		m.detect.errs.Inc()
+		m.deadlineExceeded.Inc()
+		httpErrorStages(w, http.StatusGatewayTimeout, err.Error(), tr.MSMap())
 		return
 	}
 
@@ -137,15 +148,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	// The whole scene travels as one queue entry: one hand-off, one
 	// batch window, and the crops are classified together instead of
 	// racing N goroutines through the queue.
-	results, err := b.SubmitSceneWait(r.Context(), crops)
+	results, err := b.SubmitSceneWait(ctx, crops)
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrOverloaded) || errors.Is(err, errClosed) {
-			status = http.StatusServiceUnavailable
+		status, retry := errStatus(err)
+		if retry {
 			w.Header().Set("Retry-After", "1")
 		}
+		if status == http.StatusGatewayTimeout {
+			m.deadlineExceeded.Inc()
+		}
 		m.detect.errs.Inc()
-		httpError(w, status, err.Error())
+		httpErrorStages(w, status, err.Error(), tr.MSMap())
 		return
 	}
 	var worst Result

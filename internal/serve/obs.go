@@ -38,6 +38,9 @@ type serveMetrics struct {
 	stages [obs.NumStages]*obs.Histogram // aggregated per-stage latency
 
 	swaps *obs.Counter // gallery replacements in the registry
+
+	panics           *obs.Counter // classification panics recovered into per-query errors
+	deadlineExceeded *obs.Counter // requests answered 504 (deadline expired mid-pipeline)
 }
 
 var (
@@ -84,6 +87,10 @@ func serveObs() *serveMetrics {
 		}
 		m.swaps = r.Counter("snmatch_gallery_swaps_total",
 			"Gallery replacements (same name re-registered) in the serving registry.")
+		m.panics = r.Counter("snmatch_panics_total",
+			"Classification panics recovered into per-query 500s (the worker and process survive).")
+		m.deadlineExceeded = r.Counter("snmatch_deadline_exceeded_total",
+			"Requests answered 504 because their deadline expired before the pipeline finished.")
 		smPtr = m
 	})
 	return smPtr

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"snmatch/internal/fault"
 	"snmatch/internal/pipeline"
 	"snmatch/internal/serve/snapshot"
 )
@@ -71,6 +72,12 @@ func (r *Registry) AddMapped(name string, g *pipeline.ShardedGallery, meta snaps
 }
 
 func (r *Registry) add(name string, e entry) error {
+	// Fault point: a registration/replacement that fails (or stalls)
+	// before the swap — the caller keeps ownership of e.res, the
+	// currently served gallery stays untouched.
+	if err := fault.Check(fault.Swap); err != nil {
+		return fmt.Errorf("serve: register %q: %w", name, err)
+	}
 	if name == "" {
 		return fmt.Errorf("serve: gallery name must not be empty")
 	}

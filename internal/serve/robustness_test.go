@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"snmatch/internal/fault"
+	"snmatch/internal/pipeline"
+)
+
+// readErrorBody decodes an error response's JSON body (error message
+// plus the optional partial stage trace).
+func readErrorBody(t *testing.T, r io.Reader) (msg string, stages map[string]float64) {
+	t.Helper()
+	var body struct {
+		Error    string             `json:"error"`
+		StagesMS map[string]float64 `json:"stages_ms"`
+	}
+	if err := json.NewDecoder(r).Decode(&body); err != nil {
+		t.Fatalf("decode error body: %v", err)
+	}
+	return body.Error, body.StagesMS
+}
+
+// TestDeadlineExpiredBeforeDecode pins the fail-fast path: a request
+// whose deadline is already gone is refused 504 before any decode or
+// pipeline work — its partial stage trace has no decode entry.
+func TestDeadlineExpiredBeforeDecode(t *testing.T) {
+	_, queries := fixture(t)
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	before := serveObs().deadlineExceeded.Value()
+
+	resp, err := http.Post(ts.URL+"/classify?pipeline=orb", "image/png", bytes.NewReader(pngBytes(t, queries.Samples[0].Image)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	msg, stages := readErrorBody(t, resp.Body)
+	if !strings.Contains(msg, "deadline") {
+		t.Fatalf("error %q does not name the deadline", msg)
+	}
+	if _, decoded := stages["decode"]; decoded {
+		t.Fatalf("expired request still decoded its body: stages %v", stages)
+	}
+	if serveObs().deadlineExceeded.Value() <= before {
+		t.Fatal("snmatch_deadline_exceeded_total did not increment")
+	}
+}
+
+// TestDeadlineExpiresMidPipeline pins cancellation between stages: a
+// latency fault stretches the shard scan past the request timeout, so
+// the deadline expires after decode/extract but before the scan
+// completes — the answer is 504 and the partial counts are discarded,
+// never served.
+func TestDeadlineExpiresMidPipeline(t *testing.T) {
+	_, queries := fixture(t)
+	defer fault.Disarm()
+	if err := fault.Arm("shard-scan:latency:delay=300ms"); err != nil {
+		t.Fatal(err)
+	}
+	before := serveObs().deadlineExceeded.Value()
+	_, ts := newTestServer(t, Config{RequestTimeout: 60 * time.Millisecond})
+
+	resp, err := http.Post(ts.URL+"/classify?pipeline=orb", "image/png", bytes.NewReader(pngBytes(t, queries.Samples[0].Image)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	msg, stages := readErrorBody(t, resp.Body)
+	if !strings.Contains(msg, "deadline") {
+		t.Fatalf("error %q does not name the deadline", msg)
+	}
+	// The request got through decode before the scan stalled: the 504
+	// carries that partial trace.
+	if _, ok := stages["decode"]; !ok {
+		t.Fatalf("mid-pipeline 504 lost its decode stage: %v", stages)
+	}
+	if serveObs().deadlineExceeded.Value() <= before {
+		t.Fatal("snmatch_deadline_exceeded_total did not increment")
+	}
+}
+
+// TestBatcherEnqueueFault503 pins the fault-injection smoke contract:
+// an armed batcher-enqueue error surfaces as a clean retryable 503
+// (Retry-After set), the injection counter ticks, and disarming
+// restores normal service.
+func TestBatcherEnqueueFault503(t *testing.T) {
+	_, queries := fixture(t)
+	_, ts := newTestServer(t, Config{})
+	png := pngBytes(t, queries.Samples[0].Image)
+
+	defer fault.Disarm()
+	if err := fault.Arm("batcher-enqueue:error"); err != nil {
+		t.Fatal(err)
+	}
+	before := fault.Fired(fault.BatcherEnqueue)
+	resp, err := http.Post(ts.URL+"/classify?pipeline=orb", "image/png", bytes.NewReader(png))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("injected-fault 503 is missing Retry-After")
+	}
+	if fault.Fired(fault.BatcherEnqueue) <= before {
+		t.Fatal("snmatch_fault_injections_total did not tick")
+	}
+
+	fault.Disarm()
+	resp2, out := postClassify(t, ts.URL+"/classify?pipeline=orb", "image/png", png)
+	if resp2.StatusCode != http.StatusOK || len(out.Predictions) != 1 {
+		t.Fatalf("disarmed request: status %d, %d predictions", resp2.StatusCode, len(out.Predictions))
+	}
+}
+
+// TestPanicFaultRecovered pins per-request panic recovery: an armed
+// panic-mode shard-scan fault crashes the scan worker, the recovery
+// converts it into an error answer (a retryable 503 here, since the
+// panic value wraps fault.ErrInjected), snmatch_panics_total ticks —
+// and the process keeps serving.
+func TestPanicFaultRecovered(t *testing.T) {
+	_, queries := fixture(t)
+	_, ts := newTestServer(t, Config{})
+	png := pngBytes(t, queries.Samples[0].Image)
+
+	defer fault.Disarm()
+	if err := fault.Arm("shard-scan:panic"); err != nil {
+		t.Fatal(err)
+	}
+	before := serveObs().panics.Value()
+	resp, err := http.Post(ts.URL+"/classify?pipeline=orb", "image/png", bytes.NewReader(png))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _ := readErrorBody(t, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, msg)
+	}
+	if !strings.Contains(msg, "panicked") {
+		t.Fatalf("error %q does not surface the recovered panic", msg)
+	}
+	if serveObs().panics.Value() <= before {
+		t.Fatal("snmatch_panics_total did not increment")
+	}
+
+	fault.Disarm()
+	resp2, out := postClassify(t, ts.URL+"/classify?pipeline=orb", "image/png", png)
+	if resp2.StatusCode != http.StatusOK || len(out.Predictions) != 1 {
+		t.Fatalf("post-panic request: status %d, %d predictions — the worker did not survive", resp2.StatusCode, len(out.Predictions))
+	}
+}
+
+// TestBatcherPanicIsPerQuery pins the recovery at the batcher layer
+// directly: a panic-mode fault poisons one submission's scan, the
+// submitter gets an error wrapping both ErrPanic and the injected
+// fault, and the next (disarmed) submission classifies normally on the
+// same batcher.
+func TestBatcherPanicIsPerQuery(t *testing.T) {
+	g, queries := fixture(t)
+	b := NewBatcher(pipeline.NewShardedGallery(g, 4), pipeline.NewDescriptor(pipeline.ORB, 0.5), Config{})
+	defer b.Close()
+	img := queries.Samples[0].Image
+
+	defer fault.Disarm()
+	if err := fault.Arm("shard-scan:panic"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := b.SubmitWait(context.Background(), img)
+	if !errors.Is(err, ErrPanic) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("poisoned submission returned %v; want ErrPanic wrapping ErrInjected", err)
+	}
+	fault.Disarm()
+	want := pipeline.NewDescriptor(pipeline.ORB, 0.5).Classify(img, g)
+	res, err := b.SubmitWait(context.Background(), img)
+	if err != nil {
+		t.Fatalf("batcher did not survive the panic: %v", err)
+	}
+	if res.Pred != want {
+		t.Fatalf("post-panic prediction %+v, want %+v", res.Pred, want)
+	}
+}
+
+// TestMidBatchCancelKeepsNeighboursBitEqual pins batch isolation: one
+// submitter's context dying mid-coalesce fails only that query — its
+// batch neighbours classify and their predictions are bit-identical to
+// the serial pipeline.
+func TestMidBatchCancelKeepsNeighboursBitEqual(t *testing.T) {
+	g, queries := fixture(t)
+	d := pipeline.NewDescriptor(pipeline.ORB, 0.5)
+	qa, qb, qc := queries.Samples[0].Image, queries.Samples[1].Image, queries.Samples[2].Image
+	wantA, wantB := d.Classify(qa, g), d.Classify(qb, g)
+
+	// A long coalescing window guarantees all three submissions ride
+	// one batch; C's context is cancelled inside that window, before
+	// the batch starts classifying.
+	b := NewBatcher(pipeline.NewShardedGallery(g, 4), d, Config{MaxBatch: 8, BatchWait: 250 * time.Millisecond})
+	defer b.Close()
+
+	ctxC, cancelC := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	var resA, resB Result
+	var errA, errB, errC error
+	wg.Add(3)
+	go func() { defer wg.Done(); resA, errA = b.SubmitWait(context.Background(), qa) }()
+	go func() { defer wg.Done(); resB, errB = b.SubmitWait(context.Background(), qb) }()
+	go func() {
+		defer wg.Done()
+		time.Sleep(20 * time.Millisecond) // enqueue first, then die mid-window
+		_, errC = b.SubmitWait(ctxC, qc)
+	}()
+	time.Sleep(60 * time.Millisecond)
+	cancelC()
+	wg.Wait()
+
+	if errC == nil {
+		t.Fatal("cancelled submitter got a result")
+	}
+	if !errors.Is(errC, context.Canceled) {
+		t.Fatalf("cancelled submitter got %v, want context.Canceled", errC)
+	}
+	if errA != nil || errB != nil {
+		t.Fatalf("neighbours failed: %v / %v", errA, errB)
+	}
+	if resA.Pred != wantA || resB.Pred != wantB {
+		t.Fatalf("neighbour predictions diverged from serial:\n  A %+v want %+v\n  B %+v want %+v",
+			resA.Pred, wantA, resB.Pred, wantB)
+	}
+	if resA.Batched < 2 || resB.Batched < 2 {
+		t.Fatalf("submissions did not coalesce (batched %d/%d); the test never exercised the batch path", resA.Batched, resB.Batched)
+	}
+}
+
+// TestBatcherCloseSubmitRace hammers Close against concurrent Submit
+// traffic (run under -race in CI): every submission must resolve — a
+// prediction, ErrClosed, ErrOverloaded or the submitter's own context
+// error — and never hang on a job the drain missed.
+func TestBatcherCloseSubmitRace(t *testing.T) {
+	g, queries := fixture(t)
+	img := queries.Samples[0].Image
+	for round := 0; round < 8; round++ {
+		b := NewBatcher(pipeline.NewShardedGallery(g, 2), pipeline.NewDescriptor(pipeline.ORB, 0.5),
+			Config{MaxBatch: 4, QueueCap: 4, BatchWait: time.Millisecond})
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+					var err error
+					if i%2 == 0 {
+						_, err = b.Submit(ctx, img)
+					} else {
+						_, err = b.SubmitWait(ctx, img)
+					}
+					cancel()
+					if err != nil {
+						if errors.Is(err, ErrClosed) {
+							return
+						}
+						if errors.Is(err, ErrOverloaded) || errors.Is(err, context.DeadlineExceeded) {
+							continue
+						}
+						t.Errorf("round %d: unexpected submit error: %v", round, err)
+						return
+					}
+				}
+			}(w)
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		b.Close()
+		close(done)
+		wg.Wait()
+		// Close is idempotent and still non-blocking after the drain.
+		b.Close()
+		if _, err := b.Submit(context.Background(), img); !errors.Is(err, ErrClosed) {
+			t.Fatalf("round %d: post-Close submit returned %v, want ErrClosed", round, err)
+		}
+	}
+}
+
+// TestSlowLogConcurrentWriters pins the slow-log serialisation: many
+// concurrent slow requests write through one shared writer and every
+// emitted line still parses as a complete JSON document (interleaved
+// writes would corrupt the stream).
+func TestSlowLogConcurrentWriters(t *testing.T) {
+	_, queries := fixture(t)
+	var buf bytes.Buffer // plain buffer: the server's slowMu is the only serialisation
+	_, ts := newTestServer(t, Config{SlowLog: time.Nanosecond, SlowLogW: &buf})
+	png := pngBytes(t, queries.Samples[0].Image)
+
+	const writers = 12
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/classify?pipeline=orb", "image/png", bytes.NewReader(png))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	lines := 0
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var entry map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &entry); err != nil {
+			t.Fatalf("slow-log line %d is not valid JSON (%v): %q", lines, err, sc.Text())
+		}
+		for _, key := range []string{"ts", "endpoint", "gallery", "pipeline", "latency_ms"} {
+			if _, ok := entry[key]; !ok {
+				t.Fatalf("slow-log line %d is missing %q: %q", lines, key, sc.Text())
+			}
+		}
+	}
+	if lines != writers {
+		t.Fatalf("slow log has %d lines, want %d", lines, writers)
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"snmatch/internal/fault"
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
 	"snmatch/internal/moments"
@@ -32,6 +34,15 @@ type Config struct {
 	MaxBodyMB   int           // request body cap in MiB (default 32)
 	MaxImages   int           // images accepted per JSON batch request (default 64)
 	MaxRegions  int           // region proposals classified per /detect scene (default 32)
+
+	// RequestTimeout bounds each /classify and /detect request end to
+	// end: the handler derives a deadline-bearing context from it and
+	// the pipeline checks that context between stages (decode →
+	// extract → per-shard scan), so an expired request stops burning
+	// CPU at the next stage boundary and is answered 504 with the
+	// partial stage trace it accumulated. 0 disables the bound (the
+	// client's own disconnect still cancels).
+	RequestTimeout time.Duration
 
 	// MaxImagePixels caps the DECODED dimensions of a query image
 	// (default 4 Mpx ≈ 2048x2048). The body-size cap alone cannot
@@ -161,6 +172,9 @@ func (s *Server) retireStale(name string) {
 // Handler returns the daemon's route table. /metrics (Prometheus text)
 // and /statz (its JSON twin) render the process-wide obs registry, so
 // they see every server, batcher, pipeline and snapshot metric in the
+// process. Every route runs under panic recovery: a handler bug (or a
+// panic escaping the batcher's per-query recovery) costs that request
+// a 500 and a snmatch_panics_total tick, never the connection or the
 // process.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -170,7 +184,48 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", instrumented(&s.obs.healthz, s.handleHealthz))
 	mux.HandleFunc("/metrics", obs.PromHandler(obs.Default))
 	mux.HandleFunc("/statz", obs.StatzHandler(obs.Default))
-	return mux
+	return s.recovered(mux)
+}
+
+// recovered wraps the route table with last-resort panic recovery.
+// net/http would recover a handler panic too, but by killing the
+// connection with an empty reply; this converts it into an honest JSON
+// 500 (when the header is still unsent) and counts it.
+func (s *Server) recovered(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.obs.panics.Inc()
+				httpError(w, http.StatusInternalServerError, fmt.Sprintf("serve: internal panic: %v", rec))
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// requestCtx derives the request's working context: the client's own
+// (cancelled on disconnect), bounded by RequestTimeout when set.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// errStatus maps a classification error to its HTTP status and whether
+// the client should retry elsewhere (Retry-After). Deadline and
+// disconnect map to 504; shed, shutdown and injected-fault errors are
+// retryable 503s (a panic-wrapped injected fault still reads as
+// fault.ErrInjected through ErrPanic); anything else — including a
+// recovered pipeline panic — is a plain 500.
+func errStatus(err error) (status int, retry bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, false
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed), errors.Is(err, fault.ErrInjected):
+		return http.StatusServiceUnavailable, true
+	}
+	return http.StatusInternalServerError, false
 }
 
 // Close stops every batcher after draining its queue. In-flight
@@ -224,7 +279,7 @@ func (s *Server) batcherFor(name, pipeName string, p pipeline.Pipeline) (*Batche
 			if e.res != nil {
 				e.res.Release()
 			}
-			return nil, errClosed
+			return nil, ErrClosed
 		}
 		b := s.batchers[key]
 		if b != nil && b.sg == e.sg {
@@ -297,6 +352,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.gate.Leave()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	var tr obs.Trace
 	tr.Set(obs.StageAdmission, time.Since(t0))
 
@@ -314,6 +371,16 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		m.classify.errs.Inc()
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	// An already-expired deadline is refused before the body is even
+	// decoded: no pipeline work, and the 504's stage trace proves it
+	// (admission only, no decode entry).
+	if err := ctx.Err(); err != nil {
+		m.classify.errs.Inc()
+		m.deadlineExceeded.Inc()
+		httpErrorStages(w, http.StatusGatewayTimeout, err.Error(), tr.MSMap())
 		return
 	}
 
@@ -351,7 +418,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int, img *imaging.Image) {
 			defer wg.Done()
-			res, err := b.SubmitWait(r.Context(), img)
+			res, err := b.SubmitWait(ctx, img)
 			if err != nil {
 				resMu.Lock()
 				if firstErr == nil {
@@ -383,13 +450,18 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(t0)
 	status := http.StatusOK
 	if firstErr != nil {
-		status = http.StatusInternalServerError
-		if errors.Is(firstErr, ErrOverloaded) || errors.Is(firstErr, errClosed) {
-			status = http.StatusServiceUnavailable
+		var retry bool
+		status, retry = errStatus(firstErr)
+		if retry {
 			w.Header().Set("Retry-After", "1")
 		}
+		if status == http.StatusGatewayTimeout {
+			m.deadlineExceeded.Inc()
+		}
 		m.classify.errs.Inc()
-		httpError(w, status, firstErr.Error())
+		// A 504 carries the partial stage trace: the stages the request
+		// finished before its deadline expired.
+		httpErrorStages(w, status, firstErr.Error(), tr.MSMap())
 	} else {
 		m.classify.latency.ObserveDuration(int64(elapsed))
 		resp.StagesMS = tr.MSMap()
@@ -589,4 +661,13 @@ func httpError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// httpErrorStages is httpError with the partial stage trace attached,
+// so a 504 tells the caller which stages ran before the deadline ate
+// the request.
+func httpErrorStages(w http.ResponseWriter, status int, msg string, stages map[string]float64) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{"error": msg, "stages_ms": stages})
 }

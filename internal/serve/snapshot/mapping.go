@@ -6,6 +6,8 @@ import (
 	"os"
 	"sync/atomic"
 	"time"
+
+	"snmatch/internal/fault"
 )
 
 // Mapping is a gallery snapshot whose large payloads alias a read-only
@@ -37,6 +39,9 @@ type Mapping struct {
 // payload is a serial stream with nothing to alias — and return
 // ErrVersion; load those with Load.
 func Map(path string) (*Mapping, error) {
+	if err := fault.Check(fault.SnapshotRead); err != nil {
+		return nil, fmt.Errorf("snapshot: map: %w", err)
+	}
 	loadMetrics()
 	start := time.Now()
 	f, err := os.Open(path)

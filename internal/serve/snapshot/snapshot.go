@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"time"
 
+	"snmatch/internal/fault"
 	"snmatch/internal/features"
 	"snmatch/internal/histogram"
 	"snmatch/internal/imaging"
@@ -167,6 +168,9 @@ func encodeIndexKinds(e *enc, g *pipeline.Gallery) {
 // Read deserializes a snapshot of either format version into heap
 // memory. For the v2 zero-copy path use Map.
 func Read(r io.Reader) (*Snapshot, error) {
+	if err := fault.Check(fault.SnapshotRead); err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
 	raw, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: read: %w", err)
