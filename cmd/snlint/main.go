@@ -1,0 +1,62 @@
+// Command snlint runs the snmatch analyzer suite — the static gates
+// for the determinism, zero-alloc, cancellation, atomic-access and
+// unsafe-aliasing contracts — over the packages matching its
+// arguments (./... by default).
+//
+// Exit status: 0 when clean, 1 when findings survive suppression,
+// 2 when the load or an analyzer fails.
+//
+// Findings print one per line as file:line:col: message (analyzer).
+// Intentional exceptions are annotated in source:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the offending line or the line above it; the reason is required.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"snmatch/internal/analysis/snlint"
+)
+
+func main() {
+	var (
+		only = flag.String("only", "", "comma-separated subset of analyzers to run")
+		list = flag.Bool("list", false, "print the analyzer suite and exit")
+		dir  = flag.String("C", ".", "directory to resolve package patterns in")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range snlint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var subset []string
+	if *only != "" {
+		subset = strings.Split(*only, ",")
+	}
+
+	findings, err := snlint.Run(*dir, patterns, subset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f.String())
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "snlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

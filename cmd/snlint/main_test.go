@@ -1,0 +1,100 @@
+package main_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildBinary compiles cmd/snlint once per test binary.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "snlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building snlint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func runLint(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = filepath.Join("testdata", "fixture")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running snlint: %v\n%s", err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestDriverFlagsKnownBadFixture(t *testing.T) {
+	bin := buildBinary(t)
+	out, code := runLint(t, bin, "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+
+	for _, want := range []string{
+		"unordered iteration over map m",
+		"(determinism)",
+		"never checks ctx",
+		"(ctxcheckpoint)",
+		"lint:allow determinism directive without a justification",
+		"(snlint)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+
+	// Exactly one live determinism finding: KeysOf. MeanOf's justified
+	// allow and FirstOf's bare allow both suppress theirs.
+	if got := strings.Count(out, "(determinism)"); got != 1 {
+		t.Errorf("determinism findings = %d, want 1 (suppressions must round-trip)\n%s", got, out)
+	}
+	if strings.Contains(out, "pipeline.go:22") {
+		t.Errorf("suppressed finding at MeanOf's range leaked through\n%s", out)
+	}
+}
+
+func TestDriverOnlySubset(t *testing.T) {
+	bin := buildBinary(t)
+	out, code := runLint(t, bin, "-only=ctxcheckpoint", "./...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\n%s", code, out)
+	}
+	if strings.Contains(out, "(determinism)") {
+		t.Errorf("-only=ctxcheckpoint still ran determinism\n%s", out)
+	}
+	if !strings.Contains(out, "(ctxcheckpoint)") {
+		t.Errorf("ctxcheckpoint finding missing\n%s", out)
+	}
+}
+
+func TestDriverCleanPackageExitsZero(t *testing.T) {
+	bin := buildBinary(t)
+	out, code := runLint(t, bin, "./util")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out)
+	}
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("clean package produced output:\n%s", out)
+	}
+}
+
+func TestDriverUnknownAnalyzerExitsTwo(t *testing.T) {
+	bin := buildBinary(t)
+	out, code := runLint(t, bin, "-only=nonexistent", "./...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, "unknown analyzer") {
+		t.Errorf("missing unknown-analyzer error\n%s", out)
+	}
+}

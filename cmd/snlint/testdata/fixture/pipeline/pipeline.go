@@ -1,0 +1,44 @@
+// Known-bad fixture for the snlint driver test: one live determinism
+// finding, one live ctxcheckpoint finding, one suppressed finding and
+// one suppression missing its justification.
+package pipeline
+
+import "context"
+
+// KeysOf leaks map order into its result: a live determinism finding.
+func KeysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MeanOf carries a justified allow: the finding must round-trip to
+// silence.
+func MeanOf(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m { //lint:allow determinism fixture exercises the suppression round-trip
+		t += v
+	}
+	return t / float64(len(m))
+}
+
+// FirstOf carries an allow with no reason: suppressed, but the bare
+// directive is its own finding.
+func FirstOf(m map[string]int) string {
+	for k := range m { //lint:allow determinism
+		return k
+	}
+	return ""
+}
+
+// ScanAll promises cancellation and never checks: a live
+// ctxcheckpoint finding.
+func ScanAll(ctx context.Context, rows []float64) float64 {
+	sum := 0.0
+	for _, r := range rows {
+		sum += r
+	}
+	return sum
+}

@@ -1,0 +1,5 @@
+// The clean half of the fixture: nothing for any analyzer to say.
+package util
+
+// Add is beyond reproach.
+func Add(a, b int) int { return a + b }

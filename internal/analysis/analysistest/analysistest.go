@@ -1,0 +1,140 @@
+// Package analysistest runs one analyzer over a corpus package and
+// checks its diagnostics against `// want "regexp"` comments in the
+// corpus sources — the same convention as x/tools' analysistest, on
+// the stdlib-only framework.
+//
+// A corpus lives under the analyzer's testdata/src directory, which is
+// a tiny self-contained module (its own go.mod, module name "corpus")
+// so the loader can resolve it while the enclosing snmatch build — and
+// `go vet ./...` — never sees the deliberately broken code (the go
+// tool skips testdata directories entirely).
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"snmatch/internal/analysis/framework"
+	"snmatch/internal/analysis/load"
+)
+
+// wantRe extracts the quoted expectation strings from a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// Run loads testdata/src/<pkg> for each named corpus package, applies
+// the analyzer, and reports any mismatch between its diagnostics and
+// the corpus' want comments.
+func Run(t *testing.T, a *framework.Analyzer, testdataDir string, pkgs ...string) {
+	t.Helper()
+	root := filepath.Join(testdataDir, "src")
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, root, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, a *framework.Analyzer, root, pkg string) {
+	t.Helper()
+	loaded, err := load.Packages(root, "./"+pkg)
+	if err != nil {
+		t.Fatalf("loading corpus %s: %v", pkg, err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("corpus %s: loaded %d packages, want 1", pkg, len(loaded))
+	}
+	lp := loaded[0]
+	for _, terr := range lp.TypeErrors {
+		t.Errorf("corpus %s: type error: %v", pkg, terr)
+	}
+
+	var diags []framework.Diagnostic
+	pass := &framework.Pass{
+		Analyzer:  a,
+		Fset:      lp.Fset,
+		Files:     lp.Files,
+		Path:      lp.ImportPath,
+		Pkg:       lp.Types,
+		TypesInfo: lp.TypesInfo,
+		Report:    func(d framework.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for i, f := range lp.Files {
+		filename := lp.Filenames[i]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				line := lp.Fset.Position(c.Pos()).Line
+				for _, m := range wantRe.FindAllString(text, -1) {
+					s, err := strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", filename, line, m, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", filename, line, s, err)
+					}
+					k := key{filename, line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	var unexpected []string
+	for _, d := range diags {
+		pos := lp.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				if len(wants[k]) == 0 {
+					delete(wants, k)
+				}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			unexpected = append(unexpected, fmt.Sprintf("%s: unexpected diagnostic: %s", rel(pos), d.Message))
+		}
+	}
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+	var missing []string
+	for k, res := range wants {
+		for _, re := range res {
+			missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", filepath.Base(k.file), k.line, re))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}
+
+func rel(pos token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(pos.Filename), pos.Line, pos.Column)
+}

@@ -1,0 +1,217 @@
+// Package atomicfield enforces the all-or-nothing rule of sync/atomic:
+// once any code path touches a field through atomic operations, every
+// access to that field must be atomic — a single plain load or store
+// next to atomic ones is a data race the race detector only catches if
+// a test happens to interleave it.
+//
+// The analyzer collects every field that appears as &x.f (or &x.f[i])
+// in a sync/atomic call within the package, then flags:
+//
+//   - plain reads/writes of those fields anywhere else. Length-only
+//     ranges (for i := range t.ns) and len/cap calls are exempt: they
+//     touch only the array's compile-time shape, never its elements —
+//     the idiom obs.Trace uses to walk its stage counters.
+//   - methods with VALUE receivers on structs containing such fields:
+//     the receiver copy tears concurrent updates and the copy's
+//     updates are silently lost. go vet's copylocks stops at
+//     sync.Locker; a plain int64 driven by atomic.AddInt64 has no
+//     Lock method, so this slips straight past vet.
+//   - two-variable ranges whose element type is such a struct: each
+//     iteration copies the element non-atomically. Range by index.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"snmatch/internal/analysis/framework"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere, and their structs never copied",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: find atomically-accessed fields and remember the exact
+	// selector nodes inside sync/atomic call arguments (sanctioned).
+	atomicFields := map[*types.Var]bool{}
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := framework.CalleeObject(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op.String() != "&" {
+					continue
+				}
+				if sel := baseSelector(u.X); sel != nil {
+					if fld := fieldObject(info, sel); fld != nil {
+						atomicFields[fld] = true
+						sanctioned[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: shape-only uses (key-only range, len, cap) are exempt.
+	exempt := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					if sel := baseSelector(n.X); sel != nil {
+						exempt[sel] = true
+					}
+				}
+			case *ast.CallExpr:
+				if framework.IsBuiltin(info, n, "len") || framework.IsBuiltin(info, n, "cap") {
+					if len(n.Args) == 1 {
+						if sel := baseSelector(n.Args[0]); sel != nil {
+							exempt[sel] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3: every remaining selector of an atomic field is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] || exempt[sel] {
+				return true
+			}
+			fld := fieldObject(info, sel)
+			if fld != nil && atomicFields[fld] {
+				pass.Reportf(sel.Sel.Pos(), "plain access to field %s, which is accessed with sync/atomic elsewhere; use atomic loads/stores", fld.Name())
+			}
+			return true
+		})
+	}
+
+	// Pass 4: copies of structs holding atomic fields.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			rt := info.TypeOf(fd.Recv.List[0].Type)
+			if rt == nil {
+				continue
+			}
+			if _, isPtr := rt.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if fld := atomicFieldIn(rt, atomicFields, nil); fld != nil {
+				pass.Reportf(fd.Recv.List[0].Type.Pos(), "value receiver copies %s, whose field %s is accessed with sync/atomic; use a pointer receiver",
+					types.TypeString(rt, types.RelativeTo(pass.Pkg)), fld.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok || rng.Value == nil {
+				return true
+			}
+			elem := rangeElemType(info.TypeOf(rng.X))
+			if elem == nil {
+				return true
+			}
+			if fld := atomicFieldIn(elem, atomicFields, nil); fld != nil {
+				pass.Reportf(rng.Value.Pos(), "ranging by value copies %s, whose field %s is accessed with sync/atomic; range by index instead",
+					types.TypeString(elem, types.RelativeTo(pass.Pkg)), fld.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// baseSelector peels index expressions off e and returns the selector
+// underneath: t.ns[s] -> t.ns, c.n -> c.n.
+func baseSelector(e ast.Expr) *ast.SelectorExpr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return x
+		default:
+			return nil
+		}
+	}
+}
+
+// fieldObject resolves sel to a struct field, or nil.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if v, ok := info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// atomicFieldIn returns an atomically-accessed field contained in
+// struct type t (following nested non-pointer structs), or nil.
+func atomicFieldIn(t types.Type, atomicFields map[*types.Var]bool, seen map[types.Type]bool) *types.Var {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return nil
+	}
+	seen[t] = true
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if atomicFields[f] {
+			return f
+		}
+		if nested := atomicFieldIn(f.Type(), atomicFields, seen); nested != nil {
+			return nested
+		}
+	}
+	return nil
+}
+
+// rangeElemType returns the element type a two-variable range copies:
+// slice/array elements or map values.
+func rangeElemType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return u.Elem()
+	case *types.Array:
+		return u.Elem()
+	case *types.Pointer:
+		if a, ok := u.Elem().Underlying().(*types.Array); ok {
+			return a.Elem()
+		}
+	case *types.Map:
+		return u.Elem()
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"snmatch/internal/analysis/analysistest"
+	"snmatch/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, atomicfield.Analyzer, "testdata", "metrics")
+}

@@ -1,0 +1,96 @@
+// Corpus for the atomicfield analyzer: mixed atomic/plain access and
+// copies of atomic-bearing structs.
+package metrics
+
+import "sync/atomic"
+
+// Counter drives n exclusively through sync/atomic — except where the
+// corpus says otherwise.
+type Counter struct {
+	n    int64
+	name string
+}
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *Counter) Load() int64 { return atomic.LoadInt64(&c.n) }
+
+// Racy reads n without the atomic package: torn against Inc.
+func (c *Counter) Racy() int64 { return c.n } // want "plain access to field n"
+
+// Reset writes n plainly: lost against concurrent Inc.
+func (c *Counter) Reset() { c.n = 0 } // want "plain access to field n"
+
+// Name touches only the immutable field: no finding.
+func (c *Counter) Name() string { return c.name }
+
+// Describe copies the whole Counter into its receiver.
+func (c Counter) Describe() string { return c.name } // want "value receiver copies Counter, whose field n is accessed with sync/atomic"
+
+// Trace mirrors the obs stage timer: an array driven element-wise by
+// atomic ops, walked with a length-only range.
+type Trace struct {
+	ns [4]int64
+}
+
+func (t *Trace) Add(stage int, d int64) { atomic.AddInt64(&t.ns[stage], d) }
+
+// Each is the sanctioned walk: the range reads only the array's
+// length, each element goes through an atomic load.
+func (t *Trace) Each(f func(int64)) {
+	for i := range t.ns {
+		f(atomic.LoadInt64(&t.ns[i]))
+	}
+}
+
+// Stages reads only compile-time shape.
+func (t *Trace) Stages() int { return len(t.ns) }
+
+// Sum ranges with a value variable: every element read is plain.
+func (t *Trace) Sum() int64 {
+	total := int64(0)
+	for _, v := range t.ns { // want "plain access to field ns"
+		total += v
+	}
+	return total
+}
+
+// TotalOf copies each Counter out of the slice before reading it.
+func TotalOf(cs []Counter) int64 {
+	total := int64(0)
+	for _, c := range cs { // want "ranging by value copies Counter, whose field n is accessed with sync/atomic"
+		total += c.Load()
+	}
+	return total
+}
+
+// TotalByIndex takes addresses into the slice: no copy.
+func TotalByIndex(cs []Counter) int64 {
+	total := int64(0)
+	for i := range cs {
+		total += cs[i].Load()
+	}
+	return total
+}
+
+// Registry embeds a Counter one level down: copies are still copies.
+type Registry struct {
+	hits Counter
+}
+
+// Snapshot copies the Registry and the Counter inside it.
+func (r Registry) Snapshot() int64 { return r.hits.Load() } // want "value receiver copies Registry, whose field n is accessed with sync/atomic"
+
+// Plain has no atomic traffic anywhere: value receivers and range
+// copies are fine.
+type Plain struct{ n int64 }
+
+func (p Plain) Value() int64 { return p.n }
+
+func SumPlain(ps []Plain) int64 {
+	total := int64(0)
+	for _, p := range ps {
+		total += p.Value()
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+package ctxcheckpoint_test
+
+import (
+	"testing"
+
+	"snmatch/internal/analysis/analysistest"
+	"snmatch/internal/analysis/ctxcheckpoint"
+)
+
+func TestCtxCheckpoint(t *testing.T) {
+	analysistest.Run(t, ctxcheckpoint.Analyzer, "testdata", "pipeline")
+}

@@ -1,0 +1,10 @@
+// Package parallel is a corpus stub of snmatch/internal/parallel: the
+// analyzer recognises fan-out closures by the callee's package name.
+package parallel
+
+// ForEach runs fn(0..n-1) across workers goroutines.
+func ForEach(n, workers int, fn func(int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}

@@ -1,0 +1,120 @@
+// Corpus for the ctxcheckpoint analyzer: unbounded spans in
+// context-accepting functions.
+package pipeline
+
+import (
+	"context"
+
+	"corpus/parallel"
+)
+
+func scanSpan(s int) int { return s * s }
+
+// ScanAll promises cancellation but its loop never looks.
+func ScanAll(ctx context.Context, rows []float64) float64 {
+	sum := 0.0
+	for _, r := range rows { // want "loop in ScanAll never checks ctx"
+		sum += r
+	}
+	return sum
+}
+
+// ScanChecked checkpoints per iteration.
+func ScanChecked(ctx context.Context, rows []float64) (float64, error) {
+	sum := 0.0
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		sum += r
+	}
+	return sum, nil
+}
+
+// ScanDelegated forwards ctx into the per-row callee: the obligation
+// moves with it.
+func ScanDelegated(ctx context.Context, rows []float64) (float64, error) {
+	sum := 0.0
+	for i := range rows {
+		v, err := rowValue(ctx, rows, i)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+func rowValue(ctx context.Context, rows []float64, i int) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return rows[i], nil
+}
+
+// ScanSharded checkpoints the outer shard loop; the inner kernel loop
+// is the shard's business and is not graded.
+func ScanSharded(ctx context.Context, shards [][]float64) (float64, error) {
+	sum := 0.0
+	for _, shard := range shards {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, r := range shard {
+			sum += r
+		}
+	}
+	return sum, nil
+}
+
+// FanOut hands the shard scan to parallel workers but the closure
+// never re-checks ctx, so expiry cannot skip remaining shards.
+func FanOut(ctx context.Context, n int, counts []int32) {
+	parallel.ForEach(n, n, func(s int) { // want "parallel fan-out closure in FanOut never re-checks ctx"
+		counts[s] = int32(scanSpan(s))
+	})
+}
+
+// FanOutChecked is the house shard-scan shape.
+func FanOutChecked(ctx context.Context, n int, counts []int32) error {
+	parallel.ForEach(n, n, func(s int) {
+		if ctx.Err() != nil {
+			return
+		}
+		counts[s] = int32(scanSpan(s))
+	})
+	return ctx.Err()
+}
+
+// Drain selects on ctx.Done: the select's receive is the checkpoint.
+func Drain(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+// Reduce takes no context: nothing is promised, nothing is graded.
+func Reduce(rows []float64) float64 {
+	sum := 0.0
+	for _, r := range rows {
+		sum += r
+	}
+	return sum
+}
+
+type scanner struct{ rows []float64 }
+
+// Total is a method span: same rule, method-labelled diagnostic.
+func (sc *scanner) Total(ctx context.Context) float64 {
+	sum := 0.0
+	for _, r := range sc.rows { // want "loop in \\(\\*scanner\\).Total never checks ctx"
+		sum += r
+	}
+	return sum
+}

@@ -1,0 +1,372 @@
+// Package determinism enforces the house rule that the recognition
+// kernels are bit-reproducible: every optimisation ships bit-identical
+// to its reference path, so nothing in the deterministic packages may
+// depend on map iteration order, wall-clock time, or process-global
+// randomness.
+//
+// Three mechanical contracts, checked per package in Packages:
+//
+//  1. `range` over a map is flagged unless the loop provably cannot
+//     leak iteration order: bodies that only write into other maps
+//     (or delete keys, or bump integer accumulators — integer + is
+//     commutative, float + is not) are order-insensitive, and
+//     append-collect loops whose slice is sorted later in the same
+//     block are ordered by the sort, not the map.
+//  2. time.Now is observability, not pipeline state: it is allowed
+//     only in functions that thread a *obs.Trace (the nil-gated stage
+//     timer), everywhere else it is a wall-clock dependency in a
+//     kernel that must replay bit-for-bit.
+//  3. Package-global math/rand state (rand.Intn, rand.Seed, ...) is
+//     banned outright — snmatch/internal/rng exists so every random
+//     stream is owned and seeded explicitly. Constructing a local
+//     rand.New(rand.NewSource(seed)) is deterministic and allowed.
+//
+// A fourth guard covers goroutine result collection: inside a `go`
+// statement, appending to a slice captured from the enclosing scope
+// orders results by worker completion; results must be assigned by
+// index (the internal/parallel idiom) instead.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"snmatch/internal/analysis/framework"
+)
+
+// Packages lists the package path segments the determinism contract
+// covers: the matching kernels and everything that feeds them.
+// Matching by segment covers subpackages (features/sift etc.) and the
+// test corpus alike.
+var Packages = []string{"pipeline", "features", "parallel", "synth"}
+
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc: "flag map-order, wall-clock and global-randomness dependencies " +
+		"in the deterministic pipeline packages",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !framework.PathHasSegment(pass.Path, Packages...) {
+		return nil
+	}
+	benign := benignMapRanges(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok {
+				checkFunc(pass, fd, benign)
+				continue
+			}
+			// Package-level initializers never carry a trace.
+			ast.Inspect(decl, func(n ast.Node) bool {
+				checkNode(pass, n, false, benign)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *framework.Pass, fd *ast.FuncDecl, benign map[*ast.RangeStmt]bool) {
+	if fd.Body == nil {
+		return
+	}
+	nowOK := hasTraceParam(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		checkNode(pass, n, nowOK, benign)
+		return true
+	})
+}
+
+func checkNode(pass *framework.Pass, n ast.Node, nowOK bool, benign map[*ast.RangeStmt]bool) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if isMapType(pass.TypesInfo.TypeOf(n.X)) && !benign[n] {
+			pass.Reportf(n.For, "unordered iteration over map %s can reach the result; "+
+				"sort the keys first, or keep the body order-insensitive (map writes, integer accumulation)",
+				exprString(n.X))
+		}
+	case *ast.CallExpr:
+		if framework.IsPkgFunc(pass.TypesInfo, n, "time", "Now") && !nowOK {
+			pass.Reportf(n.Pos(), "time.Now in a deterministic package must be observability-gated: "+
+				"thread a *obs.Trace (nil when instrumentation is off) or move the timing to the serving layer")
+		}
+		if fn := framework.CalleeObject(pass.TypesInfo, n); fn != nil && isGlobalRand(fn) {
+			pass.Reportf(n.Pos(), "rand.%s uses process-global math/rand state; "+
+				"use snmatch/internal/rng with an explicit seed", fn.Name())
+		}
+	case *ast.GoStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			checkGoroutineAppends(pass, lit)
+		}
+	}
+}
+
+// hasTraceParam reports whether fd takes a *obs.Trace — the marker of
+// an instrumentation shim, whose clocks are nil-gated by contract.
+func hasTraceParam(pass *framework.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, fld := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(fld.Type)
+		if t == nil {
+			continue
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok && framework.IsNamed(p.Elem(), "obs", "Trace") {
+			return true
+		}
+	}
+	return false
+}
+
+// isGlobalRand reports whether fn is a package-level function of
+// math/rand (or math/rand/v2) that touches the shared global source.
+// Methods (on *rand.Rand) and the source constructors are fine.
+func isGlobalRand(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || (pkg.Path() != "math/rand" && pkg.Path() != "math/rand/v2") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf", "NewChaCha8", "NewPCG":
+		return false
+	}
+	return true
+}
+
+// checkGoroutineAppends flags `s = append(s, ...)` inside a go-routine
+// body when s is captured from the enclosing scope.
+func checkGoroutineAppends(pass *framework.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !framework.IsBuiltin(pass.TypesInfo, call, "append") || len(call.Args) == 0 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+				pass.Reportf(call.Pos(), "goroutine appends to %s captured from the enclosing scope; "+
+					"worker completion order becomes result order — assign results by index instead", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// benignMapRanges walks every statement list once and marks the map
+// ranges whose iteration order provably cannot escape.
+func benignMapRanges(pass *framework.Pass) map[*ast.RangeStmt]bool {
+	benign := map[*ast.RangeStmt]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch b := n.(type) {
+			case *ast.BlockStmt:
+				list = b.List
+			case *ast.CaseClause:
+				list = b.Body
+			case *ast.CommClause:
+				list = b.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+					continue
+				}
+				if orderInsensitiveBody(pass, rs.Body.List) {
+					benign[rs] = true
+					continue
+				}
+				if appendThenSorted(pass, rs, list[i+1:]) {
+					benign[rs] = true
+				}
+			}
+			return true
+		})
+	}
+	return benign
+}
+
+// orderInsensitiveBody reports whether every statement in the loop
+// body commutes across iterations: writes into maps, deletes, integer
+// accumulation, and if-guards around the same.
+func orderInsensitiveBody(pass *framework.Pass, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			switch s.Tok {
+			case token.ASSIGN:
+				for _, lhs := range s.Lhs {
+					if !isMapWriteOrBlank(pass, lhs) {
+						return false
+					}
+				}
+			case token.ADD_ASSIGN:
+				// Integer accumulation commutes; float accumulation
+				// depends on order.
+				for _, lhs := range s.Lhs {
+					if !isIntegerType(pass.TypesInfo.TypeOf(lhs)) {
+						return false
+					}
+				}
+			default:
+				return false
+			}
+		case *ast.IncDecStmt:
+			if !isIntegerType(pass.TypesInfo.TypeOf(s.X)) {
+				return false
+			}
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+			if !ok || !framework.IsBuiltin(pass.TypesInfo, call, "delete") {
+				return false
+			}
+		case *ast.IfStmt:
+			if s.Init != nil {
+				return false
+			}
+			if !orderInsensitiveBody(pass, s.Body.List) {
+				return false
+			}
+			switch e := s.Else.(type) {
+			case nil:
+			case *ast.BlockStmt:
+				if !orderInsensitiveBody(pass, e.List) {
+					return false
+				}
+			default:
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok != token.CONTINUE {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isMapWriteOrBlank(pass *framework.Pass, lhs ast.Expr) bool {
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return true
+	}
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	return ok && isMapType(pass.TypesInfo.TypeOf(ix.X))
+}
+
+// appendThenSorted recognises the collect-then-sort idiom: the body
+// only appends to slice variables, and every such slice is passed to a
+// sort call later in the same statement list.
+func appendThenSorted(pass *framework.Pass, rs *ast.RangeStmt, following []ast.Stmt) bool {
+	targets := map[types.Object]bool{}
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !framework.IsBuiltin(pass.TypesInfo, call, "append") {
+			return false
+		}
+		obj := framework.ObjectOf(pass.TypesInfo, id)
+		if obj == nil {
+			return false
+		}
+		targets[obj] = true
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	for obj := range targets {
+		if !sortedLater(pass, obj, following) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedLater(pass *framework.Pass, obj types.Object, following []ast.Stmt) bool {
+	for _, s := range following {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := framework.CalleeObject(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok &&
+				pass.TypesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isIntegerType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "expression"
+}

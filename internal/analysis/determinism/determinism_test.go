@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"snmatch/internal/analysis/analysistest"
+	"snmatch/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer, "testdata", "pipeline")
+}

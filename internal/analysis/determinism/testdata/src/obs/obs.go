@@ -1,0 +1,16 @@
+// Package obs is a corpus stub of snmatch/internal/obs: the analyzer
+// recognises *obs.Trace parameters by package and type name.
+package obs
+
+// Trace mirrors the real stage timer's shape.
+type Trace struct {
+	ns [8]int64
+}
+
+// Add is the nil-gated record entry point.
+func (t *Trace) Add(stage int, d int64) {
+	if t == nil {
+		return
+	}
+	t.ns[stage] += d
+}

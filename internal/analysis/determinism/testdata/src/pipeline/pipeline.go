@@ -1,0 +1,149 @@
+// Corpus for the determinism analyzer: map-order, wall-clock and
+// global-randomness hazards in a "deterministic" package.
+package pipeline
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"corpus/obs"
+)
+
+// --- map iteration ---
+
+// CountsByClass leaks map order into an output slice.
+func CountsByClass(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "unordered iteration over map m"
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys collects then sorts: the sort owns the order, not the map.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CopyInto writes map-to-map: order-insensitive.
+func CopyInto(dst, src map[string]int) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// DropZeroes deletes while ranging: order-insensitive.
+func DropZeroes(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// TotalViews accumulates integers: + commutes over int.
+func TotalViews(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MeanScore accumulates floats: float addition does NOT commute
+// bit-for-bit, so map order reaches the sum.
+func MeanScore(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "unordered iteration over map m"
+		total += v
+	}
+	return total / float64(len(m))
+}
+
+// FirstKey leaks order through an early return.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want "unordered iteration over map m"
+		return k
+	}
+	return ""
+}
+
+// --- wall clock ---
+
+// ScanPlain has no trace parameter: its clock is pipeline state.
+func ScanPlain(rows []float64) float64 {
+	start := time.Now() // want "time.Now in a deterministic package"
+	sum := 0.0
+	for _, r := range rows {
+		sum += r
+	}
+	_ = start
+	return sum
+}
+
+// ScanTraced threads the nil-gated stage timer: allowed.
+func ScanTraced(rows []float64, tr *obs.Trace) float64 {
+	start := time.Now()
+	sum := 0.0
+	for _, r := range rows {
+		sum += r
+	}
+	tr.Add(0, int64(time.Since(start)))
+	return sum
+}
+
+// --- global randomness ---
+
+// Jitter uses the process-global source.
+func Jitter(n int) int {
+	return rand.Intn(n) // want "process-global math/rand state"
+}
+
+// SeededJitter owns its stream: allowed.
+func SeededJitter(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// --- goroutine result collection ---
+
+// GatherUnordered appends from workers: completion order becomes
+// result order.
+func GatherUnordered(n int) []int {
+	var results []int
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			results = append(results, i*i) // want "goroutine appends to results"
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return results
+}
+
+// GatherByIndex assigns by index: deterministic at any worker count.
+func GatherByIndex(n int) []int {
+	results := make([]int, n)
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		i := i
+		go func() {
+			results[i] = i * i
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+	return results
+}

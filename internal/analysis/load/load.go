@@ -1,0 +1,168 @@
+// Package load type-checks Go packages for the snlint analyzers
+// without golang.org/x/tools/go/packages: it drives `go list -export
+// -deps -json` for the package graph, imports every dependency from
+// the compiler's export data (so nothing is re-type-checked
+// transitively), and type-checks only the target packages from source.
+// The whole pipeline is offline — the only inputs are the module tree
+// and the Go build cache that `go list -export` populates.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Name       string
+	Dir        string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Filenames []string
+
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors collects type-checker complaints without aborting the
+	// load: analyzers still run over what was resolvable.
+	TypeErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads and type-checks the packages matched by patterns,
+// resolved relative to dir (a directory inside the module to lint).
+// Dependencies — including target packages imported by other targets —
+// are satisfied from export data, so each target is checked
+// independently and diagnostics always point into its own sources.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// One walk for the full dependency graph with export data...
+	graph, err := goList(dir, append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	byPath := map[string]*listPkg{}
+	for _, p := range graph {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		byPath[p.ImportPath] = p
+	}
+
+	// ...and one cheap one for exactly the matched target set.
+	matched, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	for _, t := range matched {
+		lp := byPath[t.ImportPath]
+		if lp == nil {
+			lp = t
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, lp *listPkg) (*Package, error) {
+	p := &Package{ImportPath: lp.ImportPath, Name: lp.Name, Dir: lp.Dir, Fset: fset}
+	for _, g := range lp.GoFiles {
+		fn := filepath.Join(lp.Dir, g)
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		p.Files = append(p.Files, f)
+		p.Filenames = append(p.Filenames, fn)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	tp, _ := conf.Check(lp.ImportPath, fset, p.Files, info)
+	p.Types = tp
+	p.TypesInfo = info
+	return p, nil
+}
+
+// goList runs `go list -json=...` in dir and decodes the package
+// stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	fields := "-json=ImportPath,Name,Dir,Export,GoFiles,Standard,Error"
+	cmd := exec.Command("go", append([]string{"list", "-e", fields}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"snmatch/internal/analysis/analysistest"
+	"snmatch/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, noalloc.Analyzer, "testdata", "hotpath")
+}

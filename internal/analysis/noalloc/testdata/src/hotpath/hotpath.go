@@ -1,0 +1,128 @@
+// Corpus for the noalloc analyzer: allocation-inducing constructs in
+// and below //snmatch:noalloc roots.
+package hotpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+type counter interface {
+	Inc()
+}
+
+type stat struct{ n int }
+
+func (s *stat) Inc() { s.n++ }
+
+type tick struct{ n int }
+
+func (t tick) Inc() {}
+
+type result struct {
+	class string
+	score float64
+}
+
+// Classify is the warm-path entry point.
+//
+//snmatch:noalloc
+func Classify(scores []float64, names []string, c counter) string {
+	best := argmax(scores)
+	c.Inc()
+	return names[best]
+}
+
+// argmax is not annotated but is reachable from Classify, so it is
+// checked with Classify named as the root.
+func argmax(scores []float64) int {
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	buf := make([]byte, 8) // want "make allocates in argmax \\(reachable from noalloc root Classify\\)"
+	_ = buf
+	return best
+}
+
+// describe is unreachable from any root: allocations are fine here.
+func describe(r result) string {
+	return fmt.Sprintf("%s=%.3f", r.class, r.score)
+}
+
+// Label exercises the direct-construct checks inside a root.
+//
+//snmatch:noalloc
+func Label(r result, verbose bool) string {
+	if verbose {
+		return fmt.Sprintf("%s=%.3f", r.class, r.score) // want "fmt.Sprintf formats and allocates in noalloc function Label"
+	}
+	name := r.class + "!"  // want "string concatenation allocates in noalloc function Label"
+	name += r.class        // want "string concatenation allocates in noalloc function Label"
+	p := &result{}         // want "&composite literal heap-allocates in noalloc function Label"
+	q := new(result)       // want "new allocates in noalloc function Label"
+	raw := []byte(r.class) // want "string-to-slice conversion copies its operand in noalloc function Label"
+	s := string(raw)       // want "slice-to-string conversion copies its operand in noalloc function Label"
+	_, _, _ = p, q, s
+	return name
+}
+
+// Extend exercises append growth and closure capture.
+//
+//snmatch:noalloc
+func Extend(dst []result, r result) []result {
+	f := func() result { return r } // want "closure allocates its environment in noalloc function Extend"
+	return append(dst, f())         // want "append may grow its backing array in noalloc function Extend"
+}
+
+// Record exercises interface boxing: a value box is flagged, a
+// pointer fits the interface word.
+//
+//snmatch:noalloc
+func Record(k tick, s stat, cs []counter) {
+	sink(k)  // want "passing tick by value boxes it into counter in noalloc function Record"
+	sink(&s) // pointer: no box
+	for _, c := range cs {
+		c.Inc() // interface call: contract boundary, not followed
+	}
+}
+
+func sink(c counter) { _ = c }
+
+var bufs sync.Pool
+
+// getBuf is a pool accessor: the make behind the miss branch is the
+// warm-up that keeps the steady state allocation-free, not a finding.
+func getBuf(n int) []float64 {
+	if v := bufs.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return make([]float64, n)
+}
+
+// Score reaches the pool accessor from a root: still clean.
+//
+//snmatch:noalloc
+func Score(n int) float64 {
+	buf := getBuf(n)
+	sum := 0.0
+	for _, v := range buf {
+		sum += v
+	}
+	return sum
+}
+
+// Warm is annotated and clean end to end: constant concatenation
+// folds at compile time and pointer receivers stay unboxed.
+//
+//snmatch:noalloc
+func Warm(s *stat) string {
+	if s == nil {
+		panic("hotpath: nil stat") // cold by definition: not a boxing finding
+	}
+	s.Inc()
+	const prefix = "class-"
+	return prefix + "unknown"
+}

@@ -1,0 +1,189 @@
+// Package snlint is the engine behind cmd/snlint: it loads packages,
+// fans the analyzer suite across them, applies //lint:allow
+// suppressions and returns the surviving findings in deterministic
+// order.
+//
+// Suppression contract: a finding is silenced by a directive of the
+// form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the finding's line or the line directly above it. The
+// reason is mandatory — an allow that does not say WHY the contract is
+// waived is itself a finding — so every exception in the tree reads as
+// a reviewed decision, not a shrug.
+package snlint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+
+	"snmatch/internal/analysis/atomicfield"
+	"snmatch/internal/analysis/ctxcheckpoint"
+	"snmatch/internal/analysis/determinism"
+	"snmatch/internal/analysis/framework"
+	"snmatch/internal/analysis/load"
+	"snmatch/internal/analysis/noalloc"
+	"snmatch/internal/analysis/unsafealias"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		atomicfield.Analyzer,
+		ctxcheckpoint.Analyzer,
+		determinism.Analyzer,
+		noalloc.Analyzer,
+		unsafealias.Analyzer,
+	}
+}
+
+// Finding is one surviving diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String renders the finding in the grep-able one-line form the CI log
+// and the editors expect: file:line:col: message (analyzer).
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+var allowRe = regexp.MustCompile(`^//lint:allow\s+(\S+)\s*(.*)$`)
+
+// allowKey locates one directive's scope.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Run loads patterns relative to dir, applies the analyzers (all of
+// them when only is empty, otherwise the named subset) and returns the
+// unsuppressed findings sorted by position. The error covers load or
+// analyzer failures, not findings.
+func Run(dir string, patterns []string, only []string) ([]Finding, error) {
+	suite, err := selectAnalyzers(only)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type errors (run go build for details): %v", p.ImportPath, p.TypeErrors[0])
+		}
+		allows := collectAllows(p)
+		for _, a := range suite {
+			pass := &framework.Pass{
+				Analyzer:  a,
+				Fset:      p.Fset,
+				Files:     p.Files,
+				Path:      p.ImportPath,
+				Pkg:       p.Types,
+				TypesInfo: p.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d framework.Diagnostic) {
+				pos := p.Fset.Position(d.Pos)
+				if sameLine := allows[allowKey{pos.Filename, pos.Line, name}]; sameLine != nil {
+					sameLine.used = true
+					return
+				}
+				if above := allows[allowKey{pos.Filename, pos.Line - 1, name}]; above != nil {
+					above.used = true
+					return
+				}
+				findings = append(findings, Finding{Pos: pos, Message: d.Message, Analyzer: name})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, p.ImportPath, err)
+			}
+		}
+		// Directives without a justification are findings themselves.
+		for _, d := range allows {
+			if d.reason == "" {
+				findings = append(findings, Finding{
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("lint:allow %s directive without a justification; say why the contract is waived", d.analyzer),
+					Analyzer: "snlint",
+				})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+func selectAnalyzers(only []string) ([]*framework.Analyzer, error) {
+	all := Analyzers()
+	if len(only) == 0 {
+		return all, nil
+	}
+	byName := map[string]*framework.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var suite []*framework.Analyzer
+	for _, n := range only {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list for the suite)", n)
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}
+
+type allowDirective struct {
+	pos      token.Position
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows indexes every //lint:allow directive in the package by
+// (file, line, analyzer).
+func collectAllows(p *load.Package) map[allowKey]*allowDirective {
+	out := map[allowKey]*allowDirective{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				d := &allowDirective{
+					pos:      pos,
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+				}
+				out[allowKey{pos.Filename, pos.Line, d.analyzer}] = d
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Corpus for the unsafealias placement rule: a non-snapshot package
+// has no business with runtime unsafe at all.
+package codec
+
+import "unsafe"
+
+type header struct {
+	magic uint32
+	count uint32
+}
+
+// Parse reinterprets bytes outside the seam.
+func Parse(raw []byte) *header {
+	return (*header)(unsafe.Pointer(&raw[0])) // want "runtime unsafe.Pointer outside the snapshot alias seam"
+}
+
+// HeaderSize is compile-time arithmetic: allowed anywhere.
+func HeaderSize() int {
+	return int(unsafe.Sizeof(header{}))
+}

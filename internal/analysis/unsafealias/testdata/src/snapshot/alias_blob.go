@@ -1,0 +1,51 @@
+// Corpus for the unsafealias analyzer, blessed side: this file is the
+// alias seam, so runtime unsafe is allowed — subject to the layout
+// guard and retention rules.
+package snapshot
+
+import "unsafe"
+
+// Rec mirrors a fixed on-disk record.
+type Rec struct {
+	X, Y  float32
+	Count int64
+}
+
+// recLayoutMatches is the layout guard: the compile-time offsets of
+// the in-memory struct checked against the disk format.
+var recLayoutMatches = unsafe.Offsetof(Rec{}.X) == 0 &&
+	unsafe.Offsetof(Rec{}.Y) == 4 &&
+	unsafe.Offsetof(Rec{}.Count) == 8
+
+// asF32s aliases a basic element type: no layout to guard.
+func asF32s(raw []byte, n int) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(&raw[0])), n)
+}
+
+// asRecs consults the guard before aliasing the struct: allowed.
+func asRecs(raw []byte, n int) []Rec {
+	if !recLayoutMatches {
+		return nil
+	}
+	return unsafe.Slice((*Rec)(unsafe.Pointer(&raw[0])), n)
+}
+
+// asRecsUnchecked aliases the struct with no guard in sight.
+func asRecsUnchecked(raw []byte, n int) []Rec {
+	return unsafe.Slice((*Rec)(unsafe.Pointer(&raw[0])), n) // want "unsafe.Slice aliases struct type Rec without consulting an unsafe.Offsetof layout guard"
+}
+
+// cachedRows outlives every mapping.
+var cachedRows []float32
+
+// Warm leaks the alias into process-lifetime state.
+func Warm(raw []byte, n int) {
+	cachedRows = asF32s(raw, n) // want "package-level var cachedRows retains the aliased slice from asF32s"
+}
+
+// View hands the alias to its caller: the caller owns the lifetime,
+// nothing package-level is touched.
+func View(raw []byte, n int) []float32 {
+	rows := asF32s(raw, n)
+	return rows
+}

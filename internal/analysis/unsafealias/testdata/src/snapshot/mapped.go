@@ -1,0 +1,24 @@
+// The non-alias half of the corpus snapshot package: runtime unsafe
+// does not belong here even though the package is right.
+package snapshot
+
+import "unsafe"
+
+// Mapping stands in for the real mmap handle.
+type Mapping struct {
+	data []byte
+}
+
+// Release drops the mapping.
+func (m *Mapping) Release() { m.data = nil }
+
+// Floats reinterprets in the wrong file: the cast belongs behind the
+// alias_*.go seam.
+func (m *Mapping) Floats(n int) []float32 {
+	return unsafe.Slice((*float32)(unsafe.Pointer(&m.data[0])), n) // want "runtime unsafe.Slice outside the snapshot alias seam" "runtime unsafe.Pointer outside the snapshot alias seam"
+}
+
+// RecBytes uses only compile-time unsafe: fine anywhere.
+func RecBytes() int {
+	return int(unsafe.Sizeof(Rec{}))
+}

@@ -158,6 +158,8 @@ func wireCounters() {
 // warm path. Armed, it advances the point's deterministic schedule and
 // fires the rule's mode when due: ErrInjected, a latency sleep, or a
 // panic.
+//
+//snmatch:noalloc
 func Check(p Point) error {
 	r := rules[p].Load()
 	if r == nil {
@@ -184,8 +186,10 @@ func (r *Rule) fire(p Point) error {
 		time.Sleep(r.Delay)
 		return nil
 	case ModePanic:
+		//lint:allow noalloc a firing fault is the cold path by construction; disarmed Check is one atomic load
 		panic(fmt.Errorf("%w at %s", ErrInjected, p))
 	}
+	//lint:allow noalloc a firing fault is the cold path by construction; disarmed Check is one atomic load
 	return fmt.Errorf("%w at %s", ErrInjected, p)
 }
 

@@ -70,6 +70,8 @@ func BucketBound(k int) float64 {
 }
 
 // Observe records one value (values below zero clamp to zero).
+//
+//snmatch:noalloc
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
 		return
@@ -84,6 +86,8 @@ func (h *Histogram) Observe(v int64) {
 
 // ObserveDuration records a duration given in nanoseconds — an alias
 // of Observe that documents the unit at call sites.
+//
+//snmatch:noalloc
 func (h *Histogram) ObserveDuration(ns int64) { h.Observe(ns) }
 
 // Count returns the number of observations so far.

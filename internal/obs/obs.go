@@ -35,6 +35,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//snmatch:noalloc
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -43,6 +45,8 @@ func (c *Counter) Inc() {
 
 // Add adds n (n must be non-negative for the exported value to stay
 // monotone; callers own that invariant).
+//
+//snmatch:noalloc
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -64,6 +68,7 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//snmatch:noalloc
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -71,6 +76,7 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add moves the value by delta (negative deltas decrease it).
+//snmatch:noalloc
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)

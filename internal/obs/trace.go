@@ -86,6 +86,8 @@ func (t *Trace) Reset() {
 }
 
 // Add accumulates d into stage s.
+//
+//snmatch:noalloc
 func (t *Trace) Add(s Stage, d time.Duration) {
 	if t == nil {
 		return
@@ -94,6 +96,8 @@ func (t *Trace) Add(s Stage, d time.Duration) {
 }
 
 // Set replaces stage s's total.
+//
+//snmatch:noalloc
 func (t *Trace) Set(s Stage, d time.Duration) {
 	if t == nil {
 		return
@@ -102,6 +106,8 @@ func (t *Trace) Set(s Stage, d time.Duration) {
 }
 
 // Get returns stage s's accumulated time.
+//
+//snmatch:noalloc
 func (t *Trace) Get(s Stage) time.Duration {
 	if t == nil {
 		return 0

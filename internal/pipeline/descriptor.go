@@ -136,7 +136,7 @@ func (p *Descriptor) classifyOn(ctx context.Context, img *imaging.Image, g *Gall
 		tr = &c.Trace
 		tr.Reset()
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow determinism feeds QueryStats.Extract timing only; predictions never read the clock
 	q := ExtractDescriptorsCtx(img, p.Kind, p.Params, c)
 	stats := QueryStats{Extract: time.Since(start)}
 	tr.Set(obs.StageExtract, stats.Extract)
@@ -208,6 +208,7 @@ type matchCounter interface {
 // point fires here too; since a count fill has no error return, an
 // armed error surfaces as a panic for the per-request recovery to
 // convert (latency rules just stretch the scan in place).
+//snmatch:noalloc
 func classifyCounts(ctx context.Context, g *Gallery, ix *DescriptorIndex, mc matchCounter, q *features.Set, ratio float64, tr *obs.Trace) (Prediction, error) {
 	countsPtr := ix.getCounts()
 	counts := *countsPtr
@@ -226,6 +227,7 @@ func classifyCounts(ctx context.Context, g *Gallery, ix *DescriptorIndex, mc mat
 		return Prediction{}, err
 	}
 	best := Prediction{Index: -1, Score: -1}
+	//lint:allow ctxcheckpoint bounded argmax over per-view counts runs in microseconds; the scan that filled counts already honoured ctx
 	for i := range counts {
 		if score := float64(counts[i]); score > best.Score {
 			best = Prediction{Class: g.ClassOf(i), Index: i, Score: score}

@@ -269,6 +269,8 @@ func (ix *DescriptorIndex) putCounts(s *[]int32) { ix.counts.Put(s) }
 // exactly match.GoodMatchCount(query, view, ratio) per view, computed
 // in one scan of the flat matrix per query descriptor. counts must have
 // NumViews entries and is overwritten.
+//
+//snmatch:noalloc
 func (ix *DescriptorIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
 	ix.GoodMatchCountsRange(query, ratio, counts, 0, ix.NumViews)
 }
@@ -281,6 +283,8 @@ func (ix *DescriptorIndex) GoodMatchCounts(query *features.Set, ratio float64, c
 // write disjoint ranges concurrently and still match the full scan bit
 // for bit. Concurrent callers must pass a query whose Packed mirror is
 // already built (extractors do; hand-assembled sets need Set.Pack).
+//
+//snmatch:noalloc
 func (ix *DescriptorIndex) GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int) {
 	for i := v0; i < v1; i++ {
 		counts[i] = 0
@@ -301,11 +305,15 @@ func (ix *DescriptorIndex) GoodMatchCountsRange(query *features.Set, ratio float
 
 // GoodMatchCountsTraced implements MatchIndex: the exact scan has no
 // probe/verify split, so the whole scan books as match time.
+//
+//snmatch:noalloc
 func (ix *DescriptorIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
 	ix.GoodMatchCountsRangeTraced(query, ratio, counts, 0, ix.NumViews, tr)
 }
 
 // GoodMatchCountsRangeTraced implements MatchIndex.
+//
+//snmatch:noalloc
 func (ix *DescriptorIndex) GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace) {
 	if tr == nil {
 		ix.GoodMatchCountsRange(query, ratio, counts, v0, v1)

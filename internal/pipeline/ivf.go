@@ -423,6 +423,8 @@ func (sc *ivfScratch) next() {
 }
 
 // GoodMatchCounts implements MatchIndex.
+//
+//snmatch:noalloc
 func (iv *IVFIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
 	iv.GoodMatchCountsRangeTraced(query, ratio, counts, 0, iv.ix.NumViews, nil)
 }
@@ -430,11 +432,14 @@ func (iv *IVFIndex) GoodMatchCounts(query *features.Set, ratio float64, counts [
 // GoodMatchCountsRange implements MatchIndex: the flat scan's contract
 // over the nprobe nearest lists. Views outside [v0, v1) are untouched,
 // so sharded fan-out composes exactly as with the flat index.
+//snmatch:noalloc
 func (iv *IVFIndex) GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int) {
 	iv.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, nil)
 }
 
 // GoodMatchCountsTraced implements MatchIndex.
+//
+//snmatch:noalloc
 func (iv *IVFIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
 	iv.GoodMatchCountsRangeTraced(query, ratio, counts, 0, iv.ix.NumViews, tr)
 }
@@ -443,6 +448,7 @@ func (iv *IVFIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, co
 // and list scans book as match time, the exact shortlist re-scoring as
 // verify time; the shortlist/probe histograms record just before
 // verification.
+//snmatch:noalloc
 func (iv *IVFIndex) GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace) {
 	if iv.full {
 		iv.ix.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, tr)
@@ -559,7 +565,7 @@ func (iv *IVFIndex) scanFloat(qp *features.Packed, ratio float64, counts []int32
 				if sc.viewMark[v] != sc.epoch {
 					sc.viewMark[v] = sc.epoch
 					sc.s1[v], sc.s2[v] = d, inf32
-					sc.touched = append(sc.touched, v)
+					sc.touched = append(sc.touched, v) //lint:allow noalloc touched grows into pooled scratch capped at NumViews; capacity amortizes to zero growth at steady state
 					continue
 				}
 				if d < s1v {
@@ -637,7 +643,7 @@ func (iv *IVFIndex) scanBinary(qp *features.Packed, ratio float64, counts []int3
 				if sc.viewMark[v] != sc.epoch {
 					sc.viewMark[v] = sc.epoch
 					sc.s1[v], sc.s2[v] = d, inf32
-					sc.touched = append(sc.touched, v)
+					sc.touched = append(sc.touched, v) //lint:allow noalloc touched grows into pooled scratch capped at NumViews; capacity amortizes to zero growth at steady state
 					continue
 				}
 				if d < sc.s1[v] {

@@ -195,6 +195,8 @@ func clearInt32(s []int32) {
 }
 
 // GoodMatchCounts implements MatchIndex.
+//
+//snmatch:noalloc
 func (mi *MIHIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
 	mi.GoodMatchCountsRangeTraced(query, ratio, counts, 0, mi.ix.NumViews, nil)
 }
@@ -202,11 +204,15 @@ func (mi *MIHIndex) GoodMatchCounts(query *features.Set, ratio float64, counts [
 // GoodMatchCountsRange implements MatchIndex: the flat scan's contract
 // over the probed candidate sets. Views outside [v0, v1) are untouched,
 // so sharded fan-out composes exactly as with the flat index.
+//
+//snmatch:noalloc
 func (mi *MIHIndex) GoodMatchCountsRange(query *features.Set, ratio float64, counts []int32, v0, v1 int) {
 	mi.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, nil)
 }
 
 // GoodMatchCountsTraced implements MatchIndex.
+//
+//snmatch:noalloc
 func (mi *MIHIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
 	mi.GoodMatchCountsRangeTraced(query, ratio, counts, 0, mi.ix.NumViews, tr)
 }
@@ -229,6 +235,7 @@ func (mi *MIHIndex) probesPerQueryDescr() int {
 // GoodMatchCountsRangeTraced implements MatchIndex: the probe phase
 // books as match time and the exact shortlist re-scoring as verify
 // time; the shortlist/probe histograms record just before verification.
+//snmatch:noalloc
 func (mi *MIHIndex) GoodMatchCountsRangeTraced(query *features.Set, ratio float64, counts []int32, v0, v1 int, tr *obs.Trace) {
 	if mi.full {
 		mi.ix.GoodMatchCountsRangeTraced(query, ratio, counts, v0, v1, tr)
@@ -318,7 +325,7 @@ func (mi *MIHIndex) probe(sc *mihScratch, s int, key uint64, q []uint64, v0, v1 
 		if sc.viewMark[v] != sc.epoch {
 			sc.viewMark[v] = sc.epoch
 			sc.s1[v], sc.s2[v] = d, math.MaxInt
-			sc.touched = append(sc.touched, v)
+			sc.touched = append(sc.touched, v) //lint:allow noalloc touched grows into pooled scratch capped at NumViews; capacity amortizes to zero growth at steady state
 			continue
 		}
 		if d < sc.s1[v] {

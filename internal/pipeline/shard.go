@@ -95,6 +95,8 @@ func (sx *ShardedIndex) Spans() []parallel.Span {
 // wrapped backend's GoodMatchCounts, scanning the shards concurrently on
 // the worker pool (one worker per shard). counts must have NumViews
 // entries and is overwritten.
+//
+//snmatch:noalloc
 func (sx *ShardedIndex) GoodMatchCounts(query *features.Set, ratio float64, counts []int32) {
 	sx.GoodMatchCountsTraced(query, ratio, counts, nil)
 }
@@ -103,13 +105,15 @@ func (sx *ShardedIndex) GoodMatchCounts(query *features.Set, ratio float64, coun
 // its own elapsed match/verify time into the shared trace (Trace adds
 // are atomic), so on a multi-shard scan those stages read as CPU time
 // summed across workers, not wall time.
+//
+//snmatch:noalloc
 func (sx *ShardedIndex) GoodMatchCountsTraced(query *features.Set, ratio float64, counts []int32, tr *obs.Trace) {
 	if len(sx.spans) <= 1 {
 		sx.mi.GoodMatchCountsTraced(query, ratio, counts, tr)
 		return
 	}
 	query.Pack() // build the packed mirror before the fan-out shares it
-	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) {
+	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) { //lint:allow noalloc one fan-out closure per sharded scan, amortized over the shards it launches; the flat path stays 0 allocs/op
 		sp := sx.spans[s]
 		sx.mi.GoodMatchCountsRangeTraced(query, ratio, counts, sp.Start, sp.End, tr)
 	})
@@ -123,6 +127,8 @@ func (sx *ShardedIndex) GoodMatchCountsTraced(query *features.Set, ratio float64
 // shard's scan; error/panic rules panic out of the fan-out for the
 // per-request recovery). A non-nil return means at least one shard was
 // skipped and counts are incomplete — callers must discard them.
+//
+//snmatch:noalloc
 func (sx *ShardedIndex) goodMatchCountsCtx(ctx context.Context, query *features.Set, ratio float64, counts []int32, tr *obs.Trace) error {
 	if len(sx.spans) <= 1 {
 		if err := ctx.Err(); err != nil {
@@ -135,7 +141,7 @@ func (sx *ShardedIndex) goodMatchCountsCtx(ctx context.Context, query *features.
 		return nil
 	}
 	query.Pack()
-	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) {
+	parallel.ForEach(len(sx.spans), len(sx.spans), func(s int) { //lint:allow noalloc one fan-out closure per sharded scan, amortized over the shards it launches; the flat path stays 0 allocs/op
 		if ctx.Err() != nil {
 			return // deadline expired mid-fan-out; leave the span unscanned
 		}

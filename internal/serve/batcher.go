@@ -340,8 +340,10 @@ func (b *Batcher) recoverQuery(errp *error) {
 	}
 	b.obs.panics.Inc()
 	if e, ok := r.(error); ok {
+		//lint:allow noalloc panic recovery is the cold path; a recovered query already paid a stack unwind
 		*errp = fmt.Errorf("%w: %w", ErrPanic, e)
 	} else {
+		//lint:allow noalloc panic recovery is the cold path; a recovered query already paid a stack unwind
 		*errp = fmt.Errorf("%w: %v", ErrPanic, r)
 	}
 }
@@ -350,6 +352,8 @@ func (b *Batcher) recoverQuery(errp *error) {
 // the gallery shards under the submitter's deadline. A shard-worker
 // panic is re-panicked here (the submitting goroutine) by the pool and
 // recovered into the query's error.
+//
+//snmatch:noalloc
 func (b *Batcher) classifyOne(ctx context.Context, img *imaging.Image) (pred pipeline.Prediction, stats pipeline.QueryStats, err error) {
 	defer b.recoverQuery(&err)
 	return b.sg.ClassifyStatsCtx(ctx, b.p, img)
@@ -359,6 +363,8 @@ func (b *Batcher) classifyOne(ctx context.Context, img *imaging.Image) (pred pip
 // unsharded scan per image, bounded by the image's own job deadline,
 // with per-image panic recovery so one poisoned query cannot take its
 // batch neighbours (or the process) down.
+//
+//snmatch:noalloc
 func (b *Batcher) classifyFlat(ctx context.Context, img *imaging.Image) (pred pipeline.Prediction, stats pipeline.QueryStats, err error) {
 	defer b.recoverQuery(&err)
 	if err = ctx.Err(); err != nil {
